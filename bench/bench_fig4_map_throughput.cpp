@@ -1,0 +1,118 @@
+// Figure 4 (top block): time to process N randomly selected operations on a
+// shared transactional map as the thread count grows, for each (write
+// fraction u, ops-per-transaction o) cell, across the implementations §7
+// compares:
+//   pure-stm           — traditional STM map (read/write-set conflicts)
+//   predication        — Bronson et al. per-key predicates
+//   proust-eager       — eager/optimistic Proustian map (inverses)
+//   proust-lazy-snap   — lazy/optimistic, snapshot shadow copies
+//   proust-lazy-memo   — lazy/optimistic, memoizing shadow copies
+//   proust-pess        — pessimistic (Boosting-style), shown only at o=1,
+//                        matching the paper's note about livelock with
+//                        longer transactions (see bench_pessimistic_livelock)
+//   global-lock        — whole-txn global mutex (reference floor/ceiling)
+//
+// Defaults are scaled for a small machine; pass --full for the paper's grid
+// (t∈{1..32}, o∈{1,2,16,256}, u∈{0,.25,.5,.75,1}, --ops=1000000).
+#include <cstdio>
+
+#include "bench_util/adapters.hpp"
+#include "bench_util/cli.hpp"
+#include "bench_util/harness.hpp"
+#include "bench_util/table.hpp"
+
+using namespace proust;
+using namespace proust::bench;
+
+namespace {
+
+template <class Adapter>
+void bench_one(Table& table, const std::string& name, Adapter& adapter,
+               RunConfig cfg) {
+  prefill_half(adapter, cfg.key_range);
+  const RunResult r = run_map_throughput(adapter, cfg);
+  const double abort_pct =
+      r.starts == 0 ? 0.0
+                    : 100.0 * static_cast<double>(r.aborts) /
+                          static_cast<double>(r.starts);
+  table.row({name, Table::fmt(cfg.write_fraction, 2),
+             std::to_string(cfg.ops_per_txn), std::to_string(cfg.threads),
+             Table::fmt(r.mean_ms, 1), Table::fmt(r.sd_ms, 1),
+             Table::fmt(abort_pct, 1)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool full = cli.has("full");
+
+  RunConfig base;
+  base.total_ops = cli.get_long("ops", full ? 1000000 : 30000);
+  base.key_range = cli.get_long("key-range", 1024);
+  base.warmup_runs = static_cast<int>(cli.get_long("warmup", full ? 10 : 1));
+  base.timed_runs = static_cast<int>(cli.get_long("runs", full ? 10 : 2));
+  base.zipf_theta = cli.get_double("zipf", 0.0);
+  const stm::Mode mode = cli.get_mode("mode", stm::Mode::Lazy);
+  const std::size_t ca_slots =
+      static_cast<std::size_t>(cli.get_long("ca-slots", 1024));
+
+  const auto thread_counts = cli.get_longs(
+      "threads", full ? std::vector<long>{1, 2, 4, 8, 16, 32}
+                      : std::vector<long>{1, 2, 4, 8});
+  const auto txn_sizes =
+      cli.get_longs("o", full ? std::vector<long>{1, 2, 16, 256}
+                              : std::vector<long>{1, 16, 256});
+  const auto write_fracs = cli.get_doubles(
+      "u", full ? std::vector<double>{0, 0.25, 0.5, 0.75, 1}
+                : std::vector<double>{0, 0.5, 1});
+
+  std::printf("# Figure 4 (top): map throughput, %ld ops, key range %ld, "
+              "STM mode %s\n",
+              base.total_ops, base.key_range, stm::to_string(mode));
+  Table table({"impl", "u", "o", "threads", "ms", "sd", "abort%"});
+
+  for (double u : write_fracs) {
+    for (long o : txn_sizes) {
+      for (long t : thread_counts) {
+        RunConfig cfg = base;
+        cfg.write_fraction = u;
+        cfg.ops_per_txn = static_cast<int>(o);
+        cfg.threads = static_cast<int>(t);
+
+        {
+          PureStmAdapter a(mode, cfg.key_range);
+          bench_one(table, a.name(), a, cfg);
+        }
+        {
+          PredicationAdapter a(mode);
+          bench_one(table, a.name(), a, cfg);
+        }
+        {
+          EagerOptAdapter a(mode, ca_slots);
+          bench_one(table, a.name(), a, cfg);
+        }
+        {
+          LazySnapshotAdapter a(mode, ca_slots);
+          bench_one(table, a.name(), a, cfg);
+        }
+        {
+          LazyMemoAdapter a(mode, ca_slots, /*combine=*/false);
+          bench_one(table, a.name(), a, cfg);
+        }
+        if (o == 1) {
+          // Pessimistic results only at o = 1, as in the paper (§7: longer
+          // transactions livelocked under the weak CM coupling).
+          PessimisticAdapter a(mode, ca_slots);
+          bench_one(table, a.name(), a, cfg);
+        }
+        {
+          GlobalLockAdapter a;
+          bench_one(table, a.name(), a, cfg);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Microbenchmarks of the raw STM engine (google-benchmark): per-operation
+// costs of reads, writes, commits and conflict-abstraction accesses in each
+// mode. These quantify the constant factors under the Figure 4 curves.
+#include <benchmark/benchmark.h>
+
+#include "core/lap.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+
+static void BM_ReadOnlyTxn(benchmark::State& state) {
+  stm::Stm stm(static_cast<stm::Mode>(state.range(0)));
+  stm::Var<long> v(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stm.atomically([&](stm::Txn& tx) { return tx.read(v); }));
+  }
+}
+BENCHMARK(BM_ReadOnlyTxn)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_WriteTxn(benchmark::State& state) {
+  stm::Stm stm(static_cast<stm::Mode>(state.range(0)));
+  stm::Var<long> v(0);
+  long i = 0;
+  for (auto _ : state) {
+    stm.atomically([&](stm::Txn& tx) { tx.write(v, ++i); });
+  }
+}
+BENCHMARK(BM_WriteTxn)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_ReadModifyWriteTxn(benchmark::State& state) {
+  stm::Stm stm(static_cast<stm::Mode>(state.range(0)));
+  stm::Var<long> v(0);
+  for (auto _ : state) {
+    stm.atomically([&](stm::Txn& tx) { tx.write(v, tx.read(v) + 1); });
+  }
+}
+BENCHMARK(BM_ReadModifyWriteTxn)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_TxnWithNVars(benchmark::State& state) {
+  stm::Stm stm(stm::Mode::Lazy);
+  std::vector<stm::Var<long>> vars(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    stm.atomically([&](stm::Txn& tx) {
+      for (auto& v : vars) tx.write(v, tx.read(v) + 1);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TxnWithNVars)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+static void BM_ConflictAbstractionAcquire(benchmark::State& state) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::OptimisticLap<long> lap(stm, 1024);
+  long k = 0;
+  for (auto _ : state) {
+    stm.atomically([&](stm::Txn& tx) {
+      lap.acquire(tx, ++k & 1023, /*write=*/true);
+    });
+  }
+}
+BENCHMARK(BM_ConflictAbstractionAcquire);
+
+static void BM_PessimisticAbstractLockAcquire(benchmark::State& state) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::PessimisticLap<long> lap(stm, 1024);
+  long k = 0;
+  for (auto _ : state) {
+    stm.atomically([&](stm::Txn& tx) {
+      lap.acquire(tx, ++k & 1023, /*write=*/true);
+    });
+  }
+}
+BENCHMARK(BM_PessimisticAbstractLockAcquire);
+
+static void BM_TxnLocalCreation(benchmark::State& state) {
+  stm::Stm stm(stm::Mode::Lazy);
+  int key = 0;
+  for (auto _ : state) {
+    stm.atomically([&](stm::Txn& tx) {
+      benchmark::DoNotOptimize(tx.local<long>(&key, [] { return 1L; }));
+    });
+  }
+}
+BENCHMARK(BM_TxnLocalCreation);

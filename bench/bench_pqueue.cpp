@@ -1,0 +1,160 @@
+// §6's priority-queue case study: the two-element abstract state
+// (PQueueMin / PQueueMultiSet) vs. Boosting's conservative single
+// reader-writer lock approximation. Insert-heavy workloads let commuting
+// inserts run concurrently under the abstract-state CA (group discipline /
+// MultiSet-only writes) where the single-lock approximation serializes them.
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/table.hpp"
+#include "common/rng.hpp"
+#include "core/lap.hpp"
+#include "core/lazy_pqueue.hpp"
+#include "core/txn_pqueue.hpp"
+#include "stm/stm.hpp"
+#include "sync/reentrant_rw_lock.hpp"
+
+using namespace proust;
+using core::PQueueState;
+using core::PQueueStateHasher;
+
+namespace {
+
+struct Mix {
+  const char* name;
+  double insert, remove_min, min;  // fractions; rest = contains
+};
+
+template <class RunOp>
+double timed(int threads, long iters, RunOp&& op) {
+  std::barrier sync(threads + 1);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) * 1297 + 11);
+      for (long i = 0; i < iters; ++i) op(rng);
+      sync.arrive_and_wait();
+    });
+  }
+  sync.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  sync.arrive_and_wait();
+  const auto stop = std::chrono::steady_clock::now();
+  for (auto& th : ts) th.join();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+template <class PQ, class Stm>
+auto make_op(Stm& stm, PQ& pq, const Mix& mix) {
+  return [&stm, &pq, mix](Xoshiro256& rng) {
+    const double r = rng.uniform();
+    const long v = static_cast<long>(rng.below(100000));
+    if (r < mix.insert) {
+      stm.atomically([&](stm::Txn& tx) { pq.insert(tx, v); });
+    } else if (r < mix.insert + mix.remove_min) {
+      stm.atomically([&](stm::Txn& tx) { (void)pq.remove_min(tx); });
+    } else if (r < mix.insert + mix.remove_min + mix.min) {
+      stm.atomically([&](stm::Txn& tx) { (void)pq.min(tx); });
+    } else {
+      stm.atomically([&](stm::Txn& tx) { (void)pq.contains(tx, v); });
+    }
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  const long iters = cli.get_long("iters", 4000);
+  const auto thread_counts =
+      cli.get_longs("threads", std::vector<long>{1, 2, 4, 8});
+  const long prefill = cli.get_long("prefill", 10000);
+
+  const Mix mixes[] = {
+      {"insert-heavy", 0.80, 0.10, 0.05},
+      {"balanced", 0.40, 0.40, 0.10},
+      {"observer-heavy", 0.20, 0.10, 0.60},
+  };
+
+  std::printf("# PQueue (§6): abstract-state CA vs single-RW-lock boosting "
+              "approximation, %ld ops/thread, prefill %ld\n",
+              iters, prefill);
+  bench::Table table({"impl", "mix", "threads", "ms", "abort%"});
+
+  for (const Mix& mix : mixes) {
+    for (long t : thread_counts) {
+      {  // Eager Proust, optimistic CA on the two abstract-state elements.
+        stm::Stm stm(stm::Mode::EagerAll);
+        core::OptimisticLap<PQueueState, PQueueStateHasher> lap(stm, 2);
+        core::TxnPriorityQueue<long, decltype(lap)> pq(lap);
+        for (long i = 0; i < prefill; ++i) {
+          pq.unsafe_insert(static_cast<long>(i * 37 % 100000));
+        }
+        const double ms = timed(static_cast<int>(t), iters,
+                                make_op(stm, pq, mix));
+        const auto s = stm.stats().snapshot();
+        const double abort_pct =
+            s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
+        table.row({"eager-opt", mix.name, std::to_string(t),
+                   bench::Table::fmt(ms, 1), bench::Table::fmt(abort_pct, 1)});
+      }
+      {  // Eager Proust, pessimistic LAP with the per-element disciplines
+         // (MultiSet = group lock: commuting inserts don't serialize).
+        stm::Stm stm(stm::Mode::Lazy);
+        core::PessimisticLap<PQueueState, PQueueStateHasher> lap(
+            stm, 2, core::pqueue_lock_kind, std::chrono::milliseconds(2));
+        core::TxnPriorityQueue<long, decltype(lap)> pq(lap);
+        for (long i = 0; i < prefill; ++i) {
+          pq.unsafe_insert(static_cast<long>(i * 37 % 100000));
+        }
+        const double ms = timed(static_cast<int>(t), iters,
+                                make_op(stm, pq, mix));
+        const auto s = stm.stats().snapshot();
+        const double abort_pct =
+            s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
+        table.row({"pess-group", mix.name, std::to_string(t),
+                   bench::Table::fmt(ms, 1), bench::Table::fmt(abort_pct, 1)});
+      }
+      {  // Boosting's published approximation: ONE reader-writer stripe for
+         // the whole queue (every insert/removeMin takes the write lock).
+        stm::Stm stm(stm::Mode::Lazy);
+        core::PessimisticLap<PQueueState, PQueueStateHasher> lap(
+            stm, 1, [](std::size_t) { return sync::LockKind::kReaderWriter; },
+            std::chrono::milliseconds(2));
+        core::TxnPriorityQueue<long, decltype(lap)> pq(lap);
+        for (long i = 0; i < prefill; ++i) {
+          pq.unsafe_insert(static_cast<long>(i * 37 % 100000));
+        }
+        const double ms = timed(static_cast<int>(t), iters,
+                                make_op(stm, pq, mix));
+        const auto s = stm.stats().snapshot();
+        const double abort_pct =
+            s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
+        table.row({"boosting-1rw", mix.name, std::to_string(t),
+                   bench::Table::fmt(ms, 1), bench::Table::fmt(abort_pct, 1)});
+      }
+      {  // Lazy Proust over the COW heap (snapshot shadow copies).
+        stm::Stm stm(stm::Mode::Lazy);
+        core::OptimisticLap<PQueueState, PQueueStateHasher> lap(stm, 2);
+        core::LazyPriorityQueue<long, decltype(lap)> pq(lap);
+        for (long i = 0; i < prefill; ++i) {
+          pq.unsafe_insert(static_cast<long>(i * 37 % 100000));
+        }
+        const double ms = timed(static_cast<int>(t), iters,
+                                make_op(stm, pq, mix));
+        const auto s = stm.stats().snapshot();
+        const double abort_pct =
+            s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
+        table.row({"lazy-snap", mix.name, std::to_string(t),
+                   bench::Table::fmt(ms, 1), bench::Table::fmt(abort_pct, 1)});
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

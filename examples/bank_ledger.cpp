@@ -1,0 +1,101 @@
+// Bank ledger: the classic STM motivating workload, run on Proustian
+// structures. Concurrent tellers transfer money between accounts (a
+// TxnHashMap) while appending an audit trail (a TxnQueue) in the SAME
+// transaction — cross-structure atomicity that stand-alone boosting cannot
+// give you. A background auditor keeps verifying the conservation-of-money
+// invariant.
+#include <atomic>
+#include <barrier>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/lap.hpp"
+#include "core/txn_hash_map.hpp"
+#include "core/txn_queue.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+
+namespace {
+constexpr long kAccounts = 64;
+constexpr long kInitialBalance = 1000;
+constexpr int kTellers = 4;
+constexpr int kTransfersPerTeller = 5000;
+}  // namespace
+
+int main() {
+  stm::Stm stm(stm::Mode::EagerAll);
+  core::OptimisticLap<long> accounts_lap(stm, 256);
+  core::OptimisticLap<core::QueueState, core::QueueStateHasher> audit_lap(stm, 2);
+
+  core::TxnHashMap<long, long, core::OptimisticLap<long>> accounts(
+      accounts_lap);
+  core::TxnQueue<long, decltype(audit_lap)> audit(audit_lap);
+
+  for (long a = 0; a < kAccounts; ++a) accounts.unsafe_put(a, kInitialBalance);
+
+  std::atomic<bool> done{false};
+  std::atomic<long> violations{0};
+
+  std::thread auditor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      long total = 0;
+      stm.atomically([&](stm::Txn& tx) {
+        total = 0;
+        for (long a = 0; a < kAccounts; ++a) {
+          total += accounts.get(tx, a).value_or(0);
+        }
+      });
+      if (total != kAccounts * kInitialBalance) violations.fetch_add(1);
+    }
+  });
+
+  std::barrier start(kTellers);
+  std::vector<std::thread> tellers;
+  std::atomic<long> committed_transfers{0};
+  for (int t = 0; t < kTellers; ++t) {
+    tellers.emplace_back([&, t] {
+      start.arrive_and_wait();
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) * 7919 + 1);
+      for (int i = 0; i < kTransfersPerTeller; ++i) {
+        const long from = static_cast<long>(rng.below(kAccounts));
+        const long to = static_cast<long>(rng.below(kAccounts));
+        const long amount = 1 + static_cast<long>(rng.below(20));
+        if (from == to) continue;
+        const bool ok = stm.atomically([&](stm::Txn& tx) {
+          const long balance = accounts.get(tx, from).value();
+          if (balance < amount) return false;
+          accounts.put(tx, from, balance - amount);
+          accounts.put(tx, to, accounts.get(tx, to).value() + amount);
+          audit.enq(tx, from * 1000000 + to * 100 + amount % 100);
+          return true;
+        });
+        if (ok) committed_transfers.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : tellers) th.join();
+  done.store(true, std::memory_order_release);
+  auditor.join();
+
+  long total = 0;
+  stm.atomically([&](stm::Txn& tx) {
+    total = 0;
+    for (long a = 0; a < kAccounts; ++a) total += accounts.get(tx, a).value();
+  });
+
+  std::printf("transfers committed: %ld\n", committed_transfers.load());
+  std::printf("audit trail length:  %ld\n", audit.size());
+  std::printf("total money:         %ld (expected %ld)\n", total,
+              kAccounts * kInitialBalance);
+  std::printf("auditor violations:  %ld\n", violations.load());
+  std::printf("stm: %s\n", stm.stats().snapshot().to_string().c_str());
+
+  const bool pass = total == kAccounts * kInitialBalance &&
+                    violations.load() == 0 &&
+                    audit.size() == committed_transfers.load();
+  std::printf("%s\n", pass ? "OK" : "FAILED");
+  return pass ? 0 : 1;
+}

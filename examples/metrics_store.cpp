@@ -1,0 +1,110 @@
+// Metrics store: a time-series-style workload over the Proustian ordered
+// map. Ingest threads append samples at "now" (point writes at the high end
+// of the key space); dashboard threads run windowed aggregations (range
+// sums) over older data; a retention thread trims the oldest window. The
+// interval conflict abstraction keeps the three roles from conflicting as
+// long as their key windows don't intersect — the §1 range-commutativity
+// claim in an application shape.
+#include <atomic>
+#include <barrier>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/lap.hpp"
+#include "core/txn_ordered_map.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+using OptLap = core::OptimisticLap<std::size_t, core::StripeHasher>;
+
+namespace {
+constexpr long kTimeSpan = 1 << 16;  // key space: timestamps
+constexpr std::size_t kStripes = 256;
+constexpr int kIngesters = 2;
+constexpr int kDashboards = 2;
+constexpr long kSamplesPerIngester = 6000;
+}  // namespace
+
+int main() {
+  stm::Stm stm(stm::Mode::Lazy);
+  OptLap lap(stm, kStripes);
+  core::TxnOrderedMap<long, OptLap> series(lap, 0, kTimeSpan - 1, kStripes);
+
+  // Seed history: one sample of weight 1 per even timestamp in the past.
+  for (long t = 0; t < kTimeSpan / 2; t += 2) series.unsafe_put(t, 1);
+
+  std::atomic<long> clock_now{kTimeSpan / 2};
+  std::atomic<bool> done{false};
+  std::atomic<long> ingested{0}, aggregations{0}, trimmed{0}, torn_reads{0};
+
+  std::barrier start(kIngesters + kDashboards + 1);
+  std::vector<std::thread> threads;
+
+  for (int i = 0; i < kIngesters; ++i) {
+    threads.emplace_back([&, i] {
+      start.arrive_and_wait();
+      Xoshiro256 rng(static_cast<std::uint64_t>(i) + 100);
+      for (long n = 0; n < kSamplesPerIngester; ++n) {
+        const long t = clock_now.fetch_add(1);
+        if (t >= kTimeSpan) break;
+        stm.atomically([&](stm::Txn& tx) { series.put(tx, t, 1); });
+        ingested.fetch_add(1);
+      }
+    });
+  }
+
+  constexpr long kQueriesPerDashboard = 400;
+  for (int d = 0; d < kDashboards; ++d) {
+    threads.emplace_back([&, d] {
+      start.arrive_and_wait();
+      Xoshiro256 rng(static_cast<std::uint64_t>(d) + 200);
+      for (long q = 0; q < kQueriesPerDashboard; ++q) {
+        // Aggregate a window in stable history (old enough that neither
+        // ingest nor retention touches it during this run).
+        const long lo =
+            kTimeSpan / 8 + static_cast<long>(rng.below(kTimeSpan / 8));
+        const long window = 512;
+        long sum = 0, count = 0;
+        stm.atomically([&](stm::Txn& tx) {
+          sum = series.range_sum(tx, lo, lo + window - 1);
+          count = series.range_count(tx, lo, lo + window - 1);
+        });
+        // Seeded density: every even timestamp → count == window/2 and each
+        // sample weighs 1, so sum must equal count.
+        if (sum != count || count != window / 2) torn_reads.fetch_add(1);
+        aggregations.fetch_add(1);
+      }
+    });
+  }
+
+  // Retention: trim the oldest sliver while everyone else runs.
+  std::thread retention([&] {
+    start.arrive_and_wait();
+    for (long t = 0; t < kTimeSpan / 16; ++t) {
+      const bool removed = stm.atomically(
+          [&](stm::Txn& tx) { return series.remove(tx, t).has_value(); });
+      if (removed) trimmed.fetch_add(1);
+    }
+  });
+
+  retention.join();
+  for (auto& th : threads) th.join();
+  done.store(true, std::memory_order_release);
+
+  std::printf("ingested:      %ld samples\n", ingested.load());
+  std::printf("aggregations:  %ld windowed range queries\n",
+              aggregations.load());
+  std::printf("trimmed:       %ld old samples\n", trimmed.load());
+  std::printf("torn reads:    %ld (must be 0)\n", torn_reads.load());
+  std::printf("series size:   %ld\n", series.size());
+  std::printf("stm: %s\n", stm.stats().snapshot().to_string().c_str());
+
+  const long expected_size =
+      kTimeSpan / 4 /* seeded */ + ingested.load() - trimmed.load();
+  const bool pass =
+      torn_reads.load() == 0 && series.size() == expected_size;
+  std::printf("%s\n", pass ? "OK" : "FAILED");
+  return pass ? 0 : 1;
+}

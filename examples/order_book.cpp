@@ -1,0 +1,114 @@
+// Order book: a tiny matching engine built from TWO Proustian priority
+// queues (bids max-ordered, asks min-ordered) plus an eager TxnHashMap of
+// open orders. Matching pops the best bid and best ask and trades when they
+// cross — one transaction touching three transactional structures, using
+// the eager wrapper (Figure 3's lazy-deletion trick) under the pessimistic
+// LAP with the PQueueMultiSet group discipline.
+#include <atomic>
+#include <barrier>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/lap.hpp"
+#include "core/txn_hash_map.hpp"
+#include "core/txn_pqueue.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+using core::PQueueState;
+using core::PQueueStateHasher;
+
+namespace {
+struct Order {
+  long price;
+  long id;
+  bool operator<(const Order& o) const {
+    return price != o.price ? price < o.price : id < o.id;
+  }
+};
+struct BidOrder {  // max-heap: invert the price comparison
+  long price;
+  long id;
+  bool operator<(const BidOrder& o) const {
+    return price != o.price ? price > o.price : id < o.id;
+  }
+};
+
+constexpr int kTraders = 3;
+constexpr long kOrdersPerTrader = 3000;
+}  // namespace
+
+int main() {
+  stm::Stm stm(stm::Mode::Lazy);
+  using PQLap = core::PessimisticLap<PQueueState, PQueueStateHasher>;
+  PQLap bids_lap(stm, 2, core::pqueue_lock_kind, std::chrono::milliseconds(2));
+  PQLap asks_lap(stm, 2, core::pqueue_lock_kind, std::chrono::milliseconds(2));
+  core::PessimisticLap<long> book_lap(stm, 512);
+
+  core::TxnPriorityQueue<BidOrder, PQLap> bids(bids_lap);
+  core::TxnPriorityQueue<Order, PQLap> asks(asks_lap);
+  core::TxnHashMap<long, long, core::PessimisticLap<long>> open_orders(
+      book_lap);
+
+  std::atomic<long> trades{0}, placed{0};
+  std::atomic<long> crossed_violations{0};
+  std::atomic<long> next_id{1};
+
+  std::barrier start(kTraders);
+  std::vector<std::thread> traders;
+  for (int t = 0; t < kTraders; ++t) {
+    traders.emplace_back([&, t] {
+      start.arrive_and_wait();
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) * 101 + 13);
+      for (long i = 0; i < kOrdersPerTrader; ++i) {
+        const long price = 90 + static_cast<long>(rng.below(21));  // 90..110
+        const long id = next_id.fetch_add(1);
+        const bool is_bid = rng.uniform() < 0.5;
+
+        // Place the order.
+        stm.atomically([&](stm::Txn& tx) {
+          if (is_bid) {
+            bids.insert(tx, BidOrder{price, id});
+          } else {
+            asks.insert(tx, Order{price, id});
+          }
+          open_orders.put(tx, id, price);
+        });
+        placed.fetch_add(1);
+
+        // Try to match: best bid vs best ask, atomically.
+        stm.atomically([&](stm::Txn& tx) {
+          const auto best_bid = bids.min(tx);   // max price (inverted cmp)
+          const auto best_ask = asks.min(tx);   // min price
+          if (!best_bid || !best_ask) return;
+          if (best_bid->price < best_ask->price) return;  // no cross
+          const auto b = bids.remove_min(tx);
+          const auto a = asks.remove_min(tx);
+          if (!b || !a) return;  // raced within txn — cannot happen
+          if (b->price < a->price) crossed_violations.fetch_add(1);
+          open_orders.remove(tx, b->id);
+          open_orders.remove(tx, a->id);
+          trades.fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& th : traders) th.join();
+
+  std::printf("orders placed:   %ld\n", placed.load());
+  std::printf("trades matched:  %ld\n", trades.load());
+  std::printf("open orders:     %ld\n", open_orders.size());
+  std::printf("book sizes:      bids=%ld asks=%ld\n", bids.size(), asks.size());
+  std::printf("stm: %s\n", stm.stats().snapshot().to_string().c_str());
+
+  // Conservation: every order is open or traded; every trade closed 2.
+  const bool conserved =
+      placed.load() == open_orders.size() + 2 * trades.load() &&
+      bids.size() + asks.size() == open_orders.size() &&
+      crossed_violations.load() == 0;
+  std::printf("%s\n", conserved ? "OK" : "FAILED");
+  return conserved ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Quickstart: wrap-and-go. Shows the three steps of using Proust:
+//   1. pick an STM runtime (conflict-detection mode),
+//   2. pick a lock-allocator policy (optimistic conflict abstraction here),
+//   3. use the wrapped transactional data structures inside atomically().
+//
+// Build & run:  ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/lap.hpp"
+#include "core/txn_hash_map.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+
+int main() {
+  // 1. The STM. EagerAll detects all conflicts at encounter time, which is
+  //    the mode under which every Proust configuration is opaque (Thm 5.2).
+  stm::Stm stm(stm::Mode::EagerAll);
+
+  // 2. The LAP: a conflict abstraction with 256 STM locations; keys map to
+  //    locations by hash (lock striping, §3).
+  core::OptimisticLap<std::string> lap(stm, 256);
+
+  // 3. A transactional map wrapping a plain thread-safe striped hash map.
+  core::TxnHashMap<std::string, long, core::OptimisticLap<std::string>>
+      inventory(lap);
+
+  // Transactions compose multiple operations atomically.
+  stm.atomically([&](stm::Txn& tx) {
+    inventory.put(tx, "apples", 10);
+    inventory.put(tx, "oranges", 5);
+  });
+
+  // Move stock between keys — all-or-nothing.
+  stm.atomically([&](stm::Txn& tx) {
+    const long apples = inventory.get(tx, "apples").value_or(0);
+    if (apples >= 3) {
+      inventory.put(tx, "apples", apples - 3);
+      inventory.put(tx, "baskets",
+                    inventory.get(tx, "baskets").value_or(0) + 1);
+    }
+  });
+
+  stm.atomically([&](stm::Txn& tx) {
+    std::printf("apples=%ld oranges=%ld baskets=%ld (size=%ld)\n",
+                inventory.get(tx, "apples").value_or(0),
+                inventory.get(tx, "oranges").value_or(0),
+                inventory.get(tx, "baskets").value_or(0), inventory.size());
+  });
+
+  const auto stats = stm.stats().snapshot();
+  std::printf("stm: %s\n", stats.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// A single-global-lock transactional map: the whole transaction body runs
+// under one mutex, which is trivially serializable and abort-free. Useful as
+// a floor/ceiling reference in the benchmarks (perfect at 1 thread and high
+// contention, no scalability).
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/hashing.hpp"
+
+namespace proust::baselines {
+
+template <class K, class V, class Hasher = proust::Hash<K>>
+class CoarseLockMap {
+ public:
+  /// Run `body(*this)` as one atomic transaction.
+  template <class F>
+  auto transaction(F&& body) {
+    std::lock_guard<std::mutex> g(mu_);
+    return body(*this);
+  }
+
+  // Operations below must only be called from inside transaction().
+  std::optional<V> put(const K& key, const V& value) {
+    auto [it, inserted] = map_.try_emplace(key, value);
+    if (inserted) return std::nullopt;
+    std::optional<V> old = it->second;
+    it->second = value;
+    return old;
+  }
+  std::optional<V> get(const K& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+  bool contains(const K& key) const { return map_.count(key) != 0; }
+  std::optional<V> remove(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    std::optional<V> old = it->second;
+    map_.erase(it);
+    return old;
+  }
+  std::size_t size() const { return map_.size(); }
+
+  void unsafe_put(const K& key, const V& value) { map_[key] = value; }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<K, V, Hasher> map_;
+};
+
+}  // namespace proust::baselines

@@ -1,0 +1,145 @@
+// The "traditional STM implementation" baseline of §7: a hash map stored
+// entirely in STM-managed memory, so conflict detection happens on the
+// concrete representation (read/write sets over table slots). This is the
+// configuration whose false conflicts motivate the paper: probe sequences
+// make logically-independent keys share STM locations, and the STM cannot
+// tell a semantic conflict from a representational one.
+//
+// Fixed-capacity open addressing (linear probing, tombstones); throws if
+// the table fills — benchmarks size it above the key range, as the paper
+// fixes the key range at 1024.
+//
+// With `track_size` (default on, as a traditional transactional map would),
+// size() is an STM variable maintained by every insert/remove — the classic
+// false-conflict generator that Listing 2's "size has been reified out of
+// the abstract state as an optimization" comment alludes to. Probe-chain
+// overlap supplies the remaining representational false conflicts (standing
+// in for the structural nodes of an STM tree/trie).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "common/hashing.hpp"
+#include "stm/stm.hpp"
+
+namespace proust::baselines {
+
+template <class K, class V, class Hasher = proust::Hash<K>>
+  requires std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>
+class PureStmMap {
+  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+  struct Slot {
+    std::uint8_t state;
+    K key;
+    V value;
+  };
+
+ public:
+  PureStmMap(stm::Stm& stm, std::size_t capacity, bool track_size = true)
+      : stm_(&stm), table_(next_pow2(capacity)), track_size_(track_size) {}
+
+  std::optional<V> put(stm::Txn& tx, const K& key, const V& value) {
+    std::size_t first_tomb = table_.size();
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+      const std::size_t idx = (Hasher{}(key) + i) & mask;
+      Slot s = tx.read(table_[idx]);
+      if (s.state == kFull && s.key == key) {
+        tx.write(table_[idx], Slot{kFull, key, value});
+        return s.value;
+      }
+      if (s.state == kTombstone && first_tomb == table_.size()) {
+        first_tomb = idx;
+      }
+      if (s.state == kEmpty) {
+        const std::size_t target = first_tomb != table_.size() ? first_tomb : idx;
+        tx.write(table_[target], Slot{kFull, key, value});
+        bump_size(tx, +1);
+        return std::nullopt;
+      }
+    }
+    if (first_tomb != table_.size()) {
+      tx.write(table_[first_tomb], Slot{kFull, key, value});
+      bump_size(tx, +1);
+      return std::nullopt;
+    }
+    throw std::runtime_error("PureStmMap: table full");
+  }
+
+  std::optional<V> get(stm::Txn& tx, const K& key) const {
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+      const std::size_t idx = (Hasher{}(key) + i) & mask;
+      Slot s = tx.read(table_[idx]);
+      if (s.state == kFull && s.key == key) return s.value;
+      if (s.state == kEmpty) return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  bool contains(stm::Txn& tx, const K& key) const {
+    return get(tx, key).has_value();
+  }
+
+  std::optional<V> remove(stm::Txn& tx, const K& key) {
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+      const std::size_t idx = (Hasher{}(key) + i) & mask;
+      Slot s = tx.read(table_[idx]);
+      if (s.state == kFull && s.key == key) {
+        tx.write(table_[idx], Slot{kTombstone, key, V{}});
+        bump_size(tx, -1);
+        return s.value;
+      }
+      if (s.state == kEmpty) return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  /// Quiescent population for benchmark setup.
+  void unsafe_put(const K& key, const V& value) {
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+      const std::size_t idx = (Hasher{}(key) + i) & mask;
+      Slot s = table_[idx].unsafe_ref();
+      if (s.state == kFull && s.key == key) {
+        table_[idx].unsafe_store(Slot{kFull, key, value});
+        return;
+      }
+      if (s.state != kFull) {
+        table_[idx].unsafe_store(Slot{kFull, key, value});
+        size_.unsafe_store(size_.unsafe_ref() + 1);
+        return;
+      }
+    }
+    throw std::runtime_error("PureStmMap: table full");
+  }
+
+  /// Quiescent size by scan (a transactional size would serialize all
+  /// updates on one location; see DESIGN.md).
+  std::size_t unsafe_size() const {
+    std::size_t n = 0;
+    for (const auto& var : table_) n += var.unsafe_ref().state == kFull;
+    return n;
+  }
+
+  /// Transactional size (meaningful when track_size is on).
+  long size(stm::Txn& tx) const { return tx.read(size_); }
+
+  stm::Stm& stm() noexcept { return *stm_; }
+
+ private:
+  void bump_size(stm::Txn& tx, long d) {
+    if (track_size_) tx.write(size_, tx.read(size_) + d);
+  }
+
+  stm::Stm* stm_;
+  std::vector<stm::Var<Slot>> table_;
+  mutable stm::Var<long> size_{0};
+  bool track_size_;
+};
+
+}  // namespace proust::baselines

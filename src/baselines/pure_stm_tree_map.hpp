@@ -1,0 +1,234 @@
+// A second "traditional STM implementation" baseline: an ordered map (a
+// treap) stored entirely in STM-managed memory. Every node access is a
+// transactional read/write, so structural maintenance — rotations, the
+// root pointer, the free list — creates exactly the representational false
+// conflicts §1 describes: an insert that rotates near the root conflicts
+// with every concurrent reader that traversed it, even when their key sets
+// are disjoint. This is the ordered-map counterpart of PureStmMap and the
+// natural pure-STM comparator for TxnOrderedMap's range queries.
+//
+// Nodes live in a fixed pool (indices, not pointers, so node records stay
+// trivially copyable); the free list is threaded through the `left` field
+// and is itself transactional — allocation rolls back with the transaction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "common/hashing.hpp"
+#include "stm/stm.hpp"
+
+namespace proust::baselines {
+
+template <class K, class V>
+  requires std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>
+class PureStmTreeMap {
+  static constexpr std::int32_t kNil = -1;
+
+  struct Node {
+    K key;
+    V value;
+    std::uint32_t prio;
+    std::int32_t left;
+    std::int32_t right;
+  };
+
+ public:
+  PureStmTreeMap(stm::Stm& stm, std::size_t capacity)
+      : stm_(&stm), pool_(capacity), root_(kNil), free_head_(0) {
+    // Thread the free list through `left`.
+    for (std::size_t i = 0; i < capacity; ++i) {
+      Node n{};
+      n.left = i + 1 < capacity ? static_cast<std::int32_t>(i + 1) : kNil;
+      n.right = kNil;
+      pool_[i].unsafe_store(n);
+    }
+  }
+
+  std::optional<V> put(stm::Txn& tx, const K& key, const V& value) {
+    std::optional<V> old;
+    const std::int32_t new_root = insert(tx, tx.read(root_), key, value, old);
+    tx.write(root_, new_root);
+    return old;
+  }
+
+  std::optional<V> get(stm::Txn& tx, const K& key) const {
+    std::int32_t idx = tx.read(root_);
+    while (idx != kNil) {
+      const Node n = tx.read(pool_[static_cast<std::size_t>(idx)]);
+      if (key < n.key) {
+        idx = n.left;
+      } else if (n.key < key) {
+        idx = n.right;
+      } else {
+        return n.value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool contains(stm::Txn& tx, const K& key) const {
+    return get(tx, key).has_value();
+  }
+
+  std::optional<V> remove(stm::Txn& tx, const K& key) {
+    std::optional<V> old;
+    const std::int32_t new_root = erase(tx, tx.read(root_), key, old);
+    if (old) tx.write(root_, new_root);
+    return old;
+  }
+
+  /// In-order traversal of [lo, hi] — the pure-STM range query. Reads every
+  /// node on the search paths, so its read set embodies the structural
+  /// false-conflict problem.
+  template <class F>
+  void range_for_each(stm::Txn& tx, const K& lo, const K& hi, F&& f) const {
+    range_walk(tx, tx.read(root_), lo, hi, f);
+  }
+
+  V range_sum(stm::Txn& tx, const K& lo, const K& hi) const {
+    V total{};
+    range_for_each(tx, lo, hi, [&](const K&, const V& v) { total += v; });
+    return total;
+  }
+
+  void unsafe_put(const K& key, const V& value) {
+    stm_->atomically([&](stm::Txn& tx) { put(tx, key, value); });
+  }
+
+  stm::Stm& stm() noexcept { return *stm_; }
+
+ private:
+  stm::Var<Node>& at(std::int32_t idx) {
+    return pool_[static_cast<std::size_t>(idx)];
+  }
+  const stm::Var<Node>& at(std::int32_t idx) const {
+    return pool_[static_cast<std::size_t>(idx)];
+  }
+
+  std::int32_t alloc(stm::Txn& tx, const K& key, const V& value) {
+    const std::int32_t idx = tx.read(free_head_);
+    if (idx == kNil) throw std::runtime_error("PureStmTreeMap: pool exhausted");
+    Node n = tx.read(at(idx));
+    tx.write(free_head_, n.left);
+    n.key = key;
+    n.value = value;
+    // Deterministic pseudo-random priority from the node slot and a txn
+    // stamp: stable within the transaction, well-mixed across inserts.
+    n.prio = static_cast<std::uint32_t>(
+        mix64(static_cast<std::uint64_t>(idx) * 0x9E3779B97F4A7C15ULL ^
+              tx.fresh_stamp()));
+    n.left = kNil;
+    n.right = kNil;
+    tx.write(at(idx), n);
+    return idx;
+  }
+
+  void release(stm::Txn& tx, std::int32_t idx) {
+    Node n = tx.read(at(idx));
+    n.left = tx.read(free_head_);
+    n.right = kNil;
+    tx.write(at(idx), n);
+    tx.write(free_head_, idx);
+  }
+
+  std::int32_t insert(stm::Txn& tx, std::int32_t idx, const K& key,
+                      const V& value, std::optional<V>& old) {
+    if (idx == kNil) return alloc(tx, key, value);
+    Node n = tx.read(at(idx));
+    if (key < n.key) {
+      n.left = insert(tx, n.left, key, value, old);
+      tx.write(at(idx), n);
+      if (tx.read(at(n.left)).prio < n.prio) return rotate_right(tx, idx);
+      return idx;
+    }
+    if (n.key < key) {
+      n.right = insert(tx, n.right, key, value, old);
+      tx.write(at(idx), n);
+      if (tx.read(at(n.right)).prio < n.prio) return rotate_left(tx, idx);
+      return idx;
+    }
+    old = n.value;
+    n.value = value;
+    tx.write(at(idx), n);
+    return idx;
+  }
+
+  std::int32_t erase(stm::Txn& tx, std::int32_t idx, const K& key,
+                     std::optional<V>& old) {
+    if (idx == kNil) return kNil;
+    Node n = tx.read(at(idx));
+    if (key < n.key) {
+      n.left = erase(tx, n.left, key, old);
+      if (old) tx.write(at(idx), n);
+      return idx;
+    }
+    if (n.key < key) {
+      n.right = erase(tx, n.right, key, old);
+      if (old) tx.write(at(idx), n);
+      return idx;
+    }
+    old = n.value;
+    const std::int32_t merged = merge(tx, n.left, n.right);
+    release(tx, idx);
+    return merged;
+  }
+
+  /// Merge two treaps where every key in `a` precedes every key in `b`.
+  std::int32_t merge(stm::Txn& tx, std::int32_t a, std::int32_t b) {
+    if (a == kNil) return b;
+    if (b == kNil) return a;
+    Node na = tx.read(at(a));
+    Node nb = tx.read(at(b));
+    if (na.prio < nb.prio) {
+      na.right = merge(tx, na.right, b);
+      tx.write(at(a), na);
+      return a;
+    }
+    nb.left = merge(tx, a, nb.left);
+    tx.write(at(b), nb);
+    return b;
+  }
+
+  std::int32_t rotate_right(stm::Txn& tx, std::int32_t idx) {
+    Node n = tx.read(at(idx));
+    const std::int32_t l = n.left;
+    Node ln = tx.read(at(l));
+    n.left = ln.right;
+    ln.right = idx;
+    tx.write(at(idx), n);
+    tx.write(at(l), ln);
+    return l;
+  }
+
+  std::int32_t rotate_left(stm::Txn& tx, std::int32_t idx) {
+    Node n = tx.read(at(idx));
+    const std::int32_t r = n.right;
+    Node rn = tx.read(at(r));
+    n.right = rn.left;
+    rn.left = idx;
+    tx.write(at(idx), n);
+    tx.write(at(r), rn);
+    return r;
+  }
+
+  template <class F>
+  void range_walk(stm::Txn& tx, std::int32_t idx, const K& lo, const K& hi,
+                  F& f) const {
+    if (idx == kNil) return;
+    const Node n = tx.read(at(idx));
+    if (lo < n.key) range_walk(tx, n.left, lo, hi, f);
+    if (!(n.key < lo) && !(hi < n.key)) f(n.key, n.value);
+    if (n.key < hi) range_walk(tx, n.right, lo, hi, f);
+  }
+
+  stm::Stm* stm_;
+  std::vector<stm::Var<Node>> pool_;
+  stm::Var<std::int32_t> root_;
+  stm::Var<std::int32_t> free_head_;
+};
+
+}  // namespace proust::baselines

@@ -1,0 +1,188 @@
+// Uniform adapters over every transactional map implementation compared in
+// §7: each exposes
+//    txn(body)   — run `body(view)` as one atomic transaction, where `view`
+//                  has put/get/remove/contains;
+//    prefill(k,v), stats(), reset_stats(), name().
+// This is what lets one harness drive the pure-STM baseline, predication,
+// and the four Proustian configurations over identical workloads.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "baselines/coarse_lock_map.hpp"
+#include "baselines/predication_map.hpp"
+#include "baselines/pure_stm_map.hpp"
+#include "core/lazy_hash_map.hpp"
+#include "core/lazy_trie_map.hpp"
+#include "core/txn_hash_map.hpp"
+#include "stm/stm.hpp"
+
+namespace proust::bench {
+
+/// Binds a Proust-style map (whose operations take a Txn&) to a running
+/// transaction, presenting the plain map interface the workload body uses.
+template <class M>
+struct TxView {
+  M& m;
+  stm::Txn& tx;
+  std::optional<long> put(long k, long v) { return m.put(tx, k, v); }
+  std::optional<long> get(long k) { return m.get(tx, k); }
+  std::optional<long> remove(long k) { return m.remove(tx, k); }
+  bool contains(long k) { return m.contains(tx, k); }
+};
+
+template <class Derived, class Map>
+class StmAdapterBase {
+ public:
+  template <class Body>
+  void txn(Body&& body) {
+    stm_.atomically([&](stm::Txn& tx) {
+      TxView<Map> view{static_cast<Derived*>(this)->map(), tx};
+      body(view);
+    });
+  }
+  stm::StatsSnapshot stats() { return stm_.stats().snapshot(); }
+  void reset_stats() { stm_.stats().reset(); }
+  stm::Stm& stm() noexcept { return stm_; }
+
+ protected:
+  explicit StmAdapterBase(stm::Mode mode) : stm_(mode) {}
+  stm::Stm stm_;
+};
+
+class PureStmAdapter
+    : public StmAdapterBase<PureStmAdapter, baselines::PureStmMap<long, long>> {
+  using Map = baselines::PureStmMap<long, long>;
+
+ public:
+  PureStmAdapter(stm::Mode mode, long key_range)
+      : StmAdapterBase(mode), map_(stm_, static_cast<std::size_t>(key_range) * 4) {}
+  static std::string name() { return "pure-stm"; }
+  Map& map() noexcept { return map_; }
+  void prefill(long k, long v) { map_.unsafe_put(k, v); }
+
+ private:
+  Map map_;
+};
+
+class PredicationAdapter
+    : public StmAdapterBase<PredicationAdapter,
+                            baselines::PredicationMap<long, long>> {
+  using Map = baselines::PredicationMap<long, long>;
+
+ public:
+  explicit PredicationAdapter(stm::Mode mode)
+      : StmAdapterBase(mode), map_(stm_) {}
+  static std::string name() { return "predication"; }
+  Map& map() noexcept { return map_; }
+  void prefill(long k, long v) { map_.unsafe_put(k, v); }
+
+ private:
+  Map map_;
+};
+
+/// Proust eager map over the optimistic LAP (eager/optimistic quadrant).
+class EagerOptAdapter
+    : public StmAdapterBase<
+          EagerOptAdapter,
+          core::TxnHashMap<long, long, core::OptimisticLap<long>>> {
+  using Lap = core::OptimisticLap<long>;
+  using Map = core::TxnHashMap<long, long, Lap>;
+
+ public:
+  EagerOptAdapter(stm::Mode mode, std::size_t ca_slots)
+      : StmAdapterBase(mode), lap_(stm_, ca_slots), map_(lap_) {}
+  static std::string name() { return "proust-eager"; }
+  Map& map() noexcept { return map_; }
+  void prefill(long k, long v) { map_.unsafe_put(k, v); }
+
+ private:
+  Lap lap_;
+  Map map_;
+};
+
+/// Proust eager map over the pessimistic LAP (Boosting quadrant).
+class PessimisticAdapter
+    : public StmAdapterBase<
+          PessimisticAdapter,
+          core::TxnHashMap<long, long, core::PessimisticLap<long>>> {
+  using Lap = core::PessimisticLap<long>;
+  using Map = core::TxnHashMap<long, long, Lap>;
+
+ public:
+  PessimisticAdapter(stm::Mode mode, std::size_t stripes)
+      : StmAdapterBase(mode), lap_(stm_, stripes), map_(lap_) {}
+  static std::string name() { return "proust-pess"; }
+  Map& map() noexcept { return map_; }
+  void prefill(long k, long v) { map_.unsafe_put(k, v); }
+
+ private:
+  Lap lap_;
+  Map map_;
+};
+
+/// Proust lazy map with snapshot shadow copies (LazyTrieMap of Fig. 2b).
+class LazySnapshotAdapter
+    : public StmAdapterBase<
+          LazySnapshotAdapter,
+          core::LazyTrieMap<long, long, core::OptimisticLap<long>>> {
+  using Lap = core::OptimisticLap<long>;
+  using Map = core::LazyTrieMap<long, long, Lap>;
+
+ public:
+  LazySnapshotAdapter(stm::Mode mode, std::size_t ca_slots)
+      : StmAdapterBase(mode), lap_(stm_, ca_slots), map_(lap_) {}
+  static std::string name() { return "proust-lazy-snap"; }
+  Map& map() noexcept { return map_; }
+  void prefill(long k, long v) { map_.unsafe_put(k, v); }
+
+ private:
+  Lap lap_;
+  Map map_;
+};
+
+/// Proust lazy map with memoizing shadow copies (§4's LazyHashMap); the
+/// `combine` flag enables the log-combining optimization (Fig. 4 bottom).
+class LazyMemoAdapter
+    : public StmAdapterBase<
+          LazyMemoAdapter,
+          core::LazyHashMap<long, long, core::OptimisticLap<long>>> {
+  using Lap = core::OptimisticLap<long>;
+  using Map = core::LazyHashMap<long, long, Lap>;
+
+ public:
+  LazyMemoAdapter(stm::Mode mode, std::size_t ca_slots, bool combine)
+      : StmAdapterBase(mode), lap_(stm_, ca_slots), map_(lap_, combine),
+        combine_(combine) {}
+  std::string name() const {
+    return combine_ ? "proust-lazy-memo+c" : "proust-lazy-memo";
+  }
+  Map& map() noexcept { return map_; }
+  void prefill(long k, long v) { map_.unsafe_put(k, v); }
+
+ private:
+  Lap lap_;
+  Map map_;
+  bool combine_;
+};
+
+/// Whole-transaction global lock (serializable floor/ceiling reference).
+class GlobalLockAdapter {
+  using Map = baselines::CoarseLockMap<long, long>;
+
+ public:
+  static std::string name() { return "global-lock"; }
+  template <class Body>
+  void txn(Body&& body) {
+    map_.transaction([&](Map& m) { body(m); });
+  }
+  void prefill(long k, long v) { map_.unsafe_put(k, v); }
+  stm::StatsSnapshot stats() { return {}; }
+  void reset_stats() {}
+
+ private:
+  Map map_;
+};
+
+}  // namespace proust::bench

@@ -1,0 +1,86 @@
+// Minimal flag parsing shared by the benchmark drivers:
+//   --ops=N  --key-range=N  --warmup=N  --runs=N  --threads=1,2,4
+//   --o=1,16  --u=0,0.5,1  --full  --mode=lazy|eagerwrite|eagerall
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stm/fwd.hpp"
+
+namespace proust::bench {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(const std::string& flag) const {
+    for (const auto& a : args_) {
+      if (a == "--" + flag) return true;
+      if (a.rfind("--" + flag + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  std::string get(const std::string& flag, const std::string& def) const {
+    const std::string prefix = "--" + flag + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return def;
+  }
+
+  long get_long(const std::string& flag, long def) const {
+    const std::string v = get(flag, "");
+    return v.empty() ? def : std::strtol(v.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& flag, double def) const {
+    const std::string v = get(flag, "");
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
+
+  std::vector<long> get_longs(const std::string& flag,
+                              std::vector<long> def) const {
+    const std::string v = get(flag, "");
+    if (v.empty()) return def;
+    return split_longs(v);
+  }
+
+  std::vector<double> get_doubles(const std::string& flag,
+                                  std::vector<double> def) const {
+    const std::string v = get(flag, "");
+    if (v.empty()) return def;
+    std::vector<double> out;
+    std::stringstream ss(v);
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+    return out;
+  }
+
+  stm::Mode get_mode(const std::string& flag, stm::Mode def) const {
+    const std::string v = get(flag, "");
+    if (v == "lazy") return stm::Mode::Lazy;
+    if (v == "eagerwrite") return stm::Mode::EagerWrite;
+    if (v == "eagerall") return stm::Mode::EagerAll;
+    return def;
+  }
+
+ private:
+  static std::vector<long> split_longs(const std::string& v) {
+    std::vector<long> out;
+    std::stringstream ss(v);
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(std::stol(item));
+    return out;
+  }
+
+  std::vector<std::string> args_;
+};
+
+}  // namespace proust::bench

@@ -1,0 +1,111 @@
+// The §7 measurement harness: perform `total_ops` randomly selected
+// operations on a shared map, split across `threads` threads, `ops_per_txn`
+// operations per transaction; warm up, then time several executions and
+// report mean and standard deviation — the paper's methodology with the JVM
+// warm-up replaced by harness warm-up runs.
+#pragma once
+
+#include <barrier>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_util/workload.hpp"
+#include "stm/stats.hpp"
+
+namespace proust::bench {
+
+struct RunConfig {
+  int threads = 1;
+  int ops_per_txn = 1;
+  double write_fraction = 0.5;
+  long key_range = 1024;
+  long total_ops = 100000;
+  int warmup_runs = 1;
+  int timed_runs = 3;
+  std::uint64_t seed = 42;
+  double zipf_theta = 0.0;  // 0 = uniform (the paper's setup)
+};
+
+struct RunResult {
+  double mean_ms = 0;
+  double sd_ms = 0;
+  std::uint64_t starts = 0;  // transaction attempts during timed runs
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+namespace detail {
+template <class Adapter>
+double one_run(Adapter& adapter, const RunConfig& cfg, std::uint64_t seed) {
+  const long total_txns =
+      (cfg.total_ops + cfg.ops_per_txn - 1) / cfg.ops_per_txn;
+  std::barrier sync(cfg.threads + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (int t = 0; t < cfg.threads; ++t) {
+    const long my_txns =
+        total_txns / cfg.threads + (t < total_txns % cfg.threads ? 1 : 0);
+    workers.emplace_back([&, t, my_txns] {
+      MapWorkload wl(cfg.write_fraction, cfg.key_range,
+                     seed * 0x9E3779B97F4A7C15ULL + t, cfg.zipf_theta);
+      sync.arrive_and_wait();
+      for (long i = 0; i < my_txns; ++i) {
+        adapter.txn([&](auto& view) {
+          for (int op = 0; op < cfg.ops_per_txn; ++op) {
+            const Op o = wl.next();
+            switch (o.kind) {
+              case OpKind::Get: view.get(o.key); break;
+              case OpKind::Put: view.put(o.key, o.value); break;
+              case OpKind::Remove: view.remove(o.key); break;
+            }
+          }
+        });
+      }
+      sync.arrive_and_wait();
+    });
+  }
+  sync.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  sync.arrive_and_wait();
+  const auto stop = std::chrono::steady_clock::now();
+  for (auto& w : workers) w.join();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+}  // namespace detail
+
+/// Prefill half the key range so gets hit ~50% (steady-state occupancy of
+/// the put/remove balance).
+template <class Adapter>
+void prefill_half(Adapter& adapter, long key_range) {
+  for (long k = 0; k < key_range; k += 2) adapter.prefill(k, k);
+}
+
+template <class Adapter>
+RunResult run_map_throughput(Adapter& adapter, const RunConfig& cfg) {
+  for (int i = 0; i < cfg.warmup_runs; ++i) {
+    detail::one_run(adapter, cfg, cfg.seed + 1000 + i);
+  }
+  adapter.reset_stats();
+  std::vector<double> times;
+  times.reserve(cfg.timed_runs);
+  for (int i = 0; i < cfg.timed_runs; ++i) {
+    times.push_back(detail::one_run(adapter, cfg, cfg.seed + i));
+  }
+  RunResult r;
+  double sum = 0;
+  for (double t : times) sum += t;
+  r.mean_ms = sum / times.size();
+  double var = 0;
+  for (double t : times) var += (t - r.mean_ms) * (t - r.mean_ms);
+  r.sd_ms = times.size() > 1 ? std::sqrt(var / (times.size() - 1)) : 0.0;
+  const stm::StatsSnapshot s = adapter.stats();
+  r.starts = s.starts;
+  r.commits = s.commits;
+  r.aborts = s.total_aborts();
+  return r;
+}
+
+}  // namespace proust::bench

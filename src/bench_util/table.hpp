@@ -1,0 +1,49 @@
+// Fixed-width table printing for the benchmark drivers, so the output reads
+// like the paper's figure series (one row per configuration).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace proust::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    print_row(headers_);
+    std::string rule;
+    for (const auto& h : headers_) {
+      rule += std::string(width(h), '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+  }
+
+  void row(const std::vector<std::string>& cells) { print_row(cells); }
+
+  static std::string fmt(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+
+ private:
+  static std::size_t width(const std::string& h) {
+    return h.size() < 12 ? 12 : h.size();
+  }
+
+  void print_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t w =
+          i < headers_.size() ? width(headers_[i]) : std::size_t{12};
+      std::printf("%-*s  ", static_cast<int>(w), cells[i].c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::vector<std::string> headers_;
+};
+
+}  // namespace proust::bench

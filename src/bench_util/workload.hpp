@@ -1,0 +1,87 @@
+// The §7 benchmark workload: randomly selected map operations, a `u`
+// fraction of which are writes (split evenly between put and remove), the
+// rest gets; keys uniform over a fixed range (the paper fixes 1024).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace proust::bench {
+
+enum class OpKind : std::uint8_t { Get, Put, Remove };
+
+struct Op {
+  OpKind kind;
+  long key;
+  long value;
+};
+
+/// Zipf(θ) sampler over [0, n) via inverse-CDF table lookup (binary search;
+/// the table is built once per generator). θ = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(long n, double theta) : n_(n) {
+    if (theta <= 0) return;  // uniform: no table
+    cdf_.reserve(static_cast<std::size_t>(n));
+    double sum = 0;
+    for (long i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      cdf_.push_back(sum);
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  long sample(Xoshiro256& rng) const {
+    if (cdf_.empty()) return static_cast<long>(rng.below(n_));
+    const double u = rng.uniform();
+    // Binary search for the first CDF entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<long>(lo);
+  }
+
+  bool uniform() const noexcept { return cdf_.empty(); }
+
+ private:
+  long n_;
+  std::vector<double> cdf_;  // empty means uniform
+};
+
+/// The §7 workload generator, optionally skewed: a `u` fraction of writes
+/// (split evenly put/remove), the rest gets; keys drawn uniformly (the
+/// paper's setup) or Zipf-distributed (hot-key extension for the ablations).
+class MapWorkload {
+ public:
+  MapWorkload(double write_fraction, long key_range, std::uint64_t seed,
+              double zipf_theta = 0.0)
+      : rng_(seed), u_(write_fraction), key_range_(key_range),
+        zipf_(key_range, zipf_theta) {}
+
+  Op next() {
+    const double r = rng_.uniform();
+    const long key = zipf_.sample(rng_);
+    if (r < u_ / 2) {
+      return {OpKind::Put, key, static_cast<long>(rng_.below(1u << 20))};
+    }
+    if (r < u_) return {OpKind::Remove, key, 0};
+    return {OpKind::Get, key, 0};
+  }
+
+ private:
+  Xoshiro256 rng_;
+  double u_;
+  std::uint64_t key_range_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace proust::bench

@@ -1,0 +1,57 @@
+// Bounded randomized exponential backoff, used by the STM contention manager
+// and by the pessimistic lock-allocator policy when abstract-lock acquisition
+// times out.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace proust {
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint64_t seed = 1, std::uint32_t min_spins = 32,
+                   std::uint32_t max_spins = 1u << 16) noexcept
+      : rng_(seed), limit_(min_spins), min_spins_(min_spins),
+        max_spins_(max_spins) {}
+
+  /// Spin (and eventually yield) for a randomized, exponentially growing
+  /// duration. Caps at max_spins to avoid unbounded delay.
+  void pause() noexcept {
+    const std::uint64_t spins = rng_.below(limit_) + 1;
+    for (std::uint64_t i = 0; i < spins; ++i) {
+      cpu_relax();
+    }
+    if (limit_ >= 4096) {
+      // On oversubscribed machines spinning starves the lock holder; give
+      // the scheduler a chance once the backoff window grows.
+      std::this_thread::yield();
+    }
+    if (limit_ < max_spins_) limit_ *= 2;
+  }
+
+  void reset() noexcept { limit_ = min_spins_; }
+
+  std::uint32_t current_limit() const noexcept { return limit_; }
+
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+ private:
+  Xoshiro256 rng_;
+  std::uint32_t limit_;
+  std::uint32_t min_spins_;
+  std::uint32_t max_spins_;
+};
+
+}  // namespace proust

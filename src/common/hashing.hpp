@@ -1,0 +1,49 @@
+// Hash utilities shared by the containers, the lock-allocator policies and
+// the baselines. We deliberately avoid std::hash for integers (identity on
+// libstdc++), which would make "k mod M" striping degenerate for sequential
+// key ranges and distort the false-conflict measurements.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+
+namespace proust {
+
+/// Fibonacci/avalanche mix (the finalizer from MurmurHash3/splitmix64).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Default hasher: avalanche integral keys, fall back to std::hash otherwise.
+template <class K>
+struct Hash {
+  std::size_t operator()(const K& k) const noexcept {
+    if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+      return static_cast<std::size_t>(
+          mix64(static_cast<std::uint64_t>(static_cast<std::int64_t>(k))));
+    } else {
+      return std::hash<K>{}(k);
+    }
+  }
+};
+
+inline std::size_t hash_combine(std::size_t a, std::size_t b) noexcept {
+  return mix64(a * 0x9E3779B97F4A7C15ULL + b);
+}
+
+/// Round v up to the next power of two (v >= 1).
+constexpr std::size_t next_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace proust

@@ -1,0 +1,302 @@
+// A concurrent ordered map: a lazy-synchronization skip list in the style
+// of Herlihy & Shavit (The Art of Multiprocessor Programming, cited by the
+// paper as [23]). Per-node locks, logical deletion marks, optimistic
+// traversal with validation. This is the "well-engineered thread-safe
+// library" base under the Proustian ordered map with its range conflict
+// abstraction (§1: "queries and updates to non-intersecting key ranges
+// commute").
+//
+// Operations: put/get/remove/contains, plus weakly-consistent ordered
+// traversal (range_for_each) in the manner of ConcurrentHashMap iterators —
+// the Proustian wrapper's conflict abstraction supplies the transactional
+// consistency on top.
+//
+// Memory reclamation: removed nodes are retired to a per-list pool and only
+// freed on list destruction (epoch-free design, bounded by the number of
+// removals; fine for the workloads at hand and race-free by construction).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace proust::containers {
+
+template <class K, class V, class Compare = std::less<K>>
+class ConcurrentSkipList {
+  static constexpr int kMaxLevel = 20;
+
+  struct Node {
+    Node(const K& k, const V& v, int height)
+        : key(k), value(v), top_level(height - 1) {
+      for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
+    }
+    // Head-node constructor (no key).
+    explicit Node(int height) : key{}, value{}, top_level(height - 1) {
+      for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
+    }
+
+    K key;
+    V value;  // guarded by mu
+    const int top_level;
+    std::atomic<Node*> next[kMaxLevel];
+    std::mutex mu;
+    std::atomic<bool> marked{false};       // logically deleted
+    std::atomic<bool> fully_linked{false}; // insert has completed
+    bool is_head = false;
+  };
+
+ public:
+  ConcurrentSkipList() : head_(new Node(kMaxLevel)), rng_seed_(0x5EED) {
+    head_->is_head = true;
+    head_->fully_linked.store(true, std::memory_order_release);
+  }
+
+  ~ConcurrentSkipList() {
+    Node* n = head_;
+    while (n) {
+      Node* next = n->next[0].load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+    // Retired (removed) nodes.
+    Node* r = retired_.load(std::memory_order_relaxed);
+    while (r) {
+      Node* next = r->next[kMaxLevel - 1].load(std::memory_order_relaxed);
+      delete r;
+      r = next;
+    }
+  }
+
+  ConcurrentSkipList(const ConcurrentSkipList&) = delete;
+  ConcurrentSkipList& operator=(const ConcurrentSkipList&) = delete;
+
+  /// Insert or update; returns the previous value if the key was present.
+  std::optional<V> put(const K& key, const V& value) {
+    const int top = random_level();
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    for (;;) {
+      const int found = find(key, preds, succs);
+      if (found != -1) {
+        Node* node = succs[found];
+        if (!node->marked.load(std::memory_order_acquire)) {
+          // Present (or still linking): update the value in place.
+          while (!node->fully_linked.load(std::memory_order_acquire)) {
+          }
+          std::lock_guard<std::mutex> g(node->mu);
+          if (node->marked.load(std::memory_order_acquire)) continue;
+          std::optional<V> old = node->value;
+          node->value = value;
+          return old;
+        }
+        continue;  // marked: a concurrent remove is in flight; retry
+      }
+      // Absent: link a new node, locking predecessors bottom-up.
+      std::unique_lock<std::mutex> pred_locks[kMaxLevel];
+      bool valid = true;
+      Node* last_locked = nullptr;
+      for (int level = 0; valid && level < top; ++level) {
+        Node* pred = preds[level];
+        Node* succ = succs[level];
+        if (pred != last_locked) {
+          pred_locks[level] = std::unique_lock<std::mutex>(pred->mu);
+          last_locked = pred;
+        }
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[level].load(std::memory_order_acquire) == succ;
+      }
+      if (!valid) continue;
+
+      Node* node = new Node(key, value, top);
+      for (int level = 0; level < top; ++level) {
+        node->next[level].store(succs[level], std::memory_order_relaxed);
+      }
+      for (int level = 0; level < top; ++level) {
+        preds[level]->next[level].store(node, std::memory_order_release);
+      }
+      node->fully_linked.store(true, std::memory_order_release);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+  }
+
+  std::optional<V> get(const K& key) const {
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    const int found =
+        const_cast<ConcurrentSkipList*>(this)->find(key, preds, succs);
+    if (found == -1) return std::nullopt;
+    Node* node = succs[found];
+    if (!node->fully_linked.load(std::memory_order_acquire) ||
+        node->marked.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    std::lock_guard<std::mutex> g(node->mu);
+    if (node->marked.load(std::memory_order_acquire)) return std::nullopt;
+    return node->value;
+  }
+
+  bool contains(const K& key) const { return get(key).has_value(); }
+
+  /// Remove; returns the removed value if present.
+  std::optional<V> remove(const K& key) {
+    Node* victim = nullptr;
+    bool is_marked = false;
+    int top_level = -1;
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    std::unique_lock<std::mutex> victim_lock;
+    for (;;) {
+      const int found = find(key, preds, succs);
+      if (!is_marked) {
+        if (found == -1) return std::nullopt;
+        victim = succs[found];
+        if (!victim->fully_linked.load(std::memory_order_acquire) ||
+            victim->top_level != found ||
+            victim->marked.load(std::memory_order_acquire)) {
+          if (victim->marked.load(std::memory_order_acquire)) {
+            return std::nullopt;
+          }
+          continue;
+        }
+        top_level = victim->top_level;
+        victim_lock = std::unique_lock<std::mutex>(victim->mu);
+        if (victim->marked.load(std::memory_order_acquire)) {
+          return std::nullopt;  // lost the race to another remover
+        }
+        victim->marked.store(true, std::memory_order_release);
+        is_marked = true;
+      }
+      // Lock predecessors and validate, then physically unlink.
+      std::unique_lock<std::mutex> pred_locks[kMaxLevel];
+      bool valid = true;
+      Node* last_locked = nullptr;
+      for (int level = 0; valid && level <= top_level; ++level) {
+        Node* pred = preds[level];
+        if (pred != last_locked) {
+          pred_locks[level] = std::unique_lock<std::mutex>(pred->mu);
+          last_locked = pred;
+        }
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[level].load(std::memory_order_acquire) == victim;
+      }
+      if (!valid) continue;
+
+      for (int level = top_level; level >= 0; --level) {
+        preds[level]->next[level].store(
+            victim->next[level].load(std::memory_order_acquire),
+            std::memory_order_release);
+      }
+      std::optional<V> old = victim->value;
+      victim_lock.unlock();
+      retire(victim);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return old;
+    }
+  }
+
+  /// Weakly-consistent ordered traversal of [lo, hi] (inclusive): visits
+  /// each present key at most once, in order; concurrent updates may or may
+  /// not be observed (like CHM iteration). Transactional consistency is the
+  /// wrapper's job.
+  template <class F>
+  void range_for_each(const K& lo, const K& hi, F&& f) const {
+    Compare less{};
+    const Node* node = head_->next[0].load(std::memory_order_acquire);
+    while (node) {
+      if (less(hi, node->key)) break;
+      if (!less(node->key, lo) &&
+          node->fully_linked.load(std::memory_order_acquire) &&
+          !node->marked.load(std::memory_order_acquire)) {
+        // Value reads race with in-place updates only for non-atomic V;
+        // lock briefly for a torn-free copy.
+        Node* mut = const_cast<Node*>(node);
+        std::lock_guard<std::mutex> g(mut->mu);
+        if (!node->marked.load(std::memory_order_acquire)) {
+          f(node->key, mut->value);
+        }
+      }
+      node = node->next[0].load(std::memory_order_acquire);
+    }
+  }
+
+  /// Smallest key >= lo, if any (weakly consistent).
+  std::optional<K> ceiling_key(const K& lo) const {
+    Compare less{};
+    const Node* node = head_->next[0].load(std::memory_order_acquire);
+    while (node) {
+      if (!less(node->key, lo) &&
+          node->fully_linked.load(std::memory_order_acquire) &&
+          !node->marked.load(std::memory_order_acquire)) {
+        return node->key;
+      }
+      node = node->next[0].load(std::memory_order_acquire);
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  /// Standard lazy-skip-list find: fills preds/succs at every level and
+  /// returns the highest level at which the key was found, or -1.
+  int find(const K& key, Node** preds, Node** succs) {
+    Compare less{};
+    int found = -1;
+    Node* pred = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      Node* curr = pred->next[level].load(std::memory_order_acquire);
+      while (curr && less(curr->key, key)) {
+        pred = curr;
+        curr = pred->next[level].load(std::memory_order_acquire);
+      }
+      if (found == -1 && curr && !less(key, curr->key) &&
+          !less(curr->key, key)) {
+        found = level;
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+    return found;
+  }
+
+  int random_level() {
+    thread_local Xoshiro256 rng(rng_seed_ ^
+                                std::hash<std::thread::id>{}(
+                                    std::this_thread::get_id()));
+    // Cap below kMaxLevel: the top slot is reserved as the retired-stack
+    // link (see retire()), so live towers must never occupy it.
+    int level = 1;
+    while (level < kMaxLevel - 1 && (rng() & 3) == 0) ++level;  // p = 1/4
+    return level;
+  }
+
+  /// Push onto the retired stack (reusing the node's top next pointer as the
+  /// stack link — the node is unreachable from the list at all levels it
+  /// ever occupied below kMaxLevel-1 only if its tower was shorter; use the
+  /// last slot, which towers never use because top_level < kMaxLevel).
+  void retire(Node* node) {
+    Node* head = retired_.load(std::memory_order_relaxed);
+    do {
+      node->next[kMaxLevel - 1].store(head, std::memory_order_relaxed);
+    } while (!retired_.compare_exchange_weak(head, node,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed));
+  }
+
+  Node* head_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<Node*> retired_{nullptr};
+  std::uint64_t rng_seed_;
+};
+
+}  // namespace proust::containers

@@ -1,0 +1,180 @@
+// A concurrent copy-on-write min-priority-queue with O(1) snapshots — the
+// "new base copy-on-write data structure" the paper built for its
+// LazyPriorityQueue (§4, footnote 4: no publicly available concurrent heap
+// supported efficient snapshots, so one was designed).
+//
+// Representation: a persistent leftist heap (path-copying merge, O(log n)
+// amortized per update), published through an atomic shared_ptr root and
+// updated with a CAS loop, like SnapshotHamt.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace proust::containers {
+
+template <class T, class Compare = std::less<T>>
+class CowHeap {
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+  struct Node {
+    T value;
+    int rank;
+    NodePtr left;
+    NodePtr right;
+  };
+
+ public:
+  CowHeap() : root_(nullptr), size_(0) {}
+  CowHeap(const CowHeap&) = delete;
+  CowHeap& operator=(const CowHeap&) = delete;
+
+  void insert(T value) {
+    NodePtr single = std::make_shared<const Node>(
+        Node{std::move(value), 1, nullptr, nullptr});
+    NodePtr old_root = root_.load(std::memory_order_acquire);
+    for (;;) {
+      NodePtr merged = merge(old_root, single);
+      if (root_.compare_exchange_weak(old_root, merged,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  std::optional<T> peek_min() const {
+    NodePtr r = root_.load(std::memory_order_acquire);
+    if (!r) return std::nullopt;
+    return r->value;
+  }
+
+  std::optional<T> remove_min() {
+    NodePtr old_root = root_.load(std::memory_order_acquire);
+    for (;;) {
+      if (!old_root) return std::nullopt;
+      NodePtr rest = merge(old_root->left, old_root->right);
+      if (root_.compare_exchange_weak(old_root, rest,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return old_root->value;
+      }
+    }
+  }
+
+  /// Linear membership scan (priority queues are not search structures; the
+  /// paper's contains() on a PQueue is likewise O(n) over the multiset).
+  bool contains(const T& value) const {
+    return find(root_.load(std::memory_order_acquire), value);
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return root_.load(std::memory_order_acquire) == nullptr; }
+
+  /// O(1) consistent snapshot with local (single-owner) mutation — the
+  /// shadow-copy interface for LazyPriorityQueue.
+  class Snapshot {
+   public:
+    void insert(T value) {
+      root_ = merge(root_, std::make_shared<const Node>(Node{
+                               std::move(value), 1, nullptr, nullptr}));
+      ++size_;
+    }
+    std::optional<T> peek_min() const {
+      if (!root_) return std::nullopt;
+      return root_->value;
+    }
+    std::optional<T> remove_min() {
+      if (!root_) return std::nullopt;
+      T v = root_->value;
+      root_ = merge(root_->left, root_->right);
+      --size_;
+      return v;
+    }
+    bool contains(const T& value) const { return find(root_, value); }
+    std::size_t size() const { return size_; }
+    bool empty() const { return root_ == nullptr; }
+
+    template <class F>
+    void for_each(F&& f) const {
+      walk(root_, f);
+    }
+
+   private:
+    friend class CowHeap;
+    Snapshot(NodePtr root, std::size_t size)
+        : root_(std::move(root)), size_(size) {}
+    NodePtr root_;
+    std::size_t size_;
+  };
+
+  Snapshot snapshot() const {
+    NodePtr r = root_.load(std::memory_order_acquire);
+    return Snapshot(std::move(r), size_.load(std::memory_order_acquire));
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    walk(root_.load(std::memory_order_acquire), f);
+  }
+
+ private:
+  static int rank_of(const NodePtr& n) noexcept { return n ? n->rank : 0; }
+
+  static NodePtr merge(const NodePtr& a, const NodePtr& b) {
+    if (!a) return b;
+    if (!b) return a;
+    Compare less{};
+    const NodePtr& top = less(b->value, a->value) ? b : a;
+    const NodePtr& other = less(b->value, a->value) ? a : b;
+    NodePtr merged_right = merge(top->right, other);
+    NodePtr l = top->left;
+    NodePtr r = std::move(merged_right);
+    if (rank_of(l) < rank_of(r)) std::swap(l, r);
+    return std::make_shared<const Node>(
+        Node{top->value, rank_of(r) + 1, std::move(l), std::move(r)});
+  }
+
+  // Explicit-stack traversals: a leftist heap's *left* spine can be O(n)
+  // deep, so recursion would overflow the stack on large heaps.
+  static bool find(const NodePtr& root, const T& value) {
+    Compare less{};
+    std::vector<const Node*> stack;
+    if (root) stack.push_back(root.get());
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (less(value, n->value)) continue;  // min-heap property prune
+      if (!less(n->value, value)) return true;  // equivalent under Compare
+      if (n->left) stack.push_back(n->left.get());
+      if (n->right) stack.push_back(n->right.get());
+    }
+    return false;
+  }
+
+  template <class F>
+  static void walk(const NodePtr& root, F& f) {
+    std::vector<const Node*> stack;
+    if (root) stack.push_back(root.get());
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      f(n->value);
+      if (n->left) stack.push_back(n->left.get());
+      if (n->right) stack.push_back(n->right.get());
+    }
+  }
+
+  std::atomic<NodePtr> root_;
+  std::atomic<std::size_t> size_;
+};
+
+}  // namespace proust::containers

@@ -1,0 +1,82 @@
+// AbstractLock (Listing 1): the single entry point through which a Proustian
+// wrapper runs a base-structure operation. It
+//   1. acquires the requested abstract locks via the LAP (for the optimistic
+//      LAP this *is* the conflict-abstraction write/read of §3);
+//   2. runs the operation;
+//   3. under the eager strategy, registers the caller's inverse as a
+//      rollback handler (run in reverse order on abort, while the
+//      transaction's synchronization is still held);
+//   4. under the lazy strategy, performs the Theorem 5.3 read-after-op on
+//      each write-mode lock's CA location.
+//
+// The choice of optimistic vs pessimistic conflict resolution stays with the
+// LockAllocatorPolicy passed at construction, exactly as in the paper.
+#pragma once
+
+#include <initializer_list>
+#include <type_traits>
+#include <utility>
+
+#include "core/lap.hpp"
+#include "core/update_strategy.hpp"
+#include "stm/stm.hpp"
+
+namespace proust::core {
+
+struct NoInverse {};
+
+template <class Key, LockAllocatorPolicy<Key> Lap>
+class AbstractLock {
+ public:
+  AbstractLock(Lap& lap, UpdateStrategy strategy) noexcept
+      : lap_(&lap), strategy_(strategy) {}
+
+  UpdateStrategy strategy() const noexcept { return strategy_; }
+  Lap& lap() noexcept { return *lap_; }
+
+  /// apply(tx, {locks...})(op) — no inverse (reads, or lazy updates whose
+  /// rollback is "drop the replay log").
+  template <class F>
+  auto apply(stm::Txn& tx, std::initializer_list<LockFor<Key>> locks, F&& op) {
+    return apply(tx, locks, std::forward<F>(op), NoInverse{});
+  }
+
+  /// apply(tx, {locks...})(op)(inverse) — eager updates. `inverse` receives
+  /// the operation's result (like Listing 1's invF: Z => Unit) and must
+  /// restore the base structure's abstract state.
+  template <class F, class Inv>
+  auto apply(stm::Txn& tx, std::initializer_list<LockFor<Key>> locks, F&& op,
+             Inv&& inverse) {
+    for (const LockFor<Key>& l : locks) lap_->acquire(tx, l.key, l.write);
+
+    using R = std::invoke_result_t<F&>;
+    if constexpr (std::is_void_v<R>) {
+      op();
+      if constexpr (!std::is_same_v<std::decay_t<Inv>, NoInverse>) {
+        tx.on_abort([inv = std::forward<Inv>(inverse)]() { inv(); });
+      }
+      read_after(tx, locks);
+    } else {
+      R result = op();
+      if constexpr (!std::is_same_v<std::decay_t<Inv>, NoInverse>) {
+        tx.on_abort(
+            [inv = std::forward<Inv>(inverse), result]() { inv(result); });
+      }
+      read_after(tx, locks);
+      return result;
+    }
+  }
+
+ private:
+  void read_after(stm::Txn& tx, std::initializer_list<LockFor<Key>> locks) {
+    if (strategy_ != UpdateStrategy::Lazy) return;
+    for (const LockFor<Key>& l : locks) {
+      if (l.write) lap_->post_op(tx, l.key, l.write);
+    }
+  }
+
+  Lap* lap_;
+  UpdateStrategy strategy_;
+};
+
+}  // namespace proust::core

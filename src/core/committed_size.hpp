@@ -1,0 +1,40 @@
+// Reified committed size (Listing 2's committedSize). Size is deliberately
+// *not* part of the conflict-abstracted abstract state — otherwise every
+// size-changing operation would conflict with every other, serializing
+// update-heavy workloads. Instead each transaction accumulates a local delta
+// that is folded into an atomic counter after the commit point; aborted
+// attempts drop their delta with the transaction locals.
+#pragma once
+
+#include <atomic>
+
+#include "stm/stm.hpp"
+
+namespace proust::core {
+
+class CommittedSize {
+ public:
+  long load() const noexcept { return n_.load(std::memory_order_acquire); }
+
+  /// Record a +1/-1 change that becomes visible iff `tx` commits.
+  void bump(stm::Txn& tx, long d) {
+    const bool fresh = !tx.has_local(this);
+    long& delta = tx.local<long>(this, [] { return 0L; });
+    if (fresh) {
+      tx.on_commit([this, &delta] {
+        n_.fetch_add(delta, std::memory_order_acq_rel);
+      });
+    }
+    delta += d;
+  }
+
+  /// Non-transactional adjustment (quiescent setup only).
+  void unsafe_add(long d) noexcept {
+    n_.fetch_add(d, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<long> n_{0};
+};
+
+}  // namespace proust::core

@@ -1,0 +1,161 @@
+// Lock allocator policies (§2): the pluggable concurrency-control half of
+// the Proust design space. A LAP maps abstract-lock invocations on keys to
+// concrete synchronization:
+//
+//   OptimisticLap  — a conflict abstraction (§3): an M-slot region of
+//                    STM-managed locations; Read(k) becomes a validated STM
+//                    read of mem[h(k) mod M], Write(k) becomes an STM write
+//                    of a fresh unique stamp. Non-commuting operations are
+//                    thereby guaranteed to perform conflicting STM accesses
+//                    (Definition 3.1), and the underlying STM detects and
+//                    resolves them with its native machinery.
+//
+//   PessimisticLap — Boosting-style abstract locks: a striped table of
+//                    re-entrant reader-writer locks held in two-phase style
+//                    and released when the transaction finishes (either
+//                    outcome). Acquisition is bounded; a timeout aborts the
+//                    transaction, which is how deadlocks among abstract
+//                    locks (invisible to the STM's contention manager — the
+//                    "weak coupling" §7 laments) are broken.
+//
+// A LAP satisfies:
+//   void acquire(stm::Txn&, const Key&, bool write);   // before the base op
+//   void post_op(stm::Txn&, const Key&, bool write);   // after it (lazy CA read-back)
+#pragma once
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hashing.hpp"
+#include "stm/stm.hpp"
+#include "sync/reentrant_rw_lock.hpp"
+
+namespace proust::core {
+
+template <class P, class Key>
+concept LockAllocatorPolicy = requires(P p, stm::Txn& tx, const Key& k) {
+  { p.acquire(tx, k, true) } -> std::same_as<void>;
+  { p.post_op(tx, k, true) } -> std::same_as<void>;
+  { p.stm() } -> std::same_as<stm::Stm&>;
+};
+
+/// The optimistic LAP: conflict abstraction over an STM-managed region.
+/// `M` (the region size) trades memory for false conflicts exactly like
+/// lock striping (§3); the striping ablation bench sweeps it.
+template <class Key, class Hasher = proust::Hash<Key>>
+class OptimisticLap {
+ public:
+  OptimisticLap(stm::Stm& stm, std::size_t m)
+      : stm_(&stm), mem_(next_pow2(m)) {}
+
+  OptimisticLap(const OptimisticLap&) = delete;
+  OptimisticLap& operator=(const OptimisticLap&) = delete;
+
+  void acquire(stm::Txn& tx, const Key& key, bool write) {
+    stm::Var<std::uint64_t>& loc = slot(key);
+    if (write) {
+      tx.write(loc, tx.fresh_stamp());
+    } else {
+      tx.read_validate(loc);
+    }
+  }
+
+  /// Theorem 5.3's read-after-operation: re-validate that no conflicting
+  /// transaction committed between this transaction's shadow-copy snapshot
+  /// and now. Called by AbstractLock for write-mode locks under the lazy
+  /// update strategy.
+  void post_op(stm::Txn& tx, const Key& key, bool /*write*/) {
+    tx.read_validate(slot(key));
+  }
+
+  stm::Stm& stm() noexcept { return *stm_; }
+  std::size_t region_size() const noexcept { return mem_.size(); }
+
+ private:
+  stm::Var<std::uint64_t>& slot(const Key& key) {
+    return mem_[Hasher{}(key) & (mem_.size() - 1)];
+  }
+
+  stm::Stm* stm_;
+  std::vector<stm::Var<std::uint64_t>> mem_;
+};
+
+/// The pessimistic LAP: striped re-entrant RW abstract locks, two-phase,
+/// released on transaction finish. `kind_of(key)` lets a wrapper choose the
+/// group discipline per abstract-state element (the PQueueMultiSet trick).
+template <class Key, class Hasher = proust::Hash<Key>>
+class PessimisticLap {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  PessimisticLap(stm::Stm& stm, std::size_t stripes,
+                 std::chrono::nanoseconds timeout = std::chrono::milliseconds(2))
+      : stm_(&stm), timeout_(timeout) {
+    locks_.reserve(next_pow2(stripes));
+    for (std::size_t i = 0; i < next_pow2(stripes); ++i) {
+      locks_.push_back(std::make_unique<sync::ReentrantRwLock>(
+          sync::LockKind::kReaderWriter));
+    }
+  }
+
+  /// Construct with a per-stripe lock discipline chooser (index → kind).
+  template <class KindFn>
+  PessimisticLap(stm::Stm& stm, std::size_t stripes, KindFn&& kind_of,
+                 std::chrono::nanoseconds timeout)
+      : stm_(&stm), timeout_(timeout) {
+    const std::size_t n = next_pow2(stripes);
+    locks_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      locks_.push_back(std::make_unique<sync::ReentrantRwLock>(kind_of(i)));
+    }
+  }
+
+  PessimisticLap(const PessimisticLap&) = delete;
+  PessimisticLap& operator=(const PessimisticLap&) = delete;
+
+  void acquire(stm::Txn& tx, const Key& key, bool write) {
+    sync::ReentrantRwLock& lock = *locks_[stripe(key)];
+    remember_for_release(tx, &lock);
+    if (!lock.try_acquire(&tx, write, timeout_)) {
+      // Deadlock/timeout recovery: abort, drop all abstract locks (via the
+      // finish hook), back off, retry.
+      tx.retry(stm::AbortReason::AbstractLockTimeout);
+    }
+  }
+
+  void post_op(stm::Txn&, const Key&, bool) {}  // locks are held to finish
+
+  stm::Stm& stm() noexcept { return *stm_; }
+
+ private:
+  std::size_t stripe(const Key& key) const {
+    return Hasher{}(key) & (locks_.size() - 1);
+  }
+
+  /// Track the stripes this transaction touched; hook their release (both
+  /// outcomes) exactly once per transaction.
+  void remember_for_release(stm::Txn& tx, sync::ReentrantRwLock* lock) {
+    using Touched = std::vector<sync::ReentrantRwLock*>;
+    const bool fresh = !tx.has_local(this);
+    Touched& touched = tx.local<Touched>(
+        static_cast<const void*>(this), [] { return Touched{}; });
+    if (fresh) {
+      tx.on_finish(
+          [&touched, owner = static_cast<const void*>(&tx)](stm::Outcome) {
+            for (sync::ReentrantRwLock* l : touched) l->release_all(owner);
+          });
+    }
+    // release_all is idempotent, so occasional duplicates are harmless;
+    // still skip the common same-stripe-again case cheaply.
+    if (touched.empty() || touched.back() != lock) touched.push_back(lock);
+  }
+
+  stm::Stm* stm_;
+  std::chrono::nanoseconds timeout_;
+  std::vector<std::unique_ptr<sync::ReentrantRwLock>> locks_;
+};
+
+}  // namespace proust::core

@@ -1,0 +1,33 @@
+// The priority queue's abstract state decomposition (Listing 3): every
+// operation is characterized by its effect on PQueueMin (the minimum) and
+// PQueueMultiSet (the bag of elements). Expressing commutativity over these
+// two abstract-state elements takes a number of rules linear in the state
+// space, instead of quadratic in the number of methods (§6).
+#pragma once
+
+#include <cstddef>
+
+#include "sync/reentrant_rw_lock.hpp"
+
+namespace proust::core {
+
+enum class PQueueState : std::size_t { Min = 0, MultiSet = 1 };
+
+/// Identity hasher so a 2-stripe LAP maps each abstract-state element to its
+/// own lock/CA slot.
+struct PQueueStateHasher {
+  std::size_t operator()(PQueueState s) const noexcept {
+    return static_cast<std::size_t>(s);
+  }
+};
+
+/// Per-stripe lock discipline for the pessimistic LAP: PQueueMin is a
+/// classic readers/writer lock; PQueueMultiSet admits multiple writers OR
+/// multiple readers but not both — commuting inserts need not serialize.
+inline sync::LockKind pqueue_lock_kind(std::size_t stripe) noexcept {
+  return stripe == static_cast<std::size_t>(PQueueState::MultiSet)
+             ? sync::LockKind::kGroup
+             : sync::LockKind::kReaderWriter;
+}
+
+}  // namespace proust::core

@@ -1,0 +1,261 @@
+// Replay wrappers and shadow copies (§4): the machinery behind the lazy
+// update strategy. Pending ADT operations are queued in a per-transaction
+// log; the transaction observes their results through a *shadow copy*; at
+// commit the log is applied to the shared base structure behind the STM's
+// native locks (our Txn::on_commit_locked hook). On abort the log simply
+// dies with the transaction attempt.
+//
+// Two shadow-copy implementations, as in the paper:
+//   SnapshotReplayLog — for bases with fast-snapshot semantics (SnapshotHamt,
+//                       CowHeap): speculative operations run on an O(1)
+//                       snapshot; the logged operations are replayed onto the
+//                       shared copy at commit.
+//   MemoReplayLog     — for key-value bases whose operation results are
+//                       computable from the initial state plus pending
+//                       operations: a transaction-local memo table per key.
+//                       Optionally *log-combining*: replay one synthetic
+//                       update carrying only the final state of each touched
+//                       key (the optimization at the bottom of Figure 4).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "stm/stm.hpp"
+
+namespace proust::core {
+
+template <class Base>
+class SnapshotReplayLog {
+ public:
+  using Snapshot = typename Base::Snapshot;
+
+  explicit SnapshotReplayLog(Base& base)
+      : base_(&base), snap_(base.snapshot()) {}
+
+  Snapshot& shadow() noexcept { return snap_; }
+  const Snapshot& shadow() const noexcept { return snap_; }
+
+  /// Run `op` against the shadow copy now (producing the value the
+  /// transaction observes) and queue it for replay against the base at
+  /// commit. `op` must be a generic callable valid on both Snapshot& and
+  /// Base& — the wrappers' operations are, by construction.
+  template <class Op>
+  auto execute(Op op) {
+    log_.push_back([op](Base& b) { (void)op(b); });
+    if constexpr (std::is_void_v<decltype(op(snap_))>) {
+      op(snap_);
+    } else {
+      return op(snap_);
+    }
+  }
+
+  /// Apply the queued operations to the shared base. Called from
+  /// Txn::on_commit_locked; must not throw.
+  void replay() noexcept {
+    for (auto& entry : log_) entry(*base_);
+  }
+
+  std::size_t pending() const noexcept { return log_.size(); }
+
+ private:
+  Base* base_;
+  Snapshot snap_;
+  std::vector<std::function<void(Base&)>> log_;
+};
+
+/// Snapshot shadow copy specialized for map-like bases, with optional log
+/// combining — §9's future-work extension "from memoized replays to
+/// snapshot replays", implemented. Without combining it replays the
+/// operation sequence (like SnapshotReplayLog); with combining it replays
+/// one synthetic update per dirty key, reading the key's final value out of
+/// the snapshot.
+template <class Base, class K, class V>
+class SnapshotMapReplayLog {
+ public:
+  using Snapshot = typename Base::Snapshot;
+
+  SnapshotMapReplayLog(Base& base, bool combine)
+      : base_(&base), snap_(base.snapshot()), combine_(combine) {}
+
+  Snapshot& shadow() noexcept { return snap_; }
+  const Snapshot& shadow() const noexcept { return snap_; }
+
+  std::optional<V> get(const K& key) const { return snap_.get(key); }
+  bool contains(const K& key) const { return snap_.contains(key); }
+
+  std::optional<V> put(const K& key, const V& value) {
+    mark_dirty(key);
+    if (!combine_) ops_.push_back(Op{key, value});
+    return snap_.put(key, value);
+  }
+
+  std::optional<V> remove(const K& key) {
+    mark_dirty(key);
+    if (!combine_) ops_.push_back(Op{key, std::nullopt});
+    return snap_.remove(key);
+  }
+
+  void replay() noexcept {
+    if (combine_) {
+      for (const K& key : dirty_) {
+        if (std::optional<V> v = snap_.get(key)) {
+          base_->put(key, *v);
+        } else {
+          base_->remove(key);
+        }
+      }
+    } else {
+      for (const Op& op : ops_) {
+        if (op.value) {
+          base_->put(op.key, *op.value);
+        } else {
+          base_->remove(op.key);
+        }
+      }
+    }
+  }
+
+  std::size_t pending() const noexcept {
+    return combine_ ? dirty_.size() : ops_.size();
+  }
+
+ private:
+  struct Op {
+    K key;
+    std::optional<V> value;
+  };
+
+  void mark_dirty(const K& key) {
+    if (combine_) dirty_.insert(key);
+  }
+
+  Base* base_;
+  Snapshot snap_;
+  bool combine_;
+  std::unordered_set<K> dirty_;
+  std::vector<Op> ops_;
+};
+
+/// Memoizing shadow copy for map-like bases (get/put/remove on K→V).
+template <class Base, class K, class V>
+class MemoReplayLog {
+ public:
+  MemoReplayLog(Base& base, bool combine) : base_(&base), combine_(combine) {}
+
+  std::optional<V> get(const K& key) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second.value;
+    std::optional<V> v = base_->get(key);
+    cache_.emplace(key, Line{v, false});
+    return v;
+  }
+
+  bool contains(const K& key) { return get(key).has_value(); }
+
+  std::optional<V> put(const K& key, const V& value) {
+    std::optional<V> old = get(key);
+    cache_[key] = Line{value, true};
+    if (!combine_) ops_.push_back(Op{key, value});
+    return old;
+  }
+
+  std::optional<V> remove(const K& key) {
+    std::optional<V> old = get(key);
+    cache_[key] = Line{std::nullopt, true};
+    if (!combine_) ops_.push_back(Op{key, std::nullopt});
+    return old;
+  }
+
+  /// Commit-time application. With combining, one synthetic update per dirty
+  /// key (final state only); without, the full operation sequence — the cost
+  /// difference is what the Figure 4 bottom block measures.
+  void replay() noexcept {
+    if (combine_) {
+      for (auto& [key, line] : cache_) {
+        if (!line.dirty) continue;
+        if (line.value) {
+          base_->put(key, *line.value);
+        } else {
+          base_->remove(key);
+        }
+      }
+    } else {
+      for (auto& op : ops_) {
+        if (op.value) {
+          base_->put(op.key, *op.value);
+        } else {
+          base_->remove(op.key);
+        }
+      }
+    }
+  }
+
+  std::size_t pending() const noexcept {
+    if (combine_) {
+      std::size_t n = 0;
+      for (auto& [k, line] : cache_) n += line.dirty ? 1 : 0;
+      return n;
+    }
+    return ops_.size();
+  }
+
+ private:
+  struct Line {
+    std::optional<V> value;  // nullopt = (pending) removed
+    bool dirty;
+  };
+  struct Op {
+    K key;
+    std::optional<V> value;  // nullopt = remove
+  };
+
+  Base* base_;
+  bool combine_;
+  std::unordered_map<K, Line> cache_;
+  std::vector<Op> ops_;
+};
+
+/// Per-wrapper handle managing the transaction-local lifecycle of a replay
+/// log: lazily constructed on the first update (ReplayLog.construct's
+/// TxnLocal in Figure 2b), with commit-time replay registered exactly once.
+template <class Log>
+class TxnLogHandle {
+ public:
+  /// Get or create this wrapper's log within `tx`. `make` builds the log on
+  /// first use.
+  template <class Make>
+  Log& log(stm::Txn& tx, Make&& make) {
+    const bool fresh = !tx.has_local(this);
+    if (fresh) {
+      // Pin the transaction's snapshot BEFORE taking the shadow copy: the
+      // Theorem 5.3 read-after checks must detect any conflicting commit
+      // that postdates it, so the read version may no longer slide forward
+      // (see Txn::freeze_snapshot).
+      tx.freeze_snapshot();
+    }
+    Log& l = tx.local<Log>(this, std::forward<Make>(make));
+    if (fresh) {
+      tx.on_commit_locked([&l] { l.replay(); });
+    }
+    return l;
+  }
+
+  /// The readOnly optimization of Figure 2b: if this transaction has not
+  /// touched the wrapper yet, run `f` directly against `base` (no log, no
+  /// snapshot); otherwise run it against the established shadow.
+  template <class Base, class Make, class F>
+  auto read_only(stm::Txn& tx, Base& base, Make&& make, F&& f) {
+    if (!tx.has_local(this)) return f(base);
+    return f(log(tx, std::forward<Make>(make)).shadow());
+  }
+
+  bool engaged(const stm::Txn& tx) const { return tx.has_local(this); }
+};
+
+}  // namespace proust::core

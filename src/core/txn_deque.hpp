@@ -1,0 +1,167 @@
+// A Proustian double-ended queue. Abstract state decomposes into Front and
+// Back elements (plus the implicit middle): push/pop at opposite ends
+// commute whenever the deque is long enough that they cannot observe each
+// other — the same near-emptiness analysis as the FIFO queue's Head/Tail,
+// applied symmetrically.
+//
+// Conflict abstraction:
+//   push_front / pop_front : Write(Front), plus Read(Back) when the deque
+//                            holds at most one element at invocation (the
+//                            two ends can interact);
+//   push_back / pop_back   : symmetric.
+// The emptiness guard is racy, so pops that unexpectedly find the deque
+// empty grow their lock set with the opposite end's Read and retry once —
+// the same two-phase growth trick as TxnQueue::deq.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/abstract_lock.hpp"
+#include "core/committed_size.hpp"
+#include "core/update_strategy.hpp"
+#include "stm/stm.hpp"
+
+namespace proust::core {
+
+enum class DequeState : std::size_t { Front = 0, Back = 1 };
+
+struct DequeStateHasher {
+  std::size_t operator()(DequeState s) const noexcept {
+    return static_cast<std::size_t>(s);
+  }
+};
+
+template <class T, LockAllocatorPolicy<DequeState> Lap>
+class TxnDeque {
+  /// Thread-safe base: a mutex-protected deque with identity-tagged entries
+  /// for exact inverse removal.
+  class Base {
+   public:
+    std::uint64_t push(bool front, const T& v) {
+      std::lock_guard<std::mutex> g(mu_);
+      const std::uint64_t id = next_id_++;
+      if (front) {
+        q_.push_front(Entry{v, id});
+      } else {
+        q_.push_back(Entry{v, id});
+      }
+      return id;
+    }
+    void push_with_id(bool front, const T& v, std::uint64_t id) {
+      std::lock_guard<std::mutex> g(mu_);
+      if (front) {
+        q_.push_front(Entry{v, id});
+      } else {
+        q_.push_back(Entry{v, id});
+      }
+    }
+    std::optional<std::pair<T, std::uint64_t>> pop(bool front) {
+      std::lock_guard<std::mutex> g(mu_);
+      if (q_.empty()) return std::nullopt;
+      Entry e = front ? q_.front() : q_.back();
+      if (front) {
+        q_.pop_front();
+      } else {
+        q_.pop_back();
+      }
+      return std::make_pair(e.value, e.id);
+    }
+    bool erase_by_id(std::uint64_t id) {
+      std::lock_guard<std::mutex> g(mu_);
+      for (auto it = q_.begin(); it != q_.end(); ++it) {
+        if (it->id == id) {
+          q_.erase(it);
+          return true;
+        }
+      }
+      return false;
+    }
+    std::size_t size() const {
+      std::lock_guard<std::mutex> g(mu_);
+      return q_.size();
+    }
+
+   private:
+    struct Entry {
+      T value;
+      std::uint64_t id;
+    };
+    mutable std::mutex mu_;
+    std::deque<Entry> q_;
+    std::uint64_t next_id_ = 1;
+  };
+
+ public:
+  explicit TxnDeque(Lap& lap) : lock_(lap, UpdateStrategy::Eager) {}
+
+  void push_front(stm::Txn& tx, const T& v) { push(tx, /*front=*/true, v); }
+  void push_back(stm::Txn& tx, const T& v) { push(tx, /*front=*/false, v); }
+
+  std::optional<T> pop_front(stm::Txn& tx) { return pop(tx, /*front=*/true); }
+  std::optional<T> pop_back(stm::Txn& tx) { return pop(tx, /*front=*/false); }
+
+  long size() const noexcept { return size_.load(); }
+
+  void unsafe_push_back(const T& v) {
+    q_.push(false, v);
+    size_.unsafe_add(1);
+  }
+
+ private:
+  static DequeState end_of(bool front) noexcept {
+    return front ? DequeState::Front : DequeState::Back;
+  }
+  static DequeState other_end(bool front) noexcept {
+    return front ? DequeState::Back : DequeState::Front;
+  }
+
+  void push(stm::Txn& tx, bool front, const T& v) {
+    const bool near_empty = q_.size() <= 1;
+    auto op = [&] {
+      const std::uint64_t id = q_.push(front, v);
+      size_.bump(tx, +1);
+      return id;
+    };
+    auto inv = [this](std::uint64_t id) { q_.erase_by_id(id); };
+    if (near_empty) {
+      lock_.apply(tx, {Write(end_of(front)), Read(other_end(front))}, op, inv);
+    } else {
+      lock_.apply(tx, {Write(end_of(front))}, op, inv);
+    }
+  }
+
+  std::optional<T> pop(stm::Txn& tx, bool front) {
+    const bool near_empty = q_.size() <= 1;
+    auto op = [&]() -> std::optional<std::pair<T, std::uint64_t>> {
+      auto e = q_.pop(front);
+      if (e) size_.bump(tx, -1);
+      return e;
+    };
+    auto inv = [this, front](const std::optional<std::pair<T, std::uint64_t>>& e) {
+      if (e) q_.push_with_id(front, e->first, e->second);
+    };
+    std::optional<std::pair<T, std::uint64_t>> r;
+    if (near_empty) {
+      r = lock_.apply(tx, {Write(end_of(front)), Read(other_end(front))}, op,
+                      inv);
+    } else {
+      r = lock_.apply(tx, {Write(end_of(front))}, op, inv);
+      if (!r) {
+        // Raced to empty: grow the lock set with the other end and retry
+        // once (the pop now conflicts with pushes at either end).
+        r = lock_.apply(tx, {Read(other_end(front))}, op, inv);
+      }
+    }
+    if (!r) return std::nullopt;
+    return r->first;
+  }
+
+  AbstractLock<DequeState, Lap> lock_;
+  Base q_;
+  CommittedSize size_;
+};
+
+}  // namespace proust::core

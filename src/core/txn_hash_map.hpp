@@ -1,0 +1,124 @@
+// The eager Proustian map (Figure 2a): wraps a thread-safe StripedHashMap,
+// mutating it immediately inside the transaction and registering a declared
+// inverse for each update as a rollback handler. The LAP passed at
+// construction decides optimistic (conflict abstraction) vs pessimistic
+// (abstract locks) conflict resolution.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "containers/striped_hash_map.hpp"
+#include "core/abstract_lock.hpp"
+#include "core/committed_size.hpp"
+#include "core/update_strategy.hpp"
+#include "stm/stm.hpp"
+
+namespace proust::core {
+
+template <class K, class V, LockAllocatorPolicy<K> Lap>
+class TxnHashMap {
+ public:
+  /// `combine_undo` enables undo-log combining — §9's future-work extension
+  /// of the log-combining optimization "to undo logs": instead of one
+  /// inverse per operation, record each key's *original* value on first
+  /// touch and restore it once on abort (O(distinct keys), not O(ops)).
+  explicit TxnHashMap(Lap& lap, std::size_t stripes = 64,
+                      bool combine_undo = false)
+      : lock_(lap, UpdateStrategy::Eager), map_(stripes),
+        combine_undo_(combine_undo) {}
+
+  /// Insert or replace. Returns the previous mapping, as Figure 2a's put.
+  std::optional<V> put(stm::Txn& tx, const K& key, const V& value) {
+    if (combine_undo_) {
+      return lock_.apply(tx, {Write(key)}, [&] {
+        std::optional<V> ret = map_.put(key, value);
+        if (!ret) size_.bump(tx, +1);
+        remember_original(tx, key, ret);
+        return ret;
+      });
+    }
+    return lock_.apply(
+        tx, {Write(key)},
+        [&] {
+          std::optional<V> ret = map_.put(key, value);
+          if (!ret) size_.bump(tx, +1);
+          return ret;
+        },
+        [this, key](const std::optional<V>& old) {
+          if (old) {
+            map_.put(key, *old);
+          } else {
+            map_.remove(key);
+          }
+        });
+  }
+
+  std::optional<V> get(stm::Txn& tx, const K& key) {
+    return lock_.apply(tx, {Read(key)}, [&] { return map_.get(key); });
+  }
+
+  bool contains(stm::Txn& tx, const K& key) {
+    return lock_.apply(tx, {Read(key)}, [&] { return map_.contains(key); });
+  }
+
+  std::optional<V> remove(stm::Txn& tx, const K& key) {
+    if (combine_undo_) {
+      return lock_.apply(tx, {Write(key)}, [&] {
+        std::optional<V> ret = map_.remove(key);
+        if (ret) size_.bump(tx, -1);
+        remember_original(tx, key, ret);
+        return ret;
+      });
+    }
+    return lock_.apply(
+        tx, {Write(key)},
+        [&] {
+          std::optional<V> ret = map_.remove(key);
+          if (ret) size_.bump(tx, -1);
+          return ret;
+        },
+        [this, key](const std::optional<V>& old) {
+          if (old) map_.put(key, *old);
+        });
+  }
+
+  /// Committed size (reified out of the abstract state; see Listing 2).
+  long size() const noexcept { return size_.load(); }
+
+  /// Quiescent (non-transactional) population, for benchmark setup.
+  void unsafe_put(const K& key, const V& value) {
+    if (!map_.put(key, value)) size_.unsafe_add(1);
+  }
+
+ private:
+  using Originals = std::unordered_map<K, std::optional<V>>;
+
+  /// Record `old` as key's pre-transaction value unless one is already
+  /// recorded; the single abort hook restores every touched key once.
+  void remember_original(stm::Txn& tx, const K& key,
+                         const std::optional<V>& old) {
+    const bool fresh = !tx.has_local(this);
+    Originals& originals =
+        tx.local<Originals>(this, [] { return Originals{}; });
+    if (fresh) {
+      tx.on_abort([this, &originals] {
+        for (const auto& [k, ov] : originals) {
+          if (ov) {
+            map_.put(k, *ov);
+          } else {
+            map_.remove(k);
+          }
+        }
+      });
+    }
+    originals.try_emplace(key, old);
+  }
+
+  AbstractLock<K, Lap> lock_;
+  containers::StripedHashMap<K, V> map_;
+  CommittedSize size_;
+  bool combine_undo_ = false;
+};
+
+}  // namespace proust::core

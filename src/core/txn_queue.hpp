@@ -1,0 +1,142 @@
+// A Proustian FIFO queue (an extension beyond the paper's worked examples,
+// in the spirit of §9's "wrap arbitrary data structures"). Abstract state is
+// decomposed like the priority queue's: a Head element and a Tail element.
+//
+// Conflict abstraction:
+//   enq(v) : Write(Tail)                         — enqueues at the tail;
+//   deq()  : Write(Head), plus Read(Tail) when the queue is empty at
+//            invocation — deq on an empty queue does not commute with enq
+//            (the enq decides whether deq returns a value).
+// Two enqs at the tail target Tail; under the pessimistic LAP the Tail
+// stripe uses the group discipline so enqs don't serialize... except that
+// FIFO enq/enq do NOT commute (they decide relative order), so here Tail is
+// a plain writer-exclusive stripe. The contrast with the priority queue's
+// MultiSet is deliberate: the abstract-state decomposition makes such
+// distinctions explicit per element.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/abstract_lock.hpp"
+#include "core/committed_size.hpp"
+#include "core/update_strategy.hpp"
+#include "stm/stm.hpp"
+
+namespace proust::core {
+
+enum class QueueState : std::size_t { Head = 0, Tail = 1 };
+
+struct QueueStateHasher {
+  std::size_t operator()(QueueState s) const noexcept {
+    return static_cast<std::size_t>(s);
+  }
+};
+
+template <class T, LockAllocatorPolicy<QueueState> Lap>
+class TxnQueue {
+  /// The thread-safe base: a mutex-protected deque with identity-tagged
+  /// entries so enq's inverse can excise exactly its own element.
+  class Base {
+   public:
+    std::uint64_t push_back(const T& v) {
+      std::lock_guard<std::mutex> g(mu_);
+      const std::uint64_t id = next_id_++;
+      q_.push_back(Entry{v, id});
+      return id;
+    }
+    void push_front(const T& v, std::uint64_t id) {
+      std::lock_guard<std::mutex> g(mu_);
+      q_.push_front(Entry{v, id});
+    }
+    std::optional<std::pair<T, std::uint64_t>> pop_front() {
+      std::lock_guard<std::mutex> g(mu_);
+      if (q_.empty()) return std::nullopt;
+      Entry e = q_.front();
+      q_.pop_front();
+      return std::make_pair(e.value, e.id);
+    }
+    bool erase_by_id(std::uint64_t id) {
+      std::lock_guard<std::mutex> g(mu_);
+      for (auto it = q_.rbegin(); it != q_.rend(); ++it) {
+        if (it->id == id) {
+          q_.erase(std::next(it).base());
+          return true;
+        }
+      }
+      return false;
+    }
+    std::size_t size() const {
+      std::lock_guard<std::mutex> g(mu_);
+      return q_.size();
+    }
+
+   private:
+    struct Entry {
+      T value;
+      std::uint64_t id;
+    };
+    mutable std::mutex mu_;
+    std::deque<Entry> q_;
+    std::uint64_t next_id_ = 1;
+  };
+
+ public:
+  explicit TxnQueue(Lap& lap) : lock_(lap, UpdateStrategy::Eager) {}
+
+  void enq(stm::Txn& tx, const T& value) {
+    lock_.apply(
+        tx, {Write(QueueState::Tail)},
+        [&] {
+          const std::uint64_t id = q_.push_back(value);
+          size_.bump(tx, +1);
+          return id;
+        },
+        [this](std::uint64_t id) { q_.erase_by_id(id); });
+  }
+
+  std::optional<T> deq(stm::Txn& tx) {
+    // Emptiness guard evaluated at invocation: a deq that observes an empty
+    // queue does not commute with enq, so it must Read(Tail). The guard is
+    // racy (the queue may drain between the check and the pop), so if the
+    // pop unexpectedly finds the queue empty we *grow* the lock set with
+    // Read(Tail) — still two-phase — and pop once more under it.
+    const bool maybe_empty = q_.size() == 0;
+    auto op = [&]() -> std::optional<std::pair<T, std::uint64_t>> {
+      auto front = q_.pop_front();
+      if (front) size_.bump(tx, -1);
+      return front;
+    };
+    auto inv = [this](const std::optional<std::pair<T, std::uint64_t>>& e) {
+      if (e) q_.push_front(e->first, e->second);
+    };
+    std::optional<std::pair<T, std::uint64_t>> r;
+    if (maybe_empty) {
+      r = lock_.apply(tx, {Write(QueueState::Head), Read(QueueState::Tail)},
+                      op, inv);
+    } else {
+      r = lock_.apply(tx, {Write(QueueState::Head)}, op, inv);
+      if (!r) {
+        r = lock_.apply(tx, {Read(QueueState::Tail)}, op, inv);
+      }
+    }
+    if (!r) return std::nullopt;
+    return r->first;
+  }
+
+  long size() const noexcept { return size_.load(); }
+
+  void unsafe_enq(const T& value) {
+    q_.push_back(value);
+    size_.unsafe_add(1);
+  }
+
+ private:
+  AbstractLock<QueueState, Lap> lock_;
+  Base q_;
+  CommittedSize size_;
+};
+
+}  // namespace proust::core

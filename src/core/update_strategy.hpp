@@ -1,0 +1,41 @@
+// The two axes of the Proust design space (§2, Figure 1 left table):
+//   * concurrency control — chosen by the LockAllocatorPolicy (lap.hpp):
+//     optimistic (conflict abstraction over STM locations) or pessimistic
+//     (abstract re-entrant RW locks);
+//   * update strategy — chosen per wrapped data structure: eager (mutate the
+//     base immediately, registering inverses as rollback handlers) or lazy
+//     (queue updates in a replay log against a shadow copy, apply at commit).
+// Prior systems fixed one point each (Boosting = pessimistic/eager,
+// Predication ≈ optimistic/eager-through-STM, OTB = optimistic); Proust lets
+// them be mixed and matched.
+#pragma once
+
+#include <cstdint>
+
+namespace proust::core {
+
+enum class UpdateStrategy : std::uint8_t { Eager, Lazy };
+
+constexpr const char* to_string(UpdateStrategy s) noexcept {
+  return s == UpdateStrategy::Eager ? "Eager" : "Lazy";
+}
+
+/// One abstract-lock request: a key of the wrapper's abstract-state domain
+/// plus the access mode (Listing 1's LockFor / Read / Write).
+template <class Key>
+struct LockFor {
+  Key key;
+  bool write;
+};
+
+template <class Key>
+constexpr LockFor<Key> Read(Key key) noexcept {
+  return {key, false};
+}
+
+template <class Key>
+constexpr LockFor<Key> Write(Key key) noexcept {
+  return {key, true};
+}
+
+}  // namespace proust::core

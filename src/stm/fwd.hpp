@@ -1,0 +1,78 @@
+// Forward declarations and small shared vocabulary types for the STM.
+#pragma once
+
+#include <cstdint>
+
+namespace proust::stm {
+
+/// Monotone version timestamps drawn from a per-STM global clock.
+using Version = std::uint64_t;
+
+class Stm;
+class Txn;
+class VarBase;
+
+/// How the STM detects conflicts — the right-hand table of the paper's
+/// Figure 1. The mode is a property of the `Stm` runtime instance.
+enum class Mode {
+  /// TL2-style: commit-time (lazy) write locking, lazy read validation.
+  /// Lazy r/w + lazy w/w detection.
+  Lazy,
+  /// TinySTM-style write-through: encounter-time write locking (eager w/w),
+  /// timestamp-extension reads (r/w conflicts surface late — lazy r/w).
+  EagerWrite,
+  /// Encounter-time write locking plus visible readers: both r/w and w/w
+  /// conflicts are detected eagerly. This is the STM class required by
+  /// Theorem 5.2 for Eager/Optimistic Proust to be opaque.
+  EagerAll,
+};
+
+constexpr const char* to_string(Mode m) noexcept {
+  switch (m) {
+    case Mode::Lazy: return "Lazy";
+    case Mode::EagerWrite: return "EagerWrite";
+    case Mode::EagerAll: return "EagerAll";
+  }
+  return "?";
+}
+
+/// Why a transaction attempt ended.
+enum class Outcome { Committed, Aborted };
+
+/// Fine-grained abort reasons, kept for the statistics the benchmarks report.
+enum class AbortReason : std::uint8_t {
+  None = 0,
+  ReadLocked,        // read encountered a foreign write lock
+  ReadVersion,       // read saw a version newer than the snapshot
+  ValidationFailed,  // commit/extension-time read-set validation failed
+  WriteLocked,       // write-lock acquisition found a foreign owner
+  VisibleReader,     // eager-all writer yielded to visible readers
+  AbstractLockTimeout,  // pessimistic LAP gave up waiting for an abstract lock
+  FallbackGate,      // commit yielded to an in-flight irrevocable fallback
+  Explicit,          // user called Txn::abort()
+  kCount,
+};
+
+constexpr const char* to_string(AbortReason r) noexcept {
+  switch (r) {
+    case AbortReason::None: return "none";
+    case AbortReason::ReadLocked: return "read-locked";
+    case AbortReason::ReadVersion: return "read-version";
+    case AbortReason::ValidationFailed: return "validation";
+    case AbortReason::WriteLocked: return "write-locked";
+    case AbortReason::VisibleReader: return "visible-reader";
+    case AbortReason::AbstractLockTimeout: return "abstract-lock-timeout";
+    case AbortReason::FallbackGate: return "fallback-gate";
+    case AbortReason::Explicit: return "explicit";
+    default: return "?";
+  }
+}
+
+/// Control-flow exception thrown to unwind an attempt that must retry.
+/// User code must be exception-safe through transactional regions (RAII);
+/// catching this type in user code and not rethrowing is a bug.
+struct ConflictAbort {
+  AbortReason reason;
+};
+
+}  // namespace proust::stm

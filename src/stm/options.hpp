@@ -1,0 +1,46 @@
+// Runtime policy knobs for the STM: the contention-management policy applied
+// between retry attempts (§7 discusses how much CM coupling matters), and an
+// optional serializing fallback that bounds retries under pathological
+// contention.
+#pragma once
+
+#include <cstdint>
+
+namespace proust::stm {
+
+/// What a transaction does after an aborted attempt, before retrying.
+enum class CmPolicy : std::uint8_t {
+  /// Randomized exponential backoff (default; what the evaluation uses).
+  ExponentialBackoff,
+  /// Surrender the processor once; no spinning. Good on oversubscribed
+  /// machines, poor when the opponent needs more than one quantum.
+  Yield,
+  /// Retry immediately. Maximal livelock exposure; useful as the ablation
+  /// baseline for the CM bench.
+  None,
+};
+
+constexpr const char* to_string(CmPolicy p) noexcept {
+  switch (p) {
+    case CmPolicy::ExponentialBackoff: return "backoff";
+    case CmPolicy::Yield: return "yield";
+    case CmPolicy::None: return "none";
+  }
+  return "?";
+}
+
+struct StmOptions {
+  CmPolicy cm_policy = CmPolicy::ExponentialBackoff;
+
+  /// If nonzero, an atomically() call whose attempt count reaches this
+  /// threshold re-runs under the STM's exclusive commit gate: no other
+  /// transaction can commit while it executes, so its reads cannot be
+  /// invalidated and (absent user exceptions) it succeeds. Ordinary commits
+  /// take the gate in shared mode with try-lock semantics — failing the
+  /// try-lock aborts the ordinary transaction rather than blocking it while
+  /// it holds encounter-time locks, which keeps the protocol deadlock-free.
+  /// 0 disables the gate entirely (no per-commit cost).
+  unsigned fallback_after = 0;
+};
+
+}  // namespace proust::stm

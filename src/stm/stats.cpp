@@ -1,0 +1,58 @@
+#include "stm/stats.hpp"
+
+#include <sstream>
+
+namespace proust::stm {
+
+std::uint64_t StatsSnapshot::total_aborts() const noexcept {
+  std::uint64_t t = 0;
+  for (auto a : aborts) t += a;
+  return t;
+}
+
+double StatsSnapshot::abort_ratio() const noexcept {
+  return starts == 0 ? 0.0
+                     : static_cast<double>(total_aborts()) /
+                           static_cast<double>(starts);
+}
+
+std::string StatsSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "starts=" << starts << " commits=" << commits
+     << " aborts=" << total_aborts() << " reads=" << reads
+     << " writes=" << writes << " extensions=" << extensions;
+  if (total_aborts() > 0) {
+    os << " [";
+    bool first = true;
+    for (std::size_t i = 0; i < aborts.size(); ++i) {
+      if (aborts[i] == 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << proust::stm::to_string(static_cast<AbortReason>(i)) << "="
+         << aborts[i];
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+StatsSnapshot Stats::snapshot() const {
+  StatsSnapshot s;
+  const unsigned n = ThreadRegistry::high_water();
+  for (unsigned i = 0; i < n && i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    s.starts += c.starts;
+    s.commits += c.commits;
+    s.reads += c.reads;
+    s.writes += c.writes;
+    s.extensions += c.extensions;
+    for (std::size_t j = 0; j < c.aborts.size(); ++j) s.aborts[j] += c.aborts[j];
+  }
+  return s;
+}
+
+void Stats::reset() {
+  for (auto& c : cells_) c = Cell{};
+}
+
+}  // namespace proust::stm

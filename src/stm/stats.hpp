@@ -1,0 +1,58 @@
+// Per-STM statistics: padded per-thread-slot counters, aggregated on demand.
+// The benchmark harness reports commit/abort/false-conflict rates from these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "stm/fwd.hpp"
+#include "stm/thread_registry.hpp"
+
+namespace proust::stm {
+
+struct StatsSnapshot {
+  std::uint64_t starts = 0;     // transaction attempts begun
+  std::uint64_t commits = 0;    // attempts committed
+  std::uint64_t reads = 0;      // transactional reads
+  std::uint64_t writes = 0;     // transactional writes
+  std::uint64_t extensions = 0; // successful timestamp extensions
+  std::array<std::uint64_t, static_cast<std::size_t>(AbortReason::kCount)>
+      aborts{};
+
+  std::uint64_t total_aborts() const noexcept;
+  double abort_ratio() const noexcept;  // aborts / starts
+  std::string to_string() const;
+};
+
+class Stats {
+ public:
+  void count_start() noexcept { cell().starts += 1; }
+  void count_commit() noexcept { cell().commits += 1; }
+  void count_read() noexcept { cell().reads += 1; }
+  void count_write() noexcept { cell().writes += 1; }
+  void count_extension() noexcept { cell().extensions += 1; }
+  void count_abort(AbortReason r) noexcept {
+    cell().aborts[static_cast<std::size_t>(r)] += 1;
+  }
+
+  StatsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  struct alignas(64) Cell {
+    std::uint64_t starts = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t extensions = 0;
+    std::array<std::uint64_t, static_cast<std::size_t>(AbortReason::kCount)>
+        aborts{};
+  };
+
+  Cell& cell() noexcept { return cells_[ThreadRegistry::slot()]; }
+
+  std::array<Cell, ThreadRegistry::kMaxSlots> cells_{};
+};
+
+}  // namespace proust::stm

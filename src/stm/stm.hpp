@@ -1,0 +1,122 @@
+// The STM runtime: a global version clock, a stamp source, a conflict
+// detection mode and statistics, plus the `atomically` retry loop.
+//
+// Multiple independent Stm instances may coexist (tests do this), but a
+// given transaction touches vars through exactly one Stm, and nested
+// `atomically` calls on the same thread must use the same Stm (flat
+// nesting).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "common/backoff.hpp"
+#include "stm/fwd.hpp"
+#include "stm/options.hpp"
+#include "stm/stats.hpp"
+#include "stm/txn.hpp"
+
+namespace proust::stm {
+
+class Stm {
+ public:
+  explicit Stm(Mode mode = Mode::Lazy, StmOptions options = {}) noexcept
+      : mode_(mode), options_(options) {}
+  Stm(const Stm&) = delete;
+  Stm& operator=(const Stm&) = delete;
+
+  Mode mode() const noexcept { return mode_; }
+  const StmOptions& options() const noexcept { return options_; }
+  Stats& stats() noexcept { return stats_; }
+
+  Version clock_now() const noexcept {
+    return clock_.load(std::memory_order_acquire);
+  }
+  Version clock_advance() noexcept {
+    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  std::uint64_t next_stamp() noexcept {
+    return stamps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Run `body(Txn&)` atomically, retrying on conflict with randomized
+  /// exponential backoff. Re-entrant calls on the same thread join the
+  /// enclosing transaction (flat nesting). User exceptions abort the
+  /// transaction (inverses/finish hooks run) and propagate.
+  template <class F>
+  auto atomically(F&& body) -> std::invoke_result_t<F&, Txn&> {
+    using R = std::invoke_result_t<F&, Txn&>;
+    if (Txn* cur = Txn::current()) {
+      if (&cur->stm() != this) {
+        throw std::logic_error(
+            "nested atomically on a different Stm instance");
+      }
+      return body(*cur);
+    }
+    Txn tx(*this);
+    Backoff backoff(0x7265747279ULL ^
+                    (reinterpret_cast<std::uintptr_t>(&tx) >> 4));
+    for (;;) {
+      // Irrevocable fallback: past the threshold, hold the commit gate
+      // exclusively for the whole attempt — no other transaction can commit
+      // under us, so our snapshot stays valid and the attempt succeeds.
+      std::unique_lock<std::shared_mutex> exclusive_gate;
+      if (options_.fallback_after != 0 &&
+          tx.attempt() + 1 > options_.fallback_after) {
+        exclusive_gate = std::unique_lock<std::shared_mutex>(gate_);
+        tx.set_gate_exempt(true);
+      }
+      try {
+        tx.begin();
+        if constexpr (std::is_void_v<R>) {
+          body(tx);
+          tx.commit();
+          return;
+        } else {
+          R result = body(tx);
+          tx.commit();
+          return result;
+        }
+      } catch (const ConflictAbort& a) {
+        tx.rollback(a.reason);
+        if (exclusive_gate.owns_lock()) exclusive_gate.unlock();
+        tx.set_gate_exempt(false);
+        pause_between_attempts(backoff);
+      } catch (...) {
+        tx.rollback(AbortReason::Explicit);
+        throw;
+      }
+    }
+  }
+
+  /// Shared-side commit gate used when the fallback is enabled. Ordinary
+  /// commits try-lock it; failure means a fallback transaction is running
+  /// and the committer must abort (never block while holding STM locks).
+  bool gate_enabled() const noexcept { return options_.fallback_after != 0; }
+  std::shared_mutex& gate() noexcept { return gate_; }
+
+ private:
+  friend class Txn;
+
+  void pause_between_attempts(Backoff& backoff) {
+    switch (options_.cm_policy) {
+      case CmPolicy::ExponentialBackoff: backoff.pause(); break;
+      case CmPolicy::Yield: std::this_thread::yield(); break;
+      case CmPolicy::None: break;
+    }
+  }
+
+  alignas(64) std::atomic<Version> clock_{0};
+  alignas(64) std::atomic<std::uint64_t> stamps_{0};
+  Mode mode_;
+  StmOptions options_;
+  Stats stats_;
+  std::shared_mutex gate_;
+};
+
+}  // namespace proust::stm

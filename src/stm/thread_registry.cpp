@@ -1,0 +1,52 @@
+#include "stm/thread_registry.hpp"
+
+#include <stdexcept>
+
+namespace proust::stm {
+
+std::mutex ThreadRegistry::mu_;
+std::vector<bool> ThreadRegistry::in_use_(ThreadRegistry::kMaxSlots, false);
+std::atomic<unsigned> ThreadRegistry::high_water_{0};
+
+namespace {
+struct SlotHolderImpl;
+}
+
+struct SlotHolder {
+  unsigned slot;
+  SlotHolder() : slot(ThreadRegistry::acquire_slot()) {}
+  ~SlotHolder() { ThreadRegistry::release_slot(slot); }
+  SlotHolder(const SlotHolder&) = delete;
+  SlotHolder& operator=(const SlotHolder&) = delete;
+};
+
+unsigned ThreadRegistry::slot() {
+  thread_local SlotHolder holder;
+  return holder.slot;
+}
+
+unsigned ThreadRegistry::high_water() {
+  return high_water_.load(std::memory_order_acquire);
+}
+
+unsigned ThreadRegistry::acquire_slot() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (unsigned i = 0; i < kMaxSlots; ++i) {
+    if (!in_use_[i]) {
+      in_use_[i] = true;
+      unsigned hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_release)) {
+      }
+      return i;
+    }
+  }
+  throw std::runtime_error("ThreadRegistry: more than 256 concurrent threads");
+}
+
+void ThreadRegistry::release_slot(unsigned slot) {
+  std::lock_guard<std::mutex> g(mu_);
+  in_use_[slot] = false;
+}
+
+}  // namespace proust::stm

@@ -1,0 +1,36 @@
+// Per-thread slot assignment. Slots index the visible-reader bitmaps
+// (EagerAll mode) and the padded per-thread statistics counters. Slots are
+// recycled on thread exit via a thread_local RAII holder.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace proust::stm {
+
+class ThreadRegistry {
+ public:
+  /// Reader bitmaps are a single 64-bit word, so only the first 64 slots can
+  /// run EagerAll transactions. Other modes work with any slot.
+  static constexpr unsigned kMaxVisibleSlots = 64;
+  static constexpr unsigned kMaxSlots = 256;
+
+  /// Slot of the calling thread, assigned on first use.
+  static unsigned slot();
+
+  /// Number of slots ever assigned (for stats aggregation bounds).
+  static unsigned high_water();
+
+ private:
+  friend struct SlotHolder;
+  static unsigned acquire_slot();
+  static void release_slot(unsigned slot);
+
+  static std::mutex mu_;
+  static std::vector<bool> in_use_;
+  static std::atomic<unsigned> high_water_;
+};
+
+}  // namespace proust::stm

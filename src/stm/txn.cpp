@@ -1,0 +1,367 @@
+#include "stm/txn.hpp"
+
+#include <atomic>
+#include <shared_mutex>
+#include <stdexcept>
+
+#include "stm/stm.hpp"
+
+namespace proust::stm {
+
+namespace {
+thread_local Txn* tls_current = nullptr;
+}  // namespace
+
+Txn* Txn::current() noexcept { return tls_current; }
+
+Txn::Txn(Stm& stm)
+    : stm_(stm), mode_(stm.mode()), slot_(ThreadRegistry::slot()) {
+  assert(tls_current == nullptr && "a transaction is already running here");
+  tls_current = this;
+  reads_.reserve(64);
+  reader_marks_.reserve(16);
+}
+
+Txn::~Txn() {
+  assert(!active_ && "transaction destroyed while active");
+  tls_current = nullptr;
+}
+
+void Txn::begin() {
+  assert(!active_);
+  if (mode_ == Mode::EagerAll && slot_ >= ThreadRegistry::kMaxVisibleSlots) {
+    throw std::runtime_error(
+        "Mode::EagerAll supports at most 64 concurrent threads "
+        "(visible-reader bitmap width)");
+  }
+  rv_ = stm_.clock_now();
+  ++attempt_;
+  active_ = true;
+  snapshot_frozen_ = false;
+  stm_.stats().count_start();
+}
+
+std::uint64_t Txn::fresh_stamp() noexcept { return stm_.next_stamp(); }
+
+detail::WriteEntry* Txn::find_write(const VarBase* var) noexcept {
+  if (write_index_.empty()) return nullptr;
+  auto it = write_index_.find(var);
+  return it == write_index_.end() ? nullptr : it->second;
+}
+
+detail::WriteEntry& Txn::new_write(VarBase* var) {
+  writes_.emplace_back();
+  detail::WriteEntry& e = writes_.back();
+  e.var = var;
+  e.lock.owner = this;
+  write_index_.emplace(var, &e);
+  return e;
+}
+
+void Txn::mark_reader(VarBase& var) {
+  const std::uint64_t mask = std::uint64_t{1} << slot_;
+  const std::uint64_t old =
+      var.readers_.fetch_or(mask, std::memory_order_acq_rel);
+  if ((old & mask) == 0) reader_marks_.push_back(&var);
+}
+
+void Txn::clear_reader_marks() noexcept {
+  const std::uint64_t mask = ~(std::uint64_t{1} << slot_);
+  for (VarBase* var : reader_marks_) {
+    var->readers_.fetch_and(mask, std::memory_order_acq_rel);
+  }
+  reader_marks_.clear();
+}
+
+void Txn::read_impl(const VarBase& var, void* dst, std::size_t size) {
+  assert(active_);
+  assert(size == var.size_);
+  stm_.stats().count_read();
+
+  if (detail::WriteEntry* e = find_write(&var)) {
+    if (mode_ == Mode::Lazy) {
+      if (e->has_redo) {
+        std::memcpy(dst, e->redo.data(size), size);
+        return;
+      }
+    } else {
+      // Eager modes: the in-place value is this transaction's own write.
+      std::memcpy(dst, var.data_, size);
+      return;
+    }
+  }
+
+  if (mode_ == Mode::EagerAll) mark_reader(const_cast<VarBase&>(var));
+
+  for (int spin = 0; spin < 4; ++spin) {
+    const std::uintptr_t w = var.orec_.load();
+    if (Orec::is_locked(w)) {
+      if (Orec::owner_of(w)->owner == this) {
+        std::memcpy(dst, var.data_, size);
+        return;
+      }
+      throw ConflictAbort{AbortReason::ReadLocked};
+    }
+    std::memcpy(dst, var.data_, size);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (var.orec_.load() != w) continue;  // torn by a concurrent committer
+
+    const Version ver = Orec::version_of(w);
+    if (ver > rv_) {
+      if (mode_ == Mode::Lazy) throw ConflictAbort{AbortReason::ReadVersion};
+      // Timestamp extension (TinySTM-style). In EagerAll the read set is
+      // empty (visible readers make validation unnecessary), so this always
+      // succeeds and merely slides the snapshot forward.
+      extend_or_abort();
+      if (ver > rv_) throw ConflictAbort{AbortReason::ReadVersion};
+    }
+    if (mode_ != Mode::EagerAll) reads_.push_back({&var, ver});
+    return;
+  }
+  throw ConflictAbort{AbortReason::ReadVersion};
+}
+
+void Txn::read_validate_impl(const VarBase& var) {
+  assert(active_);
+  stm_.stats().count_read();
+
+  if (mode_ == Mode::EagerAll) {
+    // Visible readers: publish the bit; a conflicting committer would have
+    // had to abort, so no version bookkeeping is needed for reads of the
+    // *base*. With a frozen snapshot (lazy wrappers), additionally require
+    // the location to be unchanged since the pinned read version: the
+    // shadow copy, unlike an in-place read, does not track current state.
+    mark_reader(const_cast<VarBase&>(var));
+    const std::uintptr_t w = var.orec_.load();
+    if (Orec::is_locked(w)) {
+      const LockRecord* rec = Orec::owner_of(w);
+      if (rec->owner != this) throw ConflictAbort{AbortReason::ReadLocked};
+      if (snapshot_frozen_ && rec->old_version > rv_) {
+        throw ConflictAbort{AbortReason::ReadVersion};
+      }
+    } else if (snapshot_frozen_ && Orec::version_of(w) > rv_) {
+      throw ConflictAbort{AbortReason::ReadVersion};
+    }
+    return;
+  }
+
+  const std::uintptr_t w = var.orec_.load();
+  Version ver;
+  if (Orec::is_locked(w)) {
+    const LockRecord* rec = Orec::owner_of(w);
+    if (rec->owner != this) throw ConflictAbort{AbortReason::ReadLocked};
+    ver = rec->old_version;  // committed version displaced by our own lock
+  } else {
+    ver = Orec::version_of(w);
+  }
+  if (ver > rv_) {
+    if (mode_ == Mode::Lazy) throw ConflictAbort{AbortReason::ReadVersion};
+    extend_or_abort();
+    if (ver > rv_) throw ConflictAbort{AbortReason::ReadVersion};
+  }
+  reads_.push_back({&var, ver});
+}
+
+void Txn::write_impl(VarBase& var, const void* src, std::size_t size) {
+  assert(active_);
+  assert(size == var.size_);
+  stm_.stats().count_write();
+
+  if (detail::WriteEntry* e = find_write(&var)) {
+    if (mode_ == Mode::Lazy) {
+      std::memcpy(e->redo.ensure(size), src, size);
+      e->has_redo = true;
+    } else {
+      std::memcpy(var.data_, src, size);  // lock already held by us
+    }
+    return;
+  }
+
+  detail::WriteEntry& e = new_write(&var);
+  if (mode_ == Mode::Lazy) {
+    std::memcpy(e.redo.ensure(size), src, size);
+    e.has_redo = true;
+    return;
+  }
+
+  // Eager modes: encounter-time lock acquisition; the requester aborts on
+  // failure (abort-on-busy keeps the protocol deadlock-free).
+  if (!var.orec_.try_lock(&e.lock)) {
+    throw ConflictAbort{AbortReason::WriteLocked};
+  }
+  e.locked = true;
+  if (mode_ == Mode::EagerAll) {
+    const std::uint64_t mask = std::uint64_t{1} << slot_;
+    if ((var.readers_.load(std::memory_order_acquire) & ~mask) != 0) {
+      // Foreign visible readers: eager read-write conflict, yield to them.
+      throw ConflictAbort{AbortReason::VisibleReader};
+    }
+  }
+  std::memcpy(e.undo.ensure(size), var.data_, size);
+  e.wrote = true;
+  std::memcpy(var.data_, src, size);
+}
+
+bool Txn::validate_read_set() const noexcept {
+  for (const auto& r : reads_) {
+    const std::uintptr_t w = r.var->orec_.load();
+    if (Orec::is_locked(w)) {
+      const LockRecord* rec = Orec::owner_of(w);
+      if (rec->owner != this || rec->old_version != r.version) return false;
+    } else if (Orec::version_of(w) != r.version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Txn::extend_or_abort() {
+  if (snapshot_frozen_) {
+    // A pinned shadow copy forbids sliding the snapshot forward.
+    throw ConflictAbort{AbortReason::ReadVersion};
+  }
+  const Version now = stm_.clock_now();
+  if (!validate_read_set()) {
+    throw ConflictAbort{AbortReason::ValidationFailed};
+  }
+  rv_ = now;
+  stm_.stats().count_extension();
+}
+
+void Txn::release_locks(Version version) noexcept {
+  for (auto& e : writes_) {
+    if (e.locked) {
+      e.var->orec_.unlock(version);
+      e.locked = false;
+    }
+  }
+}
+
+void Txn::undo_writes() noexcept {
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    if (it->wrote) {
+      std::memcpy(it->var->data_, it->undo.data(it->var->size_),
+                  it->var->size_);
+      it->wrote = false;
+    }
+  }
+}
+
+void Txn::commit() {
+  assert(active_);
+
+  // Fallback gate (when enabled): ordinary commits take the shared side
+  // with try-lock semantics; blocking here while holding encounter-time
+  // locks could deadlock against the exclusive (fallback) holder.
+  std::shared_lock<std::shared_mutex> gate_guard;
+  if (stm_.gate_enabled() && !gate_exempt_) {
+    gate_guard = std::shared_lock<std::shared_mutex>(stm_.gate(),
+                                                     std::try_to_lock);
+    if (!gate_guard.owns_lock()) {
+      throw ConflictAbort{AbortReason::FallbackGate};
+    }
+  }
+
+  // Read-only (and hook-free) fast path: reads were validated incrementally,
+  // no clock advance needed.
+  if (writes_.empty() && commit_locked_hooks_.empty()) {
+    clear_reader_marks();
+    active_ = false;
+    stm_.stats().count_commit();
+    for (auto& h : commit_hooks_) h();
+    for (auto& h : finish_hooks_) h(Outcome::Committed);
+    reset_attempt_state();
+    return;
+  }
+
+  if (mode_ == Mode::Lazy) {
+    // Commit-time locking, arbitrary order, abort-on-busy (deadlock-free).
+    for (auto& e : writes_) {
+      if (!e.var->orec_.try_lock(&e.lock)) {
+        throw ConflictAbort{AbortReason::WriteLocked};
+      }
+      e.locked = true;
+    }
+  }
+
+  const Version wv = stm_.clock_advance();
+  const bool need_validation =
+      mode_ != Mode::EagerAll && !reads_.empty() && rv_ + 1 != wv;
+  if (need_validation && !validate_read_set()) {
+    throw ConflictAbort{AbortReason::ValidationFailed};
+  }
+
+  // The commit point. Replay logs are applied here, behind the STM's own
+  // locks (§4: "applied atomically, behind the STM's native locking
+  // mechanisms"). These hooks must not throw.
+  run_commit_locked_hooks();
+
+  if (mode_ == Mode::Lazy) {
+    for (auto& e : writes_) {
+      if (e.has_redo) {
+        std::memcpy(e.var->data_, e.redo.data(e.var->size_), e.var->size_);
+      }
+    }
+  }
+  release_locks(wv);
+  clear_reader_marks();
+  active_ = false;
+  stm_.stats().count_commit();
+
+  for (auto& h : commit_hooks_) h();
+  for (auto& h : finish_hooks_) h(Outcome::Committed);
+  reset_attempt_state();
+}
+
+void Txn::run_commit_locked_hooks() noexcept {
+  for (auto& h : commit_locked_hooks_) h();
+}
+
+void Txn::rollback(AbortReason reason) noexcept {
+  if (!active_) return;  // commit already completed; nothing to unwind
+  stm_.stats().count_abort(reason);
+
+  // Proust inverse operations: reverse order, while this transaction's STM
+  // locks (covering its conflict-abstraction locations) are still held.
+  for (auto it = abort_hooks_.rbegin(); it != abort_hooks_.rend(); ++it) {
+    try {
+      (*it)();
+    } catch (...) {
+      assert(false && "abort hook (inverse) threw");
+    }
+  }
+
+  undo_writes();
+  // Release with the displaced versions so readers never observe a version
+  // regression.
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    if (it->locked) {
+      it->var->orec_.unlock(it->lock.old_version);
+      it->locked = false;
+    }
+  }
+  clear_reader_marks();
+  active_ = false;
+  for (auto& h : finish_hooks_) {
+    try {
+      h(Outcome::Aborted);
+    } catch (...) {
+      assert(false && "finish hook threw");
+    }
+  }
+  reset_attempt_state();
+}
+
+void Txn::reset_attempt_state() noexcept {
+  reads_.clear();
+  writes_.clear();
+  write_index_.clear();
+  reader_marks_.clear();
+  abort_hooks_.clear();
+  commit_locked_hooks_.clear();
+  commit_hooks_.clear();
+  finish_hooks_.clear();
+  locals_.clear();
+}
+
+}  // namespace proust::stm

@@ -1,0 +1,242 @@
+// The transaction engine. One `Txn` object lives on the stack of an
+// `Stm::atomically` call and is reused across retry attempts.
+//
+// Three commit/abort protocols are implemented, selected by the Stm's Mode:
+//
+//   Lazy       — TL2: reads are validated against a snapshot version and
+//                logged; writes are buffered; commit acquires write locks,
+//                advances the clock, revalidates the read set, applies
+//                commit-locked hooks (Proust replay logs), writes back and
+//                releases.
+//   EagerWrite — TinySTM write-through: writes lock the orec at encounter
+//                time, save an undo value and update in place; reads use
+//                timestamp extension; abort restores undo values.
+//   EagerAll   — EagerWrite plus visible readers: reads publish a bit in the
+//                var's reader bitmap, writers that find foreign readers abort
+//                themselves. All conflicts are detected at encounter time,
+//                which is the premise of Theorem 5.2.
+//
+// Hooks (the Proust integration points, §2 of the paper):
+//   on_abort         — inverse operations; run in reverse order while the
+//                      transaction's STM locks are still held.
+//   on_commit_locked — replay-log application; runs after read validation,
+//                      "behind the STM's native locking mechanisms". Must not
+//                      throw.
+//   on_commit        — post-commit notifications (after locks released).
+//   on_finish        — runs on both outcomes, last; pessimistic abstract-lock
+//                      release hangs off this.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stm/fwd.hpp"
+#include "stm/orec.hpp"
+#include "stm/stats.hpp"
+#include "stm/thread_registry.hpp"
+#include "stm/var.hpp"
+
+namespace proust::stm {
+
+namespace detail {
+
+/// Small-buffer value storage for redo/undo copies.
+class ValBuf {
+ public:
+  void* ensure(std::size_t n) {
+    if (n <= kInline) return inline_;
+    if (!heap_ || heap_size_ < n) {
+      heap_ = std::make_unique<unsigned char[]>(n);
+      heap_size_ = n;
+    }
+    return heap_.get();
+  }
+  void* data(std::size_t n) noexcept {
+    return n <= kInline ? static_cast<void*>(inline_) : heap_.get();
+  }
+  const void* data(std::size_t n) const noexcept {
+    return n <= kInline ? static_cast<const void*>(inline_) : heap_.get();
+  }
+
+ private:
+  static constexpr std::size_t kInline = 32;
+  alignas(16) unsigned char inline_[kInline];
+  std::unique_ptr<unsigned char[]> heap_;
+  std::size_t heap_size_ = 0;
+};
+
+struct WriteEntry {
+  VarBase* var = nullptr;
+  LockRecord lock;
+  ValBuf redo;   // buffered new value (Lazy mode)
+  ValBuf undo;   // displaced value (eager modes)
+  bool locked = false;
+  bool has_redo = false;
+  bool wrote = false;  // eager modes: undo saved and in-place value replaced
+};
+
+struct ReadEntry {
+  const VarBase* var;
+  Version version;
+};
+
+}  // namespace detail
+
+class Txn {
+ public:
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+  ~Txn();
+
+  /// The currently running transaction of this thread, or nullptr.
+  static Txn* current() noexcept;
+
+  Stm& stm() noexcept { return stm_; }
+  Mode mode() const noexcept { return mode_; }
+  unsigned slot() const noexcept { return slot_; }
+  Version read_version() const noexcept { return rv_; }
+  unsigned attempt() const noexcept { return attempt_; }
+
+  /// Typed transactional accessors (the public read/write API).
+  template <class T>
+  T read(const Var<T>& v) {
+    T out;
+    read_impl(v, &out, sizeof(T));
+    return out;
+  }
+  template <class T>
+  void write(Var<T>& v, const std::type_identity_t<T>& value) {
+    write_impl(v, &value, sizeof(T));
+  }
+
+  /// A process-unique stamp; conflict abstractions write these so that every
+  /// CA write is a distinct value (§3: "values written are unique, such as
+  /// sequence numbers or timestamps").
+  std::uint64_t fresh_stamp() noexcept;
+
+  /// A versioned read of `var` that never consults this transaction's own
+  /// write buffer: it observes (and, in validating modes, logs) the last
+  /// *committed* version. This is the "read(α)" of Theorem 5.3's
+  /// write-before/read-after conflict-abstraction bracket — on a lazy STM a
+  /// plain read would be satisfied from the transaction's own buffered
+  /// write of α and would validate nothing.
+  template <class T>
+  void read_validate(const Var<T>& v) {
+    read_validate_impl(v);
+  }
+
+  /// Pin this transaction's snapshot: from now on the read version may not
+  /// slide forward (no timestamp extension), and conflict-abstraction reads
+  /// validate against it in every mode. Replay logs call this when they
+  /// take a shadow copy — the Theorem 5.3 argument needs "unchanged since
+  /// MY SNAPSHOT", and extension (or EagerAll's version-free reads) would
+  /// otherwise accept commits that postdate the shadow.
+  void freeze_snapshot() noexcept { snapshot_frozen_ = true; }
+  bool snapshot_frozen() const noexcept { return snapshot_frozen_; }
+
+  /// Set while this transaction holds the STM's exclusive fallback gate (it
+  /// must not also take the shared side at commit).
+  void set_gate_exempt(bool exempt) noexcept { gate_exempt_ = exempt; }
+
+  /// Abort this attempt and retry from the top of the atomically block.
+  [[noreturn]] void retry(AbortReason reason = AbortReason::Explicit) {
+    throw ConflictAbort{reason};
+  }
+
+  // --- Hook registration (see file comment for semantics) -----------------
+  void on_abort(std::function<void()> fn) { abort_hooks_.push_back(std::move(fn)); }
+  void on_commit_locked(std::function<void()> fn) {
+    commit_locked_hooks_.push_back(std::move(fn));
+  }
+  void on_commit(std::function<void()> fn) { commit_hooks_.push_back(std::move(fn)); }
+  void on_finish(std::function<void(Outcome)> fn) {
+    finish_hooks_.push_back(std::move(fn));
+  }
+
+  // --- Transaction-local storage ------------------------------------------
+  /// Per-(transaction-attempt) storage, keyed by an owner address. This is
+  /// the analogue of ScalaSTM's TxnLocal: replay logs and shadow copies live
+  /// here and are discarded when the attempt ends (either way).
+  template <class T, class Factory>
+  T& local(const void* key, Factory&& make) {
+    auto it = locals_.find(key);
+    if (it == locals_.end()) {
+      it = locals_.emplace(key, std::shared_ptr<void>(std::make_shared<T>(
+                                    std::forward<Factory>(make)())))
+               .first;
+    }
+    return *static_cast<T*>(it->second.get());
+  }
+  bool has_local(const void* key) const { return locals_.count(key) != 0; }
+
+ private:
+  friend class Stm;
+
+  explicit Txn(Stm& stm);
+
+  void begin();
+  void commit();
+  /// Unwind a failed or user-aborted attempt. Safe to call exactly once per
+  /// begun attempt.
+  void rollback(AbortReason reason) noexcept;
+
+  void read_impl(const VarBase& var, void* dst, std::size_t size);
+  void read_validate_impl(const VarBase& var);
+  void write_impl(VarBase& var, const void* src, std::size_t size);
+
+  detail::WriteEntry* find_write(const VarBase* var) noexcept;
+  detail::WriteEntry& new_write(VarBase* var);
+  /// Check that every read-set entry still holds the version observed at
+  /// read time (or is locked by this transaction with that displaced
+  /// version).
+  bool validate_read_set() const noexcept;
+  /// EagerWrite/Lazy timestamp extension on a too-new read.
+  void extend_or_abort();
+  void run_commit_locked_hooks() noexcept;
+  void mark_reader(VarBase& var);
+  void clear_reader_marks() noexcept;
+  void release_locks(Version version) noexcept;
+  void undo_writes() noexcept;
+  void reset_attempt_state() noexcept;
+
+  Stm& stm_;
+  Mode mode_;
+  unsigned slot_;
+  Version rv_ = 0;
+  unsigned attempt_ = 0;
+  bool active_ = false;
+  bool snapshot_frozen_ = false;
+  bool gate_exempt_ = false;
+
+  std::vector<detail::ReadEntry> reads_;
+  std::deque<detail::WriteEntry> writes_;  // deque: stable LockRecord addresses
+  std::unordered_map<const VarBase*, detail::WriteEntry*> write_index_;
+  std::vector<VarBase*> reader_marks_;
+
+  std::vector<std::function<void()>> abort_hooks_;
+  std::vector<std::function<void()>> commit_locked_hooks_;
+  std::vector<std::function<void()>> commit_hooks_;
+  std::vector<std::function<void(Outcome)>> finish_hooks_;
+  std::unordered_map<const void*, std::shared_ptr<void>> locals_;
+};
+
+// Var<T> accessor definitions (declared in var.hpp).
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+T Var<T>::read(Txn& tx) const {
+  return tx.read(*this);
+}
+
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+void Var<T>::write(Txn& tx, const T& v) {
+  tx.write(*this, v);
+}
+
+}  // namespace proust::stm

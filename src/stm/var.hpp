@@ -1,0 +1,66 @@
+// Transactional variables. `Var<T>` holds a trivially-copyable value guarded
+// by an inline ownership record plus a visible-reader bitmap (used only in
+// Mode::EagerAll). Values are read with a seqlock-style validated copy and
+// written back either at commit (Mode::Lazy) or in place at encounter time
+// (eager modes), always under the orec lock.
+//
+// The trivially-copyable restriction is deliberate: it is what makes the
+// racy-read/validate protocol sound, and it mirrors how word-based STMs are
+// used in practice. Proustian wrappers sidestep the restriction entirely —
+// arbitrary value types live in the *base* data structure, and only conflict
+// abstraction words (plain integers) go through the STM. That asymmetry is
+// one of the paper's selling points.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "stm/orec.hpp"
+
+namespace proust::stm {
+
+class VarBase {
+ public:
+  VarBase(const VarBase&) = delete;
+  VarBase& operator=(const VarBase&) = delete;
+
+ protected:
+  VarBase(void* data, std::size_t size) noexcept
+      : data_(data), size_(static_cast<std::uint32_t>(size)) {}
+  ~VarBase() = default;
+
+ private:
+  friend class Txn;
+
+  Orec orec_;
+  /// Visible-reader bitmap, one bit per ThreadRegistry slot < 64.
+  std::atomic<std::uint64_t> readers_{0};
+  void* data_;
+  std::uint32_t size_;
+};
+
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+class Var : public VarBase {
+ public:
+  Var() noexcept : VarBase(&value_, sizeof(T)), value_{} {}
+  explicit Var(const T& v) noexcept : VarBase(&value_, sizeof(T)), value_(v) {}
+
+  /// Transactional read; defined in txn.hpp (needs Txn).
+  T read(Txn& tx) const;
+  /// Transactional write; defined in txn.hpp.
+  void write(Txn& tx, const T& v);
+
+  /// Non-transactional access for quiescent setup/inspection only (no
+  /// concurrent transactions may be running).
+  const T& unsafe_ref() const noexcept { return value_; }
+  void unsafe_store(const T& v) noexcept { value_ = v; }
+
+ private:
+  T value_;
+};
+
+}  // namespace proust::stm

@@ -1,0 +1,60 @@
+#include "sync/reentrant_rw_lock.hpp"
+
+namespace proust::sync {
+
+bool ReentrantRwLock::admissible(const void* owner, bool write) const {
+  auto it = holds_.find(owner);
+  const bool i_read = it != holds_.end() && it->second.readers > 0;
+  const bool i_write = it != holds_.end() && it->second.writers > 0;
+  const int other_readers = reading_owners_ - (i_read ? 1 : 0);
+  const int other_writers = writing_owners_ - (i_write ? 1 : 0);
+  if (write) {
+    if (other_readers > 0) return false;
+    if (kind_ == LockKind::kReaderWriter && other_writers > 0) return false;
+    return true;
+  }
+  return other_writers == 0;
+}
+
+bool ReentrantRwLock::try_acquire(const void* owner, bool write,
+                                  std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> g(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!admissible(owner, write)) {
+    if (cv_.wait_until(g, deadline) == std::cv_status::timeout) {
+      if (admissible(owner, write)) break;
+      return false;
+    }
+  }
+  Holds& h = holds_[owner];
+  if (write) {
+    if (h.writers == 0) ++writing_owners_;
+    ++h.writers;
+  } else {
+    if (h.readers == 0) ++reading_owners_;
+    ++h.readers;
+  }
+  return true;
+}
+
+void ReentrantRwLock::release_all(const void* owner) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = holds_.find(owner);
+    if (it == holds_.end()) return;
+    if (it->second.readers > 0) --reading_owners_;
+    if (it->second.writers > 0) --writing_owners_;
+    holds_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+bool ReentrantRwLock::holds(const void* owner, bool write) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = holds_.find(owner);
+  if (it == holds_.end()) return false;
+  return write ? it->second.writers > 0
+               : (it->second.readers > 0 || it->second.writers > 0);
+}
+
+}  // namespace proust::sync

@@ -1,0 +1,69 @@
+// Re-entrant reader-writer locks used as *abstract locks* by the pessimistic
+// lock-allocator policy (Boosting-style concurrency control, §2/§3).
+//
+// Two sharing disciplines are supported, because the paper's PQueue example
+// (Listing 3 discussion) needs both:
+//   kReaderWriter — readers share, at most one writer (classic RW lock);
+//   kGroup        — readers share AND writers share, but the two groups
+//                   exclude each other ("multiple writers or multiple
+//                   readers, but not both simultaneously"). This is how
+//                   commuting insert()s avoid serializing under the
+//                   pessimistic LAP.
+//
+// Holds are owned by an opaque token (the transaction), are re-entrant per
+// owner, and support read→write upgrade when no other owner blocks it.
+// Acquisition is bounded by a timeout; timing out is how the Proust runtime
+// recovers from (abstract-lock-level) deadlock: the transaction aborts,
+// releases everything, backs off and retries — reproducing the weak
+// contention-manager coupling §7 describes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace proust::sync {
+
+enum class LockKind : std::uint8_t { kReaderWriter, kGroup };
+
+class ReentrantRwLock {
+ public:
+  explicit ReentrantRwLock(LockKind kind = LockKind::kReaderWriter) noexcept
+      : kind_(kind) {}
+  ReentrantRwLock(const ReentrantRwLock&) = delete;
+  ReentrantRwLock& operator=(const ReentrantRwLock&) = delete;
+
+  /// Acquire a hold for `owner` (write=true for the write group). Returns
+  /// false on timeout. Re-entrant: an owner may stack any number of holds in
+  /// either mode; upgrades wait for other owners to drain.
+  bool try_acquire(const void* owner, bool write,
+                   std::chrono::nanoseconds timeout);
+
+  /// Drop every hold owned by `owner`. No-op if it holds nothing.
+  void release_all(const void* owner);
+
+  /// True if `owner` currently holds the lock in a mode at least as strong
+  /// as requested (diagnostics/assertions).
+  bool holds(const void* owner, bool write) const;
+
+  LockKind kind() const noexcept { return kind_; }
+
+ private:
+  struct Holds {
+    int readers = 0;
+    int writers = 0;
+  };
+
+  bool admissible(const void* owner, bool write) const;
+
+  LockKind kind_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<const void*, Holds> holds_;
+  int reading_owners_ = 0;  // owners with readers > 0
+  int writing_owners_ = 0;  // owners with writers > 0
+};
+
+}  // namespace proust::sync

@@ -1,0 +1,136 @@
+#include "verify/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace proust::verify {
+
+bool commutes(const ModelSpec& model, int state, const MethodSpec& m,
+              const Args& ma, const MethodSpec& n, const Args& na) {
+  (void)model;
+  // Order m;n
+  const OpOutcome m1 = m.apply(state, ma);
+  const OpOutcome n1 = n.apply(m1.next_state, na);
+  // Order n;m
+  const OpOutcome n2 = n.apply(state, na);
+  const OpOutcome m2 = m.apply(n2.next_state, ma);
+  return n1.next_state == m2.next_state &&  // same final state
+         m1.ret == m2.ret &&                // m's return agrees in both orders
+         n1.ret == n2.ret;                  // n's return agrees in both orders
+}
+
+namespace {
+bool intersects(const std::vector<int>& a, const std::vector<int>& b) {
+  for (int x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+  }
+  return false;
+}
+
+std::string describe_args(const Args& args) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ",";
+    os << args[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string describe_access(const Access& a) {
+  std::ostringstream os;
+  os << "reads{";
+  for (std::size_t i = 0; i < a.reads.size(); ++i) {
+    if (i) os << ",";
+    os << a.reads[i];
+  }
+  os << "} writes{";
+  for (std::size_t i = 0; i < a.writes.size(); ++i) {
+    if (i) os << ",";
+    os << a.writes[i];
+  }
+  os << "}";
+  return os.str();
+}
+}  // namespace
+
+bool accesses_conflict(const Access& a, const Access& b) {
+  return intersects(a.writes, b.writes) ||  // w/w
+         intersects(a.writes, b.reads) ||   // w/r
+         intersects(a.reads, b.writes);     // r/w
+}
+
+std::optional<Counterexample> check_conflict_abstraction(
+    const ModelSpec& model, const ConflictAbstractionFn& ca) {
+  for (int state = 0; state < model.num_states; ++state) {
+    if (model.state_filter && !model.state_filter(state)) continue;
+    for (std::size_t mi = 0; mi < model.methods.size(); ++mi) {
+      const MethodSpec& m = model.methods[mi];
+      for (const Args& ma : m.arg_tuples) {
+        // Pairs are symmetric (commutes and accesses_conflict both are), so
+        // only scan the upper triangle.
+        for (std::size_t ni = mi; ni < model.methods.size(); ++ni) {
+          const MethodSpec& n = model.methods[ni];
+          for (const Args& na : n.arg_tuples) {
+            if (commutes(model, state, m, ma, n, na)) continue;
+            const Access am = ca(m.name, ma, state);
+            const Access an = ca(n.name, na, state);
+            if (accesses_conflict(am, an)) continue;
+            Counterexample cex;
+            cex.state = state;
+            cex.m = Invocation{m.name, ma};
+            cex.n = Invocation{n.name, na};
+            std::ostringstream os;
+            os << "state "
+               << (model.describe_state ? model.describe_state(state)
+                                        : std::to_string(state))
+               << ": " << m.name << describe_args(ma) << " and " << n.name
+               << describe_args(na)
+               << " do not commute, but their conflict abstractions ["
+               << describe_access(am) << "] vs [" << describe_access(an)
+               << "] perform no conflicting STM access";
+            cex.detail = os.str();
+            return cex;
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t count_false_conflicts(const ModelSpec& model,
+                                  const ConflictAbstractionFn& ca) {
+  std::size_t count = 0;
+  for (int state = 0; state < model.num_states; ++state) {
+    if (model.state_filter && !model.state_filter(state)) continue;
+    for (std::size_t mi = 0; mi < model.methods.size(); ++mi) {
+      const MethodSpec& m = model.methods[mi];
+      for (const Args& ma : m.arg_tuples) {
+        for (std::size_t ni = mi; ni < model.methods.size(); ++ni) {
+          const MethodSpec& n = model.methods[ni];
+          for (const Args& na : n.arg_tuples) {
+            if (!commutes(model, state, m, ma, n, na)) continue;
+            if (accesses_conflict(ca(m.name, ma, state), ca(n.name, na, state))) {
+              ++count;
+            }
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t count_pairs(const ModelSpec& model) {
+  std::size_t invocations = 0;
+  for (const MethodSpec& m : model.methods) invocations += m.arg_tuples.size();
+  // Upper triangle including the diagonal, per state.
+  return static_cast<std::size_t>(model.num_states) * invocations *
+         (invocations + 1) / 2;
+}
+
+std::string to_string(const Counterexample& cex) { return cex.detail; }
+
+}  // namespace proust::verify

@@ -1,0 +1,115 @@
+// Bounded ADT models for conflict-abstraction verification (§3
+// "Correctness" and Appendix E).
+//
+// The paper reduces CA correctness to satisfiability and discharges it with
+// SAT/SMT. No solver ships in this environment, so we implement the same
+// decision procedure by bounded exhaustive enumeration: for the finite
+// models below, enumerating every (state, invocation pair) decides exactly
+// the satisfiability query of Appendix E — a counterexample here corresponds
+// one-to-one to a satisfying assignment there. As the paper notes, "it is
+// sufficient to work with a model (or sequential implementation) of the
+// abstract data type"; no concurrent implementation is involved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace proust::verify {
+
+using Args = std::vector<std::int64_t>;
+
+/// Result of applying a method to a model state: successor state plus an
+/// encoded return value (error flags included — two invocations only
+/// commute if their return values, errors and all, agree in both orders).
+struct OpOutcome {
+  int next_state;
+  std::int64_t ret;
+};
+
+struct MethodSpec {
+  std::string name;
+  /// Enumerated argument tuples (empty tuple for nullary methods).
+  std::vector<Args> arg_tuples;
+  std::function<OpOutcome(int state, const Args& args)> apply;
+};
+
+struct ModelSpec {
+  std::string name;
+  int num_states = 0;
+  std::vector<MethodSpec> methods;
+  /// Pretty-printer for counterexample reporting.
+  std::function<std::string(int state)> describe_state;
+  /// Optional: restrict which states the checker uses as *starting* states.
+  /// Bounded models of unbounded types clamp at the boundary (an incr at the
+  /// counter's cap stays put), which manufactures non-commutation that the
+  /// real type does not have; the filter keeps starting states two
+  /// operations away from any clamp so every checked pair is exact.
+  std::function<bool(int state)> state_filter;
+};
+
+/// The STM locations an invocation's conflict abstraction reads/writes in a
+/// given state — the f_i^{m,rd} / f_i^{m,wr} functions of §3, with the
+/// Boolean vector flattened to index lists.
+struct Access {
+  std::vector<int> reads;
+  std::vector<int> writes;
+};
+
+using ConflictAbstractionFn =
+    std::function<Access(const std::string& method, const Args& args, int state)>;
+
+// ---------------------------------------------------------------------------
+// Ready-made models + reference conflict abstractions (see models/*.cpp).
+// Each "broken" variant drops a required access and must be refuted by the
+// checker; each "paper" variant is the CA as published.
+
+/// §3's non-negative counter with values in [0, max_value] (incr clamps at
+/// the bound with an error return, keeping the bounded model total).
+ModelSpec make_counter_model(int max_value);
+ConflictAbstractionFn counter_ca_paper();       // threshold 2, correct
+ConflictAbstractionFn counter_ca_threshold1();  // broken: misses decr/decr@1
+
+/// A map over keys {0..num_keys-1} and values {1..num_vals}; state encodes
+/// each key's (absent | value) assignment.
+ModelSpec make_map_model(int num_keys, int num_vals);
+ConflictAbstractionFn map_ca_striped(int num_locations);  // k mod M, correct
+ConflictAbstractionFn map_ca_readless();  // broken: gets perform no access
+
+/// A priority queue holding multisets over values {1..num_vals} up to
+/// max_size (inserts at capacity error out, keeping the model total).
+ModelSpec make_pqueue_model(int num_vals, int max_size);
+/// Our implementation's CA (location 0 = PQueueMin, 1 = PQueueMultiSet);
+/// insert into an *empty* queue writes Min.
+ConflictAbstractionFn pqueue_ca_ours(int num_vals, int max_size);
+/// Figure 3 taken literally: insert into an empty queue only *reads*
+/// PQueueMin. The checker exhibits the missed insert-vs-min conflict.
+ConflictAbstractionFn pqueue_ca_figure3_literal(int num_vals, int max_size);
+
+/// A FIFO queue with the Head/Tail abstract-state decomposition used by
+/// core::TxnQueue; states are sequences over {1..num_vals} up to max_len.
+ModelSpec make_queue_model(int num_vals, int max_len);
+ConflictAbstractionFn queue_ca_ours(int num_vals, int max_len);
+/// Broken: deq-on-empty does not Read(Tail), missing its conflict with enq.
+ConflictAbstractionFn queue_ca_no_empty_read(int num_vals, int max_len);
+
+/// A double-ended queue with the Front/Back decomposition of
+/// core::TxnDeque; the guarded CA reads the opposite end when the deque
+/// holds at most one element.
+ModelSpec make_deque_model(int num_vals, int max_len);
+ConflictAbstractionFn deque_ca_ours(int num_vals, int max_len);
+/// Broken: no near-emptiness guard at all (ends never observe each other).
+ConflictAbstractionFn deque_ca_unguarded(int num_vals, int max_len);
+
+/// An ordered map over keys {0..num_keys-1} with range queries
+/// (range_sum(lo,hi)); the interval conflict abstraction assigns one
+/// location per key stripe and range operations read every stripe their
+/// interval covers (§1: "queries and updates to non-intersecting key ranges
+/// commute").
+ModelSpec make_ordered_map_model(int num_keys, int num_vals);
+ConflictAbstractionFn ordered_map_ca_interval(int num_locations);
+/// Broken: range queries only read the stripe of their lower bound.
+ConflictAbstractionFn ordered_map_ca_lower_only(int num_locations);
+
+}  // namespace proust::verify

@@ -1,0 +1,64 @@
+// Bounded model of §3's non-negative counter, plus the paper's conflict
+// abstraction (one location ℓ0, threshold 2) and a deliberately broken
+// variant used to demonstrate counterexample generation.
+#include "verify/model.hpp"
+
+namespace proust::verify {
+
+namespace {
+constexpr std::int64_t kOk = 0;
+constexpr std::int64_t kErr = -1;
+}  // namespace
+
+ModelSpec make_counter_model(int max_value) {
+  ModelSpec m;
+  m.name = "counter";
+  m.num_states = max_value + 1;  // state index == counter value
+
+  MethodSpec incr;
+  incr.name = "incr";
+  incr.arg_tuples = {{}};
+  incr.apply = [max_value](int state, const Args&) -> OpOutcome {
+    if (state >= max_value) return {state, kOk};  // clamp (filtered out below)
+    return {state + 1, kOk};
+  };
+
+  MethodSpec decr;
+  decr.name = "decr";
+  decr.arg_tuples = {{}};
+  decr.apply = [](int state, const Args&) -> OpOutcome {
+    if (state == 0) return {state, kErr};  // the §3 error flag
+    return {state - 1, kOk};
+  };
+
+  m.methods = {incr, decr};
+  m.describe_state = [](int s) { return "counter=" + std::to_string(s); };
+  // Keep starting states two operations clear of the clamp so every checked
+  // pair behaves exactly like the unbounded counter.
+  m.state_filter = [max_value](int s) { return s <= max_value - 2; };
+  return m;
+}
+
+ConflictAbstractionFn counter_ca_paper() {
+  return [](const std::string& method, const Args&, int state) -> Access {
+    Access a;
+    if (state < 2) {
+      if (method == "incr") a.reads = {0};
+      if (method == "decr") a.writes = {0};
+    }
+    return a;
+  };
+}
+
+ConflictAbstractionFn counter_ca_threshold1() {
+  return [](const std::string& method, const Args&, int state) -> Access {
+    Access a;
+    if (state < 1) {  // broken: misses the two-decrements-at-one case
+      if (method == "incr") a.reads = {0};
+      if (method == "decr") a.writes = {0};
+    }
+    return a;
+  };
+}
+
+}  // namespace proust::verify

@@ -1,0 +1,136 @@
+// Bounded model of a double-ended queue with the Front/Back abstract-state
+// decomposition of core::TxnDeque. The checker validates the near-emptiness
+// guard (ops at one end read the other end's element when the deque holds
+// at most one element) and refutes the unguarded variant.
+#include "verify/model.hpp"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace proust::verify {
+
+namespace {
+constexpr std::int64_t kEmptyRet = -1;
+constexpr std::int64_t kFullRet = -2;
+constexpr int kFrontLoc = 0;
+constexpr int kBackLoc = 1;
+
+struct DQStateSpace {
+  std::vector<std::vector<int>> states;
+
+  DQStateSpace(int num_vals, int max_len) {
+    std::vector<int> cur;
+    build(cur, num_vals, max_len);
+  }
+  void build(std::vector<int>& cur, int num_vals, int max_len) {
+    states.push_back(cur);
+    if (static_cast<int>(cur.size()) == max_len) return;
+    for (int v = 1; v <= num_vals; ++v) {
+      cur.push_back(v);
+      build(cur, num_vals, max_len);
+      cur.pop_back();
+    }
+  }
+  int index_of(const std::vector<int>& s) const {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i] == s) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+}  // namespace
+
+ModelSpec make_deque_model(int num_vals, int max_len) {
+  auto sp = std::make_shared<const DQStateSpace>(num_vals, max_len);
+
+  ModelSpec m;
+  m.name = "deque";
+  m.num_states = static_cast<int>(sp->states.size());
+
+  const auto make_push = [sp, max_len](bool front) {
+    MethodSpec push;
+    push.name = front ? "push_front" : "push_back";
+    for (int v = 1; v <= 2; ++v) push.arg_tuples.push_back({v});
+    push.apply = [sp, max_len, front](int state, const Args& args) -> OpOutcome {
+      std::vector<int> s = sp->states[static_cast<std::size_t>(state)];
+      if (static_cast<int>(s.size()) >= max_len) return {state, kFullRet};
+      if (front) {
+        s.insert(s.begin(), static_cast<int>(args[0]));
+      } else {
+        s.push_back(static_cast<int>(args[0]));
+      }
+      return {sp->index_of(s), 0};
+    };
+    return push;
+  };
+
+  const auto make_pop = [sp](bool front) {
+    MethodSpec pop;
+    pop.name = front ? "pop_front" : "pop_back";
+    pop.arg_tuples = {{}};
+    pop.apply = [sp, front](int state, const Args&) -> OpOutcome {
+      std::vector<int> s = sp->states[static_cast<std::size_t>(state)];
+      if (s.empty()) return {state, kEmptyRet};
+      int v;
+      if (front) {
+        v = s.front();
+        s.erase(s.begin());
+      } else {
+        v = s.back();
+        s.pop_back();
+      }
+      return {sp->index_of(s), v};
+    };
+    return pop;
+  };
+
+  m.methods = {make_push(true), make_push(false), make_pop(true),
+               make_pop(false)};
+  m.describe_state = [sp](int s) {
+    std::ostringstream os;
+    os << "[";
+    const auto& st = sp->states[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      if (i) os << ",";
+      os << st[i];
+    }
+    os << "]";
+    return os.str();
+  };
+  m.state_filter = [sp, max_len](int s) {
+    return static_cast<int>(sp->states[static_cast<std::size_t>(s)].size()) <=
+           max_len - 2;
+  };
+  return m;
+}
+
+namespace {
+ConflictAbstractionFn deque_ca(int num_vals, int max_len, int guard_size) {
+  auto sp = std::make_shared<const DQStateSpace>(num_vals, max_len);
+  return [sp, guard_size](const std::string& method, const Args&,
+                          int state) -> Access {
+    Access a;
+    const int size =
+        static_cast<int>(sp->states[static_cast<std::size_t>(state)].size());
+    const bool near_empty = size <= guard_size;
+    const bool front_end =
+        method == "push_front" || method == "pop_front";
+    const int mine = front_end ? kFrontLoc : kBackLoc;
+    const int other = front_end ? kBackLoc : kFrontLoc;
+    a.writes = {mine};
+    if (near_empty) a.reads.push_back(other);
+    return a;
+  };
+}
+}  // namespace
+
+ConflictAbstractionFn deque_ca_ours(int num_vals, int max_len) {
+  return deque_ca(num_vals, max_len, /*guard_size=*/1);
+}
+
+ConflictAbstractionFn deque_ca_unguarded(int num_vals, int max_len) {
+  return deque_ca(num_vals, max_len, /*guard_size=*/-1);
+}
+
+}  // namespace proust::verify

@@ -1,0 +1,115 @@
+// Bounded model of a map over small key/value domains, with the §3 striped
+// conflict abstraction (one location per key modulo M) and a broken variant
+// whose reads perform no CA access.
+//
+// State encoding: mixed radix — each key holds one of (num_vals + 1)
+// assignments, 0 meaning absent and v in 1..num_vals meaning "mapped to v".
+#include "verify/model.hpp"
+
+#include <sstream>
+
+namespace proust::verify {
+
+namespace {
+int digit(int state, int key, int radix) {
+  for (int i = 0; i < key; ++i) state /= radix;
+  return state % radix;
+}
+
+int with_digit(int state, int key, int radix, int value) {
+  int scale = 1;
+  for (int i = 0; i < key; ++i) scale *= radix;
+  const int old = digit(state, key, radix);
+  return state + (value - old) * scale;
+}
+}  // namespace
+
+ModelSpec make_map_model(int num_keys, int num_vals) {
+  const int radix = num_vals + 1;
+  int states = 1;
+  for (int i = 0; i < num_keys; ++i) states *= radix;
+
+  ModelSpec m;
+  m.name = "map";
+  m.num_states = states;
+
+  MethodSpec get;
+  get.name = "get";
+  for (int k = 0; k < num_keys; ++k) get.arg_tuples.push_back({k});
+  get.apply = [radix](int state, const Args& args) -> OpOutcome {
+    return {state, digit(state, static_cast<int>(args[0]), radix)};
+  };
+
+  MethodSpec contains;
+  contains.name = "contains";
+  for (int k = 0; k < num_keys; ++k) contains.arg_tuples.push_back({k});
+  contains.apply = [radix](int state, const Args& args) -> OpOutcome {
+    return {state, digit(state, static_cast<int>(args[0]), radix) != 0};
+  };
+
+  MethodSpec put;
+  put.name = "put";
+  for (int k = 0; k < num_keys; ++k) {
+    for (int v = 1; v <= num_vals; ++v) put.arg_tuples.push_back({k, v});
+  }
+  put.apply = [radix](int state, const Args& args) -> OpOutcome {
+    const int k = static_cast<int>(args[0]);
+    const int v = static_cast<int>(args[1]);
+    const int old = digit(state, k, radix);
+    return {with_digit(state, k, radix, v), old};
+  };
+
+  MethodSpec remove;
+  remove.name = "remove";
+  for (int k = 0; k < num_keys; ++k) remove.arg_tuples.push_back({k});
+  remove.apply = [radix](int state, const Args& args) -> OpOutcome {
+    const int k = static_cast<int>(args[0]);
+    const int old = digit(state, k, radix);
+    return {with_digit(state, k, radix, 0), old};
+  };
+
+  m.methods = {get, contains, put, remove};
+  m.describe_state = [num_keys, radix](int s) {
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (int k = 0; k < num_keys; ++k) {
+      const int d = digit(s, k, radix);
+      if (d == 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << k << "->" << d;
+    }
+    os << "}";
+    return os.str();
+  };
+  return m;
+}
+
+ConflictAbstractionFn map_ca_striped(int num_locations) {
+  return [num_locations](const std::string& method, const Args& args,
+                         int) -> Access {
+    Access a;
+    const int loc = static_cast<int>(args[0]) % num_locations;
+    if (method == "get" || method == "contains") {
+      a.reads = {loc};
+    } else {
+      a.writes = {loc};
+    }
+    return a;
+  };
+}
+
+ConflictAbstractionFn map_ca_readless() {
+  return [](const std::string& method, const Args& args, int) -> Access {
+    Access a;
+    if (method == "put" || method == "remove") {
+      a.writes = {static_cast<int>(args[0])};
+    }
+    // broken: get/contains perform no CA access, so a concurrent put to the
+    // same key is never detected.
+    return a;
+  };
+}
+
+}  // namespace proust::verify

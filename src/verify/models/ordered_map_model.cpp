@@ -1,0 +1,134 @@
+// Bounded model of an ordered map with range queries, validating the
+// interval conflict abstraction of core::TxnOrderedMap: a range operation
+// reads every stripe its interval covers; a point update writes its key's
+// stripe. The broken variant reads only the lower bound's stripe and is
+// refuted by a put strictly inside the queried range.
+#include "verify/model.hpp"
+
+#include <sstream>
+
+namespace proust::verify {
+
+namespace {
+int digit(int state, int key, int radix) {
+  for (int i = 0; i < key; ++i) state /= radix;
+  return state % radix;
+}
+int with_digit(int state, int key, int radix, int value) {
+  int scale = 1;
+  for (int i = 0; i < key; ++i) scale *= radix;
+  return state + (value - digit(state, key, radix)) * scale;
+}
+}  // namespace
+
+ModelSpec make_ordered_map_model(int num_keys, int num_vals) {
+  const int radix = num_vals + 1;  // 0 = absent
+  int states = 1;
+  for (int i = 0; i < num_keys; ++i) states *= radix;
+
+  ModelSpec m;
+  m.name = "ordered-map";
+  m.num_states = states;
+
+  MethodSpec get;
+  get.name = "get";
+  for (int k = 0; k < num_keys; ++k) get.arg_tuples.push_back({k});
+  get.apply = [radix](int state, const Args& args) -> OpOutcome {
+    return {state, digit(state, static_cast<int>(args[0]), radix)};
+  };
+
+  MethodSpec put;
+  put.name = "put";
+  for (int k = 0; k < num_keys; ++k) {
+    for (int v = 1; v <= num_vals; ++v) put.arg_tuples.push_back({k, v});
+  }
+  put.apply = [radix](int state, const Args& args) -> OpOutcome {
+    const int k = static_cast<int>(args[0]);
+    const int old = digit(state, k, radix);
+    return {with_digit(state, k, radix, static_cast<int>(args[1])), old};
+  };
+
+  MethodSpec remove;
+  remove.name = "remove";
+  for (int k = 0; k < num_keys; ++k) remove.arg_tuples.push_back({k});
+  remove.apply = [radix](int state, const Args& args) -> OpOutcome {
+    const int k = static_cast<int>(args[0]);
+    const int old = digit(state, k, radix);
+    return {with_digit(state, k, radix, 0), old};
+  };
+
+  // range_sum(lo, hi): encodes "queries over key ranges".
+  MethodSpec range_sum;
+  range_sum.name = "range_sum";
+  for (int lo = 0; lo < num_keys; ++lo) {
+    for (int hi = lo; hi < num_keys; ++hi) {
+      range_sum.arg_tuples.push_back({lo, hi});
+    }
+  }
+  range_sum.apply = [radix](int state, const Args& args) -> OpOutcome {
+    std::int64_t sum = 0;
+    for (int k = static_cast<int>(args[0]); k <= static_cast<int>(args[1]);
+         ++k) {
+      sum = sum * 16 + digit(state, k, radix);  // positional: order-sensitive
+    }
+    return {state, sum};
+  };
+
+  m.methods = {get, put, remove, range_sum};
+  m.describe_state = [num_keys, radix](int s) {
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (int k = 0; k < num_keys; ++k) {
+      const int d = digit(s, k, radix);
+      if (d == 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << k << "->" << d;
+    }
+    os << "}";
+    return os.str();
+  };
+  return m;
+}
+
+namespace {
+ConflictAbstractionFn ordered_map_ca(int num_locations, bool cover_range) {
+  return [num_locations, cover_range](const std::string& method,
+                                      const Args& args, int) -> Access {
+    Access a;
+    const auto stripe = [num_locations](int k) {
+      return k % num_locations;  // contiguous small domain: identity mod M
+    };
+    if (method == "get") {
+      a.reads = {stripe(static_cast<int>(args[0]))};
+    } else if (method == "put" || method == "remove") {
+      a.writes = {stripe(static_cast<int>(args[0]))};
+    } else if (method == "range_sum") {
+      const int lo = static_cast<int>(args[0]);
+      const int hi = static_cast<int>(args[1]);
+      if (cover_range) {
+        for (int k = lo; k <= hi; ++k) {
+          const int s = stripe(k);
+          bool seen = false;
+          for (int r : a.reads) seen = seen || r == s;
+          if (!seen) a.reads.push_back(s);
+        }
+      } else {
+        a.reads = {stripe(lo)};  // broken: ignores the rest of the interval
+      }
+    }
+    return a;
+  };
+}
+}  // namespace
+
+ConflictAbstractionFn ordered_map_ca_interval(int num_locations) {
+  return ordered_map_ca(num_locations, /*cover_range=*/true);
+}
+
+ConflictAbstractionFn ordered_map_ca_lower_only(int num_locations) {
+  return ordered_map_ca(num_locations, /*cover_range=*/false);
+}
+
+}  // namespace proust::verify

@@ -1,0 +1,169 @@
+// Bounded model of a priority queue (multiset semantics) with the
+// two-element abstract state of Listing 3 (location 0 = PQueueMin,
+// location 1 = PQueueMultiSet). Includes our implementation's CA and the
+// literal Figure 3 CA whose empty-queue insert only *reads* PQueueMin — the
+// checker produces the missed insert-vs-min conflict for the latter.
+#include "verify/model.hpp"
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace proust::verify {
+
+namespace {
+constexpr std::int64_t kEmptyRet = -1;
+constexpr std::int64_t kFullRet = -2;
+constexpr int kMinLoc = 0;
+constexpr int kMultiSetLoc = 1;
+
+struct PQStateSpace {
+  std::vector<std::vector<int>> states;       // counts per value (1-indexed by value-1)
+  std::map<std::vector<int>, int> index;
+
+  PQStateSpace(int num_vals, int max_size) {
+    std::vector<int> counts(num_vals, 0);
+    enumerate(counts, 0, max_size);
+  }
+
+  void enumerate(std::vector<int>& counts, std::size_t pos, int max_size) {
+    if (pos == counts.size()) {
+      index.emplace(counts, static_cast<int>(states.size()));
+      states.push_back(counts);
+      return;
+    }
+    for (int c = 0; c <= max_size; ++c) {
+      counts[pos] = c;
+      int total = 0;
+      for (std::size_t i = 0; i <= pos; ++i) total += counts[i];
+      if (total > max_size) break;
+      enumerate(counts, pos + 1, max_size);
+    }
+    counts[pos] = 0;
+  }
+
+  int total(int s) const {
+    int t = 0;
+    for (int c : states[s]) t += c;
+    return t;
+  }
+
+  /// Smallest present value (1-based), or 0 if empty.
+  int min_value(int s) const {
+    for (std::size_t i = 0; i < states[s].size(); ++i) {
+      if (states[s][i] > 0) return static_cast<int>(i) + 1;
+    }
+    return 0;
+  }
+};
+
+std::shared_ptr<const PQStateSpace> space(int num_vals, int max_size) {
+  return std::make_shared<const PQStateSpace>(num_vals, max_size);
+}
+}  // namespace
+
+ModelSpec make_pqueue_model(int num_vals, int max_size) {
+  auto sp = space(num_vals, max_size);
+
+  ModelSpec m;
+  m.name = "pqueue";
+  m.num_states = static_cast<int>(sp->states.size());
+
+  MethodSpec insert;
+  insert.name = "insert";
+  for (int v = 1; v <= num_vals; ++v) insert.arg_tuples.push_back({v});
+  insert.apply = [sp, max_size](int state, const Args& args) -> OpOutcome {
+    if (sp->total(state) >= max_size) return {state, kFullRet};
+    std::vector<int> counts = sp->states[state];
+    counts[static_cast<std::size_t>(args[0] - 1)] += 1;
+    return {sp->index.at(counts), 0};
+  };
+
+  MethodSpec min;
+  min.name = "min";
+  min.arg_tuples = {{}};
+  min.apply = [sp](int state, const Args&) -> OpOutcome {
+    const int v = sp->min_value(state);
+    return {state, v == 0 ? kEmptyRet : v};
+  };
+
+  MethodSpec remove_min;
+  remove_min.name = "removeMin";
+  remove_min.arg_tuples = {{}};
+  remove_min.apply = [sp](int state, const Args&) -> OpOutcome {
+    const int v = sp->min_value(state);
+    if (v == 0) return {state, kEmptyRet};
+    std::vector<int> counts = sp->states[state];
+    counts[static_cast<std::size_t>(v - 1)] -= 1;
+    return {sp->index.at(counts), v};
+  };
+
+  MethodSpec contains;
+  contains.name = "contains";
+  for (int v = 1; v <= num_vals; ++v) contains.arg_tuples.push_back({v});
+  contains.apply = [sp](int state, const Args& args) -> OpOutcome {
+    return {state, sp->states[state][static_cast<std::size_t>(args[0] - 1)] > 0};
+  };
+
+  m.methods = {insert, min, remove_min, contains};
+  m.describe_state = [sp](int s) {
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (std::size_t i = 0; i < sp->states[s].size(); ++i) {
+      for (int c = 0; c < sp->states[s][i]; ++c) {
+        if (!first) os << ",";
+        first = false;
+        os << (i + 1);
+      }
+    }
+    os << "}";
+    return os.str();
+  };
+  // Keep two inserts away from the capacity clamp.
+  m.state_filter = [sp, max_size](int s) {
+    return sp->total(s) <= max_size - 2;
+  };
+  return m;
+}
+
+namespace {
+ConflictAbstractionFn pqueue_ca(int num_vals, int max_size,
+                                bool empty_insert_writes_min) {
+  auto sp = space(num_vals, max_size);
+  return [sp, empty_insert_writes_min](const std::string& method,
+                                       const Args& args, int state) -> Access {
+    Access a;
+    const int cur_min = sp->min_value(state);
+    if (method == "insert") {
+      a.writes = {kMultiSetLoc};
+      const bool lowers = cur_min == 0 || args[0] < cur_min;
+      if (cur_min == 0 && !empty_insert_writes_min) {
+        a.reads.push_back(kMinLoc);  // Figure 3's getOrElse{Read(PQueueMin)}
+      } else if (lowers) {
+        a.writes.push_back(kMinLoc);
+      } else {
+        a.reads.push_back(kMinLoc);
+      }
+    } else if (method == "min") {
+      a.reads = {kMinLoc};
+    } else if (method == "removeMin") {
+      a.writes = {kMinLoc, kMultiSetLoc};
+    } else if (method == "contains") {
+      a.reads = {kMultiSetLoc};
+    }
+    return a;
+  };
+}
+}  // namespace
+
+ConflictAbstractionFn pqueue_ca_ours(int num_vals, int max_size) {
+  return pqueue_ca(num_vals, max_size, /*empty_insert_writes_min=*/true);
+}
+
+ConflictAbstractionFn pqueue_ca_figure3_literal(int num_vals, int max_size) {
+  return pqueue_ca(num_vals, max_size, /*empty_insert_writes_min=*/false);
+}
+
+}  // namespace proust::verify

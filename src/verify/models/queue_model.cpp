@@ -1,0 +1,126 @@
+// Bounded model of a FIFO queue with the Head/Tail abstract-state
+// decomposition used by core::TxnQueue. Validates that CA analytically:
+//   enq(v): Write(Tail);  deq(): Write(Head) + Read(Tail) when empty.
+// Also provides the broken variant without the empty-queue Read(Tail),
+// which the checker refutes (deq-on-empty does not commute with enq).
+#include "verify/model.hpp"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace proust::verify {
+
+namespace {
+constexpr std::int64_t kEmptyRet = -1;
+constexpr std::int64_t kFullRet = -2;
+constexpr int kHeadLoc = 0;
+constexpr int kTailLoc = 1;
+
+// States are sequences over {1..num_vals} of length <= max_len, enumerated
+// lexicographically.
+struct QStateSpace {
+  std::vector<std::vector<int>> states;
+
+  QStateSpace(int num_vals, int max_len) {
+    std::vector<int> cur;
+    build(cur, num_vals, max_len);
+  }
+
+  void build(std::vector<int>& cur, int num_vals, int max_len) {
+    states.push_back(cur);
+    if (static_cast<int>(cur.size()) == max_len) return;
+    for (int v = 1; v <= num_vals; ++v) {
+      cur.push_back(v);
+      build(cur, num_vals, max_len);
+      cur.pop_back();
+    }
+  }
+
+  int index_of(const std::vector<int>& s) const {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i] == s) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+}  // namespace
+
+ModelSpec make_queue_model(int num_vals, int max_len) {
+  auto sp = std::make_shared<const QStateSpace>(num_vals, max_len);
+
+  ModelSpec m;
+  m.name = "queue";
+  m.num_states = static_cast<int>(sp->states.size());
+
+  MethodSpec enq;
+  enq.name = "enq";
+  for (int v = 1; v <= num_vals; ++v) enq.arg_tuples.push_back({v});
+  enq.apply = [sp, max_len](int state, const Args& args) -> OpOutcome {
+    std::vector<int> s = sp->states[static_cast<std::size_t>(state)];
+    if (static_cast<int>(s.size()) >= max_len) return {state, kFullRet};
+    s.push_back(static_cast<int>(args[0]));
+    return {sp->index_of(s), 0};
+  };
+
+  MethodSpec deq;
+  deq.name = "deq";
+  deq.arg_tuples = {{}};
+  deq.apply = [sp](int state, const Args&) -> OpOutcome {
+    std::vector<int> s = sp->states[static_cast<std::size_t>(state)];
+    if (s.empty()) return {state, kEmptyRet};
+    const int front = s.front();
+    s.erase(s.begin());
+    return {sp->index_of(s), front};
+  };
+
+  m.methods = {enq, deq};
+  m.describe_state = [sp](int s) {
+    std::ostringstream os;
+    os << "[";
+    const auto& st = sp->states[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      if (i) os << ",";
+      os << st[i];
+    }
+    os << "]";
+    return os.str();
+  };
+  // Keep clear of the capacity clamp (two enqs from a checked state).
+  m.state_filter = [sp, max_len](int s) {
+    return static_cast<int>(sp->states[static_cast<std::size_t>(s)].size()) <=
+           max_len - 2;
+  };
+  return m;
+}
+
+namespace {
+ConflictAbstractionFn queue_ca(int num_vals, int max_len,
+                               bool empty_deq_reads_tail) {
+  auto sp = std::make_shared<const QStateSpace>(num_vals, max_len);
+  return [sp, empty_deq_reads_tail](const std::string& method, const Args&,
+                                    int state) -> Access {
+    Access a;
+    if (method == "enq") {
+      a.writes = {kTailLoc};
+    } else if (method == "deq") {
+      a.writes = {kHeadLoc};
+      if (empty_deq_reads_tail &&
+          sp->states[static_cast<std::size_t>(state)].empty()) {
+        a.reads.push_back(kTailLoc);
+      }
+    }
+    return a;
+  };
+}
+}  // namespace
+
+ConflictAbstractionFn queue_ca_ours(int num_vals, int max_len) {
+  return queue_ca(num_vals, max_len, /*empty_deq_reads_tail=*/true);
+}
+
+ConflictAbstractionFn queue_ca_no_empty_read(int num_vals, int max_len) {
+  return queue_ca(num_vals, max_len, /*empty_deq_reads_tail=*/false);
+}
+
+}  // namespace proust::verify

@@ -1,0 +1,228 @@
+#include "verify/synth.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace proust::verify {
+
+namespace {
+
+/// A concrete combination of menu choices, exposed as a CA function.
+ConflictAbstractionFn make_ca(const SynthesisProblem& problem,
+                              const std::vector<std::size_t>& chosen) {
+  // Capture the options by value so the CA outlives the synthesis call.
+  std::vector<RuleOption> rules;
+  rules.reserve(chosen.size());
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    rules.push_back(problem.menus[i][chosen[i]]);
+  }
+  std::vector<std::string> names;
+  for (const MethodSpec& m : problem.model->methods) names.push_back(m.name);
+  return [rules, names](const std::string& method, const Args& args,
+                        int state) -> Access {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == method) return rules[i].access(args, state);
+    }
+    return {};
+  };
+}
+
+double total_cost(const SynthesisProblem& problem,
+                  const std::vector<std::size_t>& chosen) {
+  double c = 0;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    c += problem.menus[i][chosen[i]].cost;
+  }
+  return c;
+}
+
+/// Does a candidate produce a conflict for a stored counterexample's
+/// invocation pair? (The cheap CEGIS consistency test.)
+bool resolves(const SynthesisProblem& problem,
+              const std::vector<std::size_t>& chosen,
+              const Counterexample& cex) {
+  const auto ca = make_ca(problem, chosen);
+  return accesses_conflict(ca(cex.m.method, cex.m.args, cex.state),
+                           ca(cex.n.method, cex.n.args, cex.state));
+}
+
+}  // namespace
+
+SynthesisResult synthesize(const SynthesisProblem& problem) {
+  SynthesisResult result;
+  const std::size_t n = problem.menus.size();
+
+  // Enumerate all combinations, then visit in nondecreasing cost order.
+  std::vector<std::vector<std::size_t>> combos;
+  std::vector<std::size_t> cur(n, 0);
+  for (;;) {
+    combos.push_back(cur);
+    std::size_t i = 0;
+    while (i < n && ++cur[i] == problem.menus[i].size()) {
+      cur[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  std::stable_sort(combos.begin(), combos.end(),
+                   [&](const auto& a, const auto& b) {
+                     return total_cost(problem, a) < total_cost(problem, b);
+                   });
+
+  for (const auto& combo : combos) {
+    bool consistent = true;
+    for (const Counterexample& cex : result.counterexamples) {
+      if (!resolves(problem, combo, cex)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) {
+      ++result.candidates_pruned;
+      continue;
+    }
+    ++result.candidates_proposed;
+    const auto ca = make_ca(problem, combo);
+    if (auto cex = check_conflict_abstraction(*problem.model, ca)) {
+      result.counterexamples.push_back(*cex);
+      continue;
+    }
+    result.found = true;
+    result.chosen = combo;
+    result.ca = ca;
+    std::ostringstream os;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i) os << "; ";
+      os << problem.model->methods[i].name << ": "
+         << problem.menus[i][combo[i]].description;
+    }
+    result.summary = os.str();
+    return result;
+  }
+  return result;  // found == false: menu space has no correct CA
+}
+
+std::vector<RuleOption> threshold_menu(
+    int location, int max_threshold,
+    std::function<int(int state)> measure) {
+  std::vector<RuleOption> menu;
+  menu.push_back({"no access", [](const Args&, int) { return Access{}; }, 0});
+  for (int write = 0; write <= 1; ++write) {
+    const double kind_cost = write ? 2.0 : 1.0;
+    // Unconditional access.
+    menu.push_back(
+        {std::string(write ? "write" : "read") + "(l" +
+             std::to_string(location) + ") always",
+         [location, write](const Args&, int) {
+           Access a;
+           (write ? a.writes : a.reads).push_back(location);
+           return a;
+         },
+         kind_cost * (max_threshold + 1)});
+    for (int tau = 1; tau <= max_threshold; ++tau) {
+      menu.push_back(
+          {std::string(write ? "write" : "read") + "(l" +
+               std::to_string(location) + ") when measure < " +
+               std::to_string(tau),
+           [location, write, tau, measure](const Args&, int state) {
+             Access a;
+             if (measure(state) < tau) {
+               (write ? a.writes : a.reads).push_back(location);
+             }
+             return a;
+           },
+           kind_cost * tau});
+    }
+  }
+  return menu;
+}
+
+SynthesisProblem make_counter_synthesis_problem(const ModelSpec& counter) {
+  SynthesisProblem p;
+  p.model = &counter;
+  const auto identity = [](int state) { return state; };  // state == value
+  p.menus.assign(counter.methods.size(),
+                 threshold_menu(/*location=*/0, /*max_threshold=*/4, identity));
+  return p;
+}
+
+SynthesisProblem make_queue_synthesis_problem(const ModelSpec& queue) {
+  SynthesisProblem p;
+  p.model = &queue;
+  p.menus.resize(queue.methods.size());
+  for (std::size_t i = 0; i < queue.methods.size(); ++i) {
+    const std::string& name = queue.methods[i].name;
+    std::vector<RuleOption> menu;
+    menu.push_back({"no access", [](const Args&, int) { return Access{}; }, 0});
+    if (name == "enq") {
+      menu.push_back({"write(Tail)",
+                      [](const Args&, int) {
+                        Access a;
+                        a.writes = {1};
+                        return a;
+                      },
+                      2});
+      menu.push_back({"read(Tail)",
+                      [](const Args&, int) {
+                        Access a;
+                        a.reads = {1};
+                        return a;
+                      },
+                      1});
+    } else {  // deq
+      // Write(Head) with an optional emptiness-guarded Read(Tail).
+      // State index 0 is the empty queue in the model's enumeration order.
+      for (int with_tail = 0; with_tail <= 1; ++with_tail) {
+        menu.push_back(
+            {with_tail ? "write(Head) + read(Tail) when empty"
+                       : "write(Head)",
+             [with_tail](const Args&, int state) {
+               Access a;
+               a.writes = {0};
+               if (with_tail && state == 0) a.reads.push_back(1);
+               return a;
+             },
+             2.0 + with_tail * 0.5});
+      }
+      menu.push_back({"write(Head) + read(Tail) always",
+                      [](const Args&, int) {
+                        Access a;
+                        a.writes = {0};
+                        a.reads = {1};
+                        return a;
+                      },
+                      4});
+    }
+    p.menus[i] = std::move(menu);
+  }
+  return p;
+}
+
+std::vector<RuleOption> keyed_menu(int num_locations) {
+  std::vector<RuleOption> menu;
+  menu.push_back({"no access", [](const Args&, int) { return Access{}; }, 0});
+  for (int write = 0; write <= 1; ++write) {
+    menu.push_back(
+        {std::string(write ? "write" : "read") + "(key mod " +
+             std::to_string(num_locations) + ")",
+         [num_locations, write](const Args& args, int) {
+           Access a;
+           const int loc = static_cast<int>(args[0]) % num_locations;
+           (write ? a.writes : a.reads).push_back(loc);
+           return a;
+         },
+         write ? 2.0 : 1.0});
+  }
+  return menu;
+}
+
+SynthesisProblem make_map_synthesis_problem(const ModelSpec& map,
+                                            int num_locations) {
+  SynthesisProblem p;
+  p.model = &map;
+  p.menus.assign(map.methods.size(), keyed_menu(num_locations));
+  return p;
+}
+
+}  // namespace proust::verify

@@ -1,0 +1,87 @@
+// Conflict-abstraction synthesis by counterexample-guided inductive search
+// (CEGIS) — the future-work direction of §9/Appendix E: "using SAT/SMT
+// counterexamples as the basis for constructing f_1^{m,rd}, ...".
+//
+// The synthesizer is template-based: for every method of a bounded model
+// the caller supplies a menu of candidate access rules (RuleOption), each a
+// small conflict-abstraction fragment with a heuristic cost. The CEGIS loop
+//   1. proposes the cheapest untried combination consistent with every
+//      counterexample collected so far (consistency is a cheap evaluation,
+//      no model checking),
+//   2. verifies it with the exhaustive checker,
+//   3. on failure stores the counterexample and goes to 1.
+// Because candidates are visited in nondecreasing cost order, the first
+// verified combination is a minimum-cost correct CA for the given menu —
+// with costs that track access aggressiveness, this also approximately
+// minimizes false conflicts (the quantity Proust cares about).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/checker.hpp"
+#include "verify/model.hpp"
+
+namespace proust::verify {
+
+/// One candidate access rule for one method.
+struct RuleOption {
+  std::string description;
+  std::function<Access(const Args& args, int state)> access;
+  double cost = 0;  // heuristic: stronger/wider accesses cost more
+};
+
+struct SynthesisProblem {
+  const ModelSpec* model = nullptr;
+  /// One menu per method, in the model's method order.
+  std::vector<std::vector<RuleOption>> menus;
+};
+
+struct SynthesisResult {
+  bool found = false;
+  std::vector<std::size_t> chosen;  // option index per method
+  std::size_t candidates_proposed = 0;  // full verifications attempted
+  std::size_t candidates_pruned = 0;    // rejected by stored counterexamples
+  std::vector<Counterexample> counterexamples;
+  ConflictAbstractionFn ca;  // the synthesized abstraction (if found)
+  std::string summary;       // human-readable description of the choice
+};
+
+/// Run the CEGIS loop. Complexity: product of menu sizes in the worst case,
+/// but counterexample pruning typically eliminates most combinations
+/// without a model-checking pass.
+SynthesisResult synthesize(const SynthesisProblem& problem);
+
+// ---------------------------------------------------------------------------
+// Menu builders for the bundled models.
+
+/// Threshold-guarded rules over a single location: {none} ∪
+/// {read,write} × {guard state-measure < τ : τ in 1..max_threshold} ∪
+/// unconditional read/write. `measure` maps a model state to the guarded
+/// quantity (e.g. the counter's value).
+std::vector<RuleOption> threshold_menu(
+    int location, int max_threshold,
+    std::function<int(int state)> measure);
+
+/// The §3 counter synthesis instance: both methods draw from a threshold
+/// menu over ℓ0 guarded by the counter value. The expected synthesis result
+/// is the paper's CA (incr reads, decr writes, threshold 2).
+SynthesisProblem make_counter_synthesis_problem(const ModelSpec& counter);
+
+/// The FIFO queue instance: enq picks among {Write(Tail)} variants, deq
+/// among {Write(Head)} plus an optional emptiness-guarded Read(Tail).
+SynthesisProblem make_queue_synthesis_problem(const ModelSpec& queue);
+
+/// Keyed rules for map-like methods whose first argument is the key:
+/// {none, read(key mod M), write(key mod M)}. Reads cost 1, writes 2.
+std::vector<RuleOption> keyed_menu(int num_locations);
+
+/// The striped-map instance: every method draws from keyed_menu; synthesis
+/// must discover that gets/contains read and puts/removes write their key's
+/// stripe (i.e. re-derive map_ca_striped automatically).
+SynthesisProblem make_map_synthesis_problem(const ModelSpec& map,
+                                            int num_locations);
+
+}  // namespace proust::verify

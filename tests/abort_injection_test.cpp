@@ -1,0 +1,147 @@
+// Abort-injection differential tests: random multi-operation transactions
+// where a fraction abort midway (user exception after a prefix of the ops).
+// The reference model applies only committed transactions; any divergence
+// means a rollback path (inverses, undo combining, replay-log dropping,
+// committed-size deltas) leaked partial effects. Runs against every map
+// configuration in the design space.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "map_configs.hpp"
+
+using namespace proust::testing;
+
+namespace {
+
+struct InjectedAbort {};
+
+using Param = std::tuple<MapConfig, std::uint64_t>;
+
+class AbortInjectionTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override { map_ = std::get<0>(GetParam()).make(); }
+  std::unique_ptr<MapUnderTest> map_;
+};
+
+}  // namespace
+
+TEST_P(AbortInjectionTest, AbortedTxnsLeaveNoTrace) {
+  proust::Xoshiro256 rng(std::get<1>(GetParam()) * 977 + 3);
+  std::map<long, long> reference;
+
+  for (int t = 0; t < 400; ++t) {
+    const int ops = 1 + static_cast<int>(rng.below(10));
+    const bool abort = rng.uniform() < 0.4;
+    const int abort_after =
+        abort ? static_cast<int>(rng.below(static_cast<std::uint64_t>(ops)))
+              : ops;
+    struct Planned {
+      int kind;
+      long k, v;
+    };
+    std::vector<Planned> plan;
+    for (int i = 0; i < ops; ++i) {
+      plan.push_back({static_cast<int>(rng.below(3)),
+                      static_cast<long>(rng.below(16)),
+                      static_cast<long>(rng.below(1000))});
+    }
+
+    try {
+      map_->atomically([&](MapView& m) {
+        for (int i = 0; i < ops; ++i) {
+          if (i == abort_after) throw InjectedAbort{};
+          const Planned& p = plan[i];
+          switch (p.kind) {
+            case 0: m.put(p.k, p.v); break;
+            case 1: m.remove(p.k); break;
+            default: m.get(p.k); break;
+          }
+        }
+        if (abort_after == ops && abort) throw InjectedAbort{};
+      });
+      // Committed: fold the plan into the reference.
+      for (const Planned& p : plan) {
+        if (p.kind == 0) {
+          reference[p.k] = p.v;
+        } else if (p.kind == 1) {
+          reference.erase(p.k);
+        }
+      }
+      ASSERT_FALSE(abort) << "txn " << t << " should have aborted";
+    } catch (const InjectedAbort&) {
+      ASSERT_TRUE(abort);
+      // Aborted: the reference is untouched.
+    }
+
+    // Spot-check state every few transactions (full check at the end).
+    if (t % 25 == 0) {
+      for (long k = 0; k < 16; ++k) {
+        auto it = reference.find(k);
+        std::optional<long> expected = it == reference.end()
+                                           ? std::nullopt
+                                           : std::make_optional(it->second);
+        ASSERT_EQ(map_->get1(k), expected) << "txn " << t << " key " << k;
+      }
+      if (map_->committed_size() >= 0) {
+        ASSERT_EQ(map_->committed_size(),
+                  static_cast<long>(reference.size()))
+            << "txn " << t;
+      }
+    }
+  }
+
+  for (long k = 0; k < 16; ++k) {
+    auto it = reference.find(k);
+    std::optional<long> expected =
+        it == reference.end() ? std::nullopt : std::make_optional(it->second);
+    ASSERT_EQ(map_->get1(k), expected);
+  }
+}
+
+TEST_P(AbortInjectionTest, ConcurrentAbortsPreserveInvariants) {
+  // Two threads transfer between accounts; a third of their transactions
+  // abort after partially applying. Conservation must survive.
+  constexpr long kAccounts = 8, kInitial = 50;
+  for (long k = 0; k < kAccounts; ++k) map_->put1(k, kInitial);
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 2; ++t) {
+    ts.emplace_back([&, t] {
+      proust::Xoshiro256 rng(std::get<1>(GetParam()) + t * 131);
+      for (int i = 0; i < 500; ++i) {
+        const long a = static_cast<long>(rng.below(kAccounts));
+        const long b = static_cast<long>(rng.below(kAccounts));
+        if (a == b) continue;
+        const bool abort = rng.uniform() < 0.33;
+        try {
+          map_->atomically([&](MapView& m) {
+            const long va = m.get(a).value();
+            if (va <= 0) return;
+            m.put(a, va - 1);
+            if (abort) throw InjectedAbort{};  // after the debit!
+            m.put(b, m.get(b).value() + 1);
+          });
+        } catch (const InjectedAbort&) {
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+
+  long total = 0;
+  for (long k = 0; k < kAccounts; ++k) total += map_->get1(k).value();
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AbortInjectionTest,
+    ::testing::Combine(::testing::ValuesIn(opaque_map_configs()),
+                       ::testing::Values(5u, 6u)),
+    [](const auto& info) {
+      return std::get<0>(info.param).name + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });

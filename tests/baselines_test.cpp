@@ -1,0 +1,199 @@
+// Tests for the §7 comparison baselines: the pure-STM map and the
+// predication map.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "baselines/predication_map.hpp"
+#include "baselines/pure_stm_map.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+
+class PureStmMapTest : public ::testing::TestWithParam<stm::Mode> {
+ protected:
+  stm::Stm stm{GetParam()};
+  baselines::PureStmMap<long, long> map{stm, 1024};
+};
+
+TEST_P(PureStmMapTest, PutGetRemoveRoundTrip) {
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_EQ(map.put(tx, 1, 10), std::nullopt);
+    EXPECT_EQ(map.get(tx, 1), 10);
+    EXPECT_EQ(map.put(tx, 1, 11), 10);
+    EXPECT_EQ(map.remove(tx, 1), 11);
+    EXPECT_EQ(map.get(tx, 1), std::nullopt);
+  });
+}
+
+TEST_P(PureStmMapTest, TombstoneSlotReused) {
+  stm.atomically([&](stm::Txn& tx) {
+    map.put(tx, 5, 50);
+    map.remove(tx, 5);
+    EXPECT_EQ(map.put(tx, 5, 51), std::nullopt);
+    EXPECT_EQ(map.get(tx, 5), 51);
+  });
+}
+
+TEST_P(PureStmMapTest, CollidingKeysProbeCorrectly) {
+  // Fill enough keys that probe chains form (capacity 1024, 600 keys).
+  stm.atomically([&](stm::Txn& tx) {
+    for (long k = 0; k < 600; ++k) map.put(tx, k, k * 2);
+  });
+  stm.atomically([&](stm::Txn& tx) {
+    for (long k = 0; k < 600; ++k) EXPECT_EQ(map.get(tx, k), k * 2);
+  });
+}
+
+TEST_P(PureStmMapTest, AbortRollsBackTableSlots) {
+  stm.atomically([&](stm::Txn& tx) { map.put(tx, 7, 70); });
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 map.put(tx, 7, -1);
+                 map.put(tx, 8, -1);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_EQ(map.get(tx, 7), 70);
+    EXPECT_EQ(map.get(tx, 8), std::nullopt);
+  });
+}
+
+TEST_P(PureStmMapTest, ConcurrentTransfersPreserveTotal) {
+  constexpr long kAccounts = 8;
+  for (long k = 0; k < kAccounts; ++k) map.unsafe_put(k, 100);
+  constexpr int kThreads = 4;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 17);
+      for (int i = 0; i < 600; ++i) {
+        const long a = static_cast<long>(rng.below(kAccounts));
+        const long b = static_cast<long>(rng.below(kAccounts));
+        if (a == b) continue;
+        stm.atomically([&](stm::Txn& tx) {
+          const long va = map.get(tx, a).value();
+          if (va > 0) {
+            map.put(tx, a, va - 1);
+            map.put(tx, b, map.get(tx, b).value() + 1);
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  long total = 0;
+  stm.atomically([&](stm::Txn& tx) {
+    for (long k = 0; k < kAccounts; ++k) total += map.get(tx, k).value();
+  });
+  EXPECT_EQ(total, kAccounts * 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, PureStmMapTest,
+                         ::testing::Values(stm::Mode::Lazy,
+                                           stm::Mode::EagerWrite,
+                                           stm::Mode::EagerAll),
+                         [](const auto& info) {
+                           return std::string(stm::to_string(info.param));
+                         });
+
+class PredicationMapTest : public ::testing::TestWithParam<stm::Mode> {
+ protected:
+  stm::Stm stm{GetParam()};
+  baselines::PredicationMap<long, long> map{stm};
+};
+
+TEST_P(PredicationMapTest, PutGetRemoveRoundTrip) {
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_EQ(map.put(tx, 1, 10), std::nullopt);
+    EXPECT_EQ(map.get(tx, 1), 10);
+    EXPECT_TRUE(map.contains(tx, 1));
+    EXPECT_EQ(map.remove(tx, 1), 10);
+    EXPECT_FALSE(map.contains(tx, 1));
+  });
+}
+
+TEST_P(PredicationMapTest, PredicateReusedAcrossReinsertion) {
+  stm.atomically([&](stm::Txn& tx) { map.put(tx, 3, 30); });
+  stm.atomically([&](stm::Txn& tx) { map.remove(tx, 3); });
+  stm.atomically([&](stm::Txn& tx) { map.put(tx, 3, 31); });
+  EXPECT_EQ(stm.atomically([&](stm::Txn& tx) { return map.get(tx, 3); }), 31);
+}
+
+TEST_P(PredicationMapTest, AbortRollsBackPredicates) {
+  stm.atomically([&](stm::Txn& tx) { map.put(tx, 4, 40); });
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 map.remove(tx, 4);
+                 map.put(tx, 5, 50);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_EQ(map.get(tx, 4), 40);
+    EXPECT_FALSE(map.contains(tx, 5));
+  });
+}
+
+TEST_P(PredicationMapTest, DistinctKeysDoNotConflict) {
+  // Per-key predicates: disjoint-key transactions never abort.
+  stm.stats().reset();
+  constexpr int kThreads = 4;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      for (int i = 0; i < 1000; ++i) {
+        stm.atomically(
+            [&](stm::Txn& tx) { map.put(tx, t, i); });  // key == thread id
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(stm.stats().snapshot().total_aborts(), 0u);
+}
+
+TEST_P(PredicationMapTest, ConcurrentTransfersPreserveTotal) {
+  constexpr long kAccounts = 8;
+  for (long k = 0; k < kAccounts; ++k) map.unsafe_put(k, 100);
+  constexpr int kThreads = 4;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 23);
+      for (int i = 0; i < 600; ++i) {
+        const long a = static_cast<long>(rng.below(kAccounts));
+        const long b = static_cast<long>(rng.below(kAccounts));
+        if (a == b) continue;
+        stm.atomically([&](stm::Txn& tx) {
+          const long va = map.get(tx, a).value();
+          if (va > 0) {
+            map.put(tx, a, va - 1);
+            map.put(tx, b, map.get(tx, b).value() + 1);
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  long total = 0;
+  stm.atomically([&](stm::Txn& tx) {
+    for (long k = 0; k < kAccounts; ++k) total += map.get(tx, k).value();
+  });
+  EXPECT_EQ(total, kAccounts * 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, PredicationMapTest,
+                         ::testing::Values(stm::Mode::Lazy,
+                                           stm::Mode::EagerWrite,
+                                           stm::Mode::EagerAll),
+                         [](const auto& info) {
+                           return std::string(stm::to_string(info.param));
+                         });

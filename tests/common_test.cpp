@@ -1,0 +1,172 @@
+// Unit tests for the common utilities (rng, backoff, hashing) and the
+// thread registry / benchmark workload generator — the foundations the
+// measurements rest on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bench_util/workload.hpp"
+#include "common/backoff.hpp"
+#include "common/hashing.hpp"
+#include "common/rng.hpp"
+#include "stm/thread_registry.hpp"
+
+using namespace proust;
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c();
+  }
+  Xoshiro256 a2(7), c2(8);
+  EXPECT_NE(a2(), c2());
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Xoshiro256, UniformIsInHalfOpenUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(21);
+  constexpr int kBuckets = 8, kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) counts[rng.below(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Backoff, LimitGrowsAndResets) {
+  Backoff b(1, 16, 256);
+  const auto initial = b.current_limit();
+  b.pause();
+  b.pause();
+  EXPECT_GT(b.current_limit(), initial);
+  for (int i = 0; i < 20; ++i) b.pause();
+  EXPECT_LE(b.current_limit(), 512u);  // capped (one doubling past max)
+  b.reset();
+  EXPECT_EQ(b.current_limit(), initial);
+}
+
+TEST(Hashing, Mix64Avalanches) {
+  // Neighbouring integers must land in different low bits most of the time
+  // (the identity hash would fail striping).
+  int same_low6 = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if ((mix64(i) & 63) == (mix64(i + 1) & 63)) ++same_low6;
+  }
+  EXPECT_LT(same_low6, 100);  // ~1/64 expected, allow slack
+}
+
+TEST(Hashing, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(Hashing, HashIsStableAndSpreads) {
+  Hash<long> h;
+  EXPECT_EQ(h(42), h(42));
+  std::set<std::size_t> buckets;
+  for (long k = 0; k < 64; ++k) buckets.insert(h(k) & 63);
+  EXPECT_GT(buckets.size(), 32u);  // sequential keys spread over stripes
+}
+
+TEST(ThreadRegistry, SlotsAreStablePerThreadAndDistinct) {
+  const unsigned mine = stm::ThreadRegistry::slot();
+  EXPECT_EQ(stm::ThreadRegistry::slot(), mine);
+  unsigned other = mine;
+  std::thread t([&] { other = stm::ThreadRegistry::slot(); });
+  t.join();
+  EXPECT_NE(other, mine);
+}
+
+TEST(ThreadRegistry, SlotsAreRecycledAfterThreadExit) {
+  unsigned first = 0;
+  std::thread t1([&] { first = stm::ThreadRegistry::slot(); });
+  t1.join();
+  unsigned second = 1;
+  std::thread t2([&] { second = stm::ThreadRegistry::slot(); });
+  t2.join();
+  EXPECT_EQ(first, second);
+}
+
+TEST(MapWorkload, WriteFractionIsRespected) {
+  bench::MapWorkload wl(0.5, 1024, 11);
+  int writes = 0, gets = 0, puts = 0, removes = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    const bench::Op op = wl.next();
+    EXPECT_GE(op.key, 0);
+    EXPECT_LT(op.key, 1024);
+    switch (op.kind) {
+      case bench::OpKind::Put: ++puts; ++writes; break;
+      case bench::OpKind::Remove: ++removes; ++writes; break;
+      case bench::OpKind::Get: ++gets; break;
+    }
+  }
+  EXPECT_NEAR(writes, kN / 2, kN * 0.02);
+  // "evenly split between put and remove" (§7)
+  EXPECT_NEAR(puts, removes, kN * 0.02);
+}
+
+TEST(MapWorkload, ReadOnlyAndWriteOnlyExtremes) {
+  bench::MapWorkload ro(0.0, 64, 1);
+  bench::MapWorkload wo(1.0, 64, 1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(ro.next().kind, bench::OpKind::Get);
+    EXPECT_NE(wo.next().kind, bench::OpKind::Get);
+  }
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniform) {
+  bench::ZipfSampler z(100, 0.0);
+  EXPECT_TRUE(z.uniform());
+}
+
+TEST(ZipfSampler, SkewConcentratesOnSmallKeys) {
+  bench::ZipfSampler z(1024, 0.99);
+  Xoshiro256 rng(5);
+  constexpr int kN = 50000;
+  int head = 0;  // samples in the top-16 hottest keys
+  for (int i = 0; i < kN; ++i) {
+    const long k = z.sample(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 1024);
+    if (k < 16) ++head;
+  }
+  // Under uniform, 16/1024 ≈ 1.6% of samples; Zipf(0.99) puts >30% there.
+  EXPECT_GT(head, kN * 3 / 10);
+}
+
+TEST(ZipfSampler, RankFrequenciesDecrease) {
+  bench::ZipfSampler z(64, 1.0);
+  Xoshiro256 rng(17);
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 100000; ++i) counts[z.sample(rng)]++;
+  EXPECT_GT(counts[0], counts[7]);
+  EXPECT_GT(counts[7], counts[63]);
+}

@@ -1,0 +1,161 @@
+// Tests for the snapshottable HAMT (the concurrent-TrieMap stand-in),
+// including its O(1) snapshot isolation — the property LazyTrieMap's shadow
+// copies rely on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "containers/snapshot_hamt.hpp"
+
+using proust::containers::SnapshotHamt;
+
+TEST(SnapshotHamt, PutGetRoundTrip) {
+  SnapshotHamt<long, std::string> m;
+  EXPECT_EQ(m.put(1, "one"), std::nullopt);
+  EXPECT_EQ(m.get(1), "one");
+  EXPECT_EQ(m.put(1, "uno"), "one");
+  EXPECT_EQ(m.get(1), "uno");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SnapshotHamt, RemoveReturnsOldAndShrinks) {
+  SnapshotHamt<long, long> m;
+  m.put(9, 90);
+  EXPECT_EQ(m.remove(9), 90);
+  EXPECT_EQ(m.remove(9), std::nullopt);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(SnapshotHamt, ManyKeysRoundTrip) {
+  SnapshotHamt<long, long> m;
+  constexpr long kN = 5000;
+  for (long i = 0; i < kN; ++i) EXPECT_EQ(m.put(i, i * 3), std::nullopt);
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kN));
+  for (long i = 0; i < kN; ++i) EXPECT_EQ(m.get(i), i * 3);
+  for (long i = 0; i < kN; i += 2) EXPECT_EQ(m.remove(i), i * 3);
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kN / 2));
+  for (long i = 1; i < kN; i += 2) EXPECT_EQ(m.get(i), i * 3);
+}
+
+namespace {
+// Forces every key into the same trie path to exercise the overflow buckets
+// at maximum depth and hash-collision splitting.
+struct ColliderHash {
+  std::size_t operator()(long) const noexcept { return 0x123456; }
+};
+}  // namespace
+
+TEST(SnapshotHamt, HashCollisionsHandled) {
+  SnapshotHamt<long, long, ColliderHash> m;
+  for (long i = 0; i < 64; ++i) EXPECT_EQ(m.put(i, i), std::nullopt);
+  EXPECT_EQ(m.size(), 64u);
+  for (long i = 0; i < 64; ++i) EXPECT_EQ(m.get(i), i);
+  for (long i = 0; i < 64; i += 2) EXPECT_EQ(m.remove(i), i);
+  for (long i = 1; i < 64; i += 2) EXPECT_EQ(m.get(i), i);
+  EXPECT_EQ(m.get(0), std::nullopt);
+}
+
+TEST(SnapshotHamt, ForEachVisitsEverything) {
+  SnapshotHamt<long, long> m;
+  for (long i = 0; i < 300; ++i) m.put(i, i);
+  std::set<long> seen;
+  m.for_each([&](long k, long) { seen.insert(k); });
+  EXPECT_EQ(seen.size(), 300u);
+}
+
+TEST(SnapshotHamt, SnapshotIsImmuneToLaterBaseUpdates) {
+  SnapshotHamt<long, long> m;
+  m.put(1, 10);
+  m.put(2, 20);
+  auto snap = m.snapshot();
+  m.put(1, 99);
+  m.remove(2);
+  m.put(3, 30);
+  EXPECT_EQ(snap.get(1), 10);
+  EXPECT_EQ(snap.get(2), 20);
+  EXPECT_EQ(snap.get(3), std::nullopt);
+  // Base sees its own updates.
+  EXPECT_EQ(m.get(1), 99);
+  EXPECT_EQ(m.get(2), std::nullopt);
+}
+
+TEST(SnapshotHamt, SnapshotLocalMutationInvisibleToBase) {
+  SnapshotHamt<long, long> m;
+  m.put(1, 10);
+  auto snap = m.snapshot();
+  EXPECT_EQ(snap.put(1, 11), 10);
+  EXPECT_EQ(snap.put(2, 22), std::nullopt);
+  EXPECT_EQ(snap.remove(1), 11);
+  EXPECT_EQ(snap.size(), 1u);
+  EXPECT_EQ(m.get(1), 10);
+  EXPECT_EQ(m.get(2), std::nullopt);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SnapshotHamt, IndependentSnapshotsDiverge) {
+  SnapshotHamt<long, long> m;
+  m.put(0, 0);
+  auto s1 = m.snapshot();
+  auto s2 = m.snapshot();
+  s1.put(0, 1);
+  s2.put(0, 2);
+  EXPECT_EQ(s1.get(0), 1);
+  EXPECT_EQ(s2.get(0), 2);
+  EXPECT_EQ(m.get(0), 0);
+}
+
+TEST(SnapshotHamt, ConcurrentWritersAllLand) {
+  SnapshotHamt<long, long> m;
+  constexpr int kThreads = 4, kPerThread = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (long i = 0; i < kPerThread; ++i) m.put(t * kPerThread + i, i);
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (long i = 0; i < kPerThread; i += 97) {
+      EXPECT_EQ(m.get(t * kPerThread + i), i);
+    }
+  }
+}
+
+TEST(SnapshotHamt, ConcurrentSnapshotsSeeConsistentStates) {
+  // Writer maintains the invariant "key k present iff k+1000 present".
+  SnapshotHamt<long, long> m;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (long round = 0; round < 3000; ++round) {
+      const long k = round % 16;
+      if (m.contains(k)) {
+        // Removal order: mirror first, then primary — a snapshot between
+        // the two steps sees primary-without-mirror, never the reverse.
+        m.remove(k + 1000);
+        m.remove(k);
+      } else {
+        m.put(k, round);
+        m.put(k + 1000, round);
+      }
+    }
+    stop.store(true);
+  });
+  std::thread checker([&] {
+    while (!stop.load()) {
+      auto snap = m.snapshot();
+      for (long k = 0; k < 16; ++k) {
+        if (snap.contains(k + 1000)) {
+          EXPECT_TRUE(snap.contains(k))
+              << "snapshot saw mirror " << k + 1000 << " without primary";
+        }
+      }
+    }
+  });
+  writer.join();
+  checker.join();
+}

@@ -1,0 +1,132 @@
+// Tests for the striped concurrent hash map (the ConcurrentHashMap
+// stand-in wrapped by the Proustian maps).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "containers/striped_hash_map.hpp"
+
+using proust::containers::StripedHashMap;
+
+TEST(StripedHashMap, PutGetRoundTrip) {
+  StripedHashMap<long, std::string> m;
+  EXPECT_EQ(m.put(1, "one"), std::nullopt);
+  EXPECT_EQ(m.get(1), "one");
+  EXPECT_EQ(m.put(1, "uno"), "one");
+  EXPECT_EQ(m.get(1), "uno");
+}
+
+TEST(StripedHashMap, GetAbsentReturnsNullopt) {
+  StripedHashMap<long, long> m;
+  EXPECT_EQ(m.get(42), std::nullopt);
+  EXPECT_FALSE(m.contains(42));
+}
+
+TEST(StripedHashMap, RemoveReturnsOldValue) {
+  StripedHashMap<long, long> m;
+  m.put(3, 30);
+  EXPECT_EQ(m.remove(3), 30);
+  EXPECT_EQ(m.remove(3), std::nullopt);
+  EXPECT_FALSE(m.contains(3));
+}
+
+TEST(StripedHashMap, PutIfAbsentOnlyInsertsOnce) {
+  StripedHashMap<long, long> m;
+  EXPECT_EQ(m.put_if_absent(5, 50), std::nullopt);
+  EXPECT_EQ(m.put_if_absent(5, 99), 50);
+  EXPECT_EQ(m.get(5), 50);
+}
+
+TEST(StripedHashMap, SizeTracksContents) {
+  StripedHashMap<long, long> m;
+  for (long i = 0; i < 100; ++i) m.put(i, i);
+  EXPECT_EQ(m.size(), 100u);
+  for (long i = 0; i < 50; ++i) m.remove(i);
+  EXPECT_EQ(m.size(), 50u);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(StripedHashMap, GetOrCreateCreatesOnce) {
+  StripedHashMap<long, long> m;
+  int creations = 0;
+  EXPECT_EQ(m.get_or_create(7, [&] { ++creations; return 70L; }), 70);
+  EXPECT_EQ(m.get_or_create(7, [&] { ++creations; return 80L; }), 70);
+  EXPECT_EQ(creations, 1);
+}
+
+TEST(StripedHashMap, ForEachVisitsAllEntries) {
+  StripedHashMap<long, long> m;
+  for (long i = 0; i < 64; ++i) m.put(i, i * 2);
+  std::set<long> seen;
+  long sum = 0;
+  m.for_each([&](long k, long v) {
+    seen.insert(k);
+    sum += v;
+  });
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(sum, 63 * 64);  // 2 * (0+..+63)
+}
+
+TEST(StripedHashMap, SingleStripeStillWorks) {
+  StripedHashMap<long, long> m(1);
+  for (long i = 0; i < 100; ++i) m.put(i, i);
+  for (long i = 0; i < 100; ++i) EXPECT_EQ(m.get(i), i);
+}
+
+TEST(StripedHashMap, ConcurrentDisjointWritersDontInterfere) {
+  StripedHashMap<long, long> m;
+  constexpr int kThreads = 4, kPerThread = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (long i = 0; i < kPerThread; ++i) {
+        m.put(t * kPerThread + i, i);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(StripedHashMap, ConcurrentSameKeyLastWriterWins) {
+  StripedHashMap<long, long> m;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) m.put(0, t);
+    });
+  }
+  for (auto& th : ts) th.join();
+  const auto v = m.get(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_GE(*v, 0);
+  EXPECT_LT(*v, kThreads);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(StripedHashMap, ConcurrentPutRemoveConverges) {
+  StripedHashMap<long, long> m;
+  std::atomic<long> net{0};  // net inserts observed via return values
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < 4000; ++i) {
+        const long k = (t + i) % 32;
+        if (i % 2 == 0) {
+          if (!m.put(k, i)) net.fetch_add(1);
+        } else {
+          if (m.remove(k)) net.fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(net.load()));
+}

@@ -1,0 +1,147 @@
+// Tests for the §3 non-negative counter and its single-location conflict
+// abstraction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/lap.hpp"
+#include "core/txn_counter.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+using core::CounterState;
+using core::CounterStateHasher;
+using OptLap = core::OptimisticLap<CounterState, CounterStateHasher>;
+using PessLap = core::PessimisticLap<CounterState, CounterStateHasher>;
+
+namespace {
+struct OptFixture {
+  stm::Stm stm{stm::Mode::EagerAll};
+  OptLap lap{stm, 1};
+  core::TxnCounter<OptLap> counter{lap};
+};
+}  // namespace
+
+TEST(TxnCounter, IncrDecrBasics) {
+  OptFixture f;
+  f.stm.atomically([&](stm::Txn& tx) { f.counter.incr(tx); });
+  f.stm.atomically([&](stm::Txn& tx) { f.counter.incr(tx); });
+  EXPECT_EQ(f.counter.value(), 2);
+  EXPECT_TRUE(f.stm.atomically([&](stm::Txn& tx) { return f.counter.decr(tx); }));
+  EXPECT_EQ(f.counter.value(), 1);
+}
+
+TEST(TxnCounter, DecrAtZeroReportsError) {
+  OptFixture f;
+  EXPECT_FALSE(
+      f.stm.atomically([&](stm::Txn& tx) { return f.counter.decr(tx); }));
+  EXPECT_EQ(f.counter.value(), 0);
+}
+
+TEST(TxnCounter, AbortRollsBackIncrements) {
+  OptFixture f;
+  EXPECT_THROW(f.stm.atomically([&](stm::Txn& tx) {
+                 f.counter.incr(tx);
+                 f.counter.incr(tx);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(f.counter.value(), 0);
+}
+
+TEST(TxnCounter, AbortRollsBackOnlySuccessfulDecrs) {
+  OptFixture f;
+  f.stm.atomically([&](stm::Txn& tx) { f.counter.incr(tx); });
+  EXPECT_THROW(f.stm.atomically([&](stm::Txn& tx) {
+                 EXPECT_TRUE(f.counter.decr(tx));   // succeeds: 1 -> 0
+                 EXPECT_FALSE(f.counter.decr(tx));  // fails at 0
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(f.counter.value(), 1) << "only the successful decr is inverted";
+}
+
+TEST(TxnCounter, HighValueOpsTouchNoStmLocations) {
+  // §3 case (1): at values >= 2, concurrent incr/decr touch ℓ0 not at all.
+  OptFixture f;
+  for (int i = 0; i < 10; ++i) {
+    f.stm.atomically([&](stm::Txn& tx) { f.counter.incr(tx); });
+  }
+  f.stm.stats().reset();
+  f.stm.atomically([&](stm::Txn& tx) { f.counter.incr(tx); });
+  f.stm.atomically([&](stm::Txn& tx) { f.counter.decr(tx); });
+  const auto s = f.stm.stats().snapshot();
+  EXPECT_EQ(s.reads, 0u);
+  EXPECT_EQ(s.writes, 0u);
+}
+
+TEST(TxnCounter, LowValueDecrWritesL0) {
+  // §3 case (3): near zero, decr must write ℓ0 (and incr read it).
+  OptFixture f;
+  f.stm.atomically([&](stm::Txn& tx) { f.counter.incr(tx); });
+  f.stm.stats().reset();
+  f.stm.atomically([&](stm::Txn& tx) { f.counter.decr(tx); });
+  EXPECT_GE(f.stm.stats().snapshot().writes, 1u);
+  f.stm.stats().reset();
+  f.stm.atomically([&](stm::Txn& tx) { f.counter.incr(tx); });
+  EXPECT_GE(f.stm.stats().snapshot().reads, 1u);
+}
+
+TEST(TxnCounter, NeverGoesNegativeUnderConcurrency) {
+  OptFixture f;
+  constexpr int kThreads = 4, kIters = 1500;
+  std::atomic<long> successful_decrs{0};
+  std::atomic<long> incrs{0};
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        if ((t + i) % 3 == 0) {
+          f.stm.atomically([&](stm::Txn& tx) { f.counter.incr(tx); });
+          incrs.fetch_add(1);
+        } else {
+          const bool ok = f.stm.atomically(
+              [&](stm::Txn& tx) { return f.counter.decr(tx); });
+          if (ok) successful_decrs.fetch_add(1);
+        }
+        EXPECT_GE(f.counter.value(), 0);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(f.counter.value(), incrs.load() - successful_decrs.load());
+  EXPECT_GE(f.counter.value(), 0);
+}
+
+TEST(TxnCounter, PessimisticLapVariantWorks) {
+  stm::Stm stm(stm::Mode::Lazy);
+  PessLap lap(stm, 1);
+  core::TxnCounter<PessLap> counter(lap);
+  constexpr int kThreads = 4, kIters = 800;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  std::atomic<long> net{0};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        if ((t + i) % 2 == 0) {
+          stm.atomically([&](stm::Txn& tx) { counter.incr(tx); });
+          net.fetch_add(1);
+        } else if (stm.atomically(
+                       [&](stm::Txn& tx) { return counter.decr(tx); })) {
+          net.fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(counter.value(), net.load());
+  EXPECT_GE(counter.value(), 0);
+}

@@ -1,0 +1,177 @@
+// Tests for the Proustian double-ended queue (Front/Back abstract state).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <deque>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/lap.hpp"
+#include "core/txn_deque.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+using core::DequeState;
+using core::DequeStateHasher;
+using OptLap = core::OptimisticLap<DequeState, DequeStateHasher>;
+
+namespace {
+struct Fixture {
+  stm::Stm stm{stm::Mode::EagerAll};
+  OptLap lap{stm, 2};
+  core::TxnDeque<long, OptLap> dq{lap};
+
+  void pf(long v) { stm.atomically([&](stm::Txn& tx) { dq.push_front(tx, v); }); }
+  void pb(long v) { stm.atomically([&](stm::Txn& tx) { dq.push_back(tx, v); }); }
+  std::optional<long> popf() {
+    return stm.atomically([&](stm::Txn& tx) { return dq.pop_front(tx); });
+  }
+  std::optional<long> popb() {
+    return stm.atomically([&](stm::Txn& tx) { return dq.pop_back(tx); });
+  }
+};
+}  // namespace
+
+TEST(TxnDeque, BothEndsBehave) {
+  Fixture f;
+  f.pb(2);
+  f.pb(3);
+  f.pf(1);
+  EXPECT_EQ(f.dq.size(), 3);
+  EXPECT_EQ(f.popf(), 1);
+  EXPECT_EQ(f.popb(), 3);
+  EXPECT_EQ(f.popf(), 2);
+  EXPECT_EQ(f.popf(), std::nullopt);
+  EXPECT_EQ(f.popb(), std::nullopt);
+}
+
+TEST(TxnDeque, AbortRollsBackBothEnds) {
+  Fixture f;
+  f.pb(10);
+  EXPECT_THROW(f.stm.atomically([&](stm::Txn& tx) {
+                 f.dq.push_front(tx, 1);
+                 f.dq.push_back(tx, 2);
+                 EXPECT_EQ(f.dq.pop_front(tx), 1);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(f.dq.size(), 1);
+  EXPECT_EQ(f.popf(), 10);
+}
+
+TEST(TxnDeque, PopRestoredAtCorrectEnd) {
+  Fixture f;
+  f.pb(1);
+  f.pb(2);
+  f.pb(3);
+  EXPECT_THROW(f.stm.atomically([&](stm::Txn& tx) {
+                 EXPECT_EQ(f.dq.pop_back(tx), 3);
+                 EXPECT_EQ(f.dq.pop_front(tx), 1);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  // Order must be exactly restored: 1,2,3.
+  EXPECT_EQ(f.popf(), 1);
+  EXPECT_EQ(f.popf(), 2);
+  EXPECT_EQ(f.popf(), 3);
+}
+
+TEST(TxnDeque, WorkStealingPatternConserves) {
+  // Owner pushes/pops at the back; thieves steal from the front.
+  Fixture f;
+  constexpr int kOwnerOps = 3000;
+  std::atomic<long> stolen{0}, owner_popped{0}, pushed{0};
+  std::barrier sync(3);
+  std::thread owner([&] {
+    sync.arrive_and_wait();
+    Xoshiro256 rng(1);
+    for (int i = 0; i < kOwnerOps; ++i) {
+      if (rng.uniform() < 0.6) {
+        f.pb(i);
+        pushed.fetch_add(1);
+      } else if (f.popb()) {
+        owner_popped.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 2; ++t) {
+    thieves.emplace_back([&] {
+      sync.arrive_and_wait();
+      for (int i = 0; i < kOwnerOps / 2; ++i) {
+        if (f.popf()) stolen.fetch_add(1);
+      }
+    });
+  }
+  owner.join();
+  for (auto& th : thieves) th.join();
+  EXPECT_EQ(f.dq.size() + stolen.load() + owner_popped.load(), pushed.load());
+}
+
+TEST(TxnDeque, SequentialDifferentialAgainstStdDeque) {
+  Fixture f;
+  std::deque<long> model;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    switch (rng.below(4)) {
+      case 0: {
+        const long v = static_cast<long>(rng.below(1000));
+        f.pf(v);
+        model.push_front(v);
+        break;
+      }
+      case 1: {
+        const long v = static_cast<long>(rng.below(1000));
+        f.pb(v);
+        model.push_back(v);
+        break;
+      }
+      case 2: {
+        const auto got = f.popf();
+        if (model.empty()) {
+          ASSERT_EQ(got, std::nullopt) << "op " << i;
+        } else {
+          ASSERT_EQ(got, model.front()) << "op " << i;
+          model.pop_front();
+        }
+        break;
+      }
+      default: {
+        const auto got = f.popb();
+        if (model.empty()) {
+          ASSERT_EQ(got, std::nullopt) << "op " << i;
+        } else {
+          ASSERT_EQ(got, model.back()) << "op " << i;
+          model.pop_back();
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(f.dq.size(), static_cast<long>(model.size()));
+  }
+}
+
+TEST(TxnDeque, OppositeEndsDoNotConflictWhenLong) {
+  // The commutativity the Front/Back decomposition buys: with a long deque,
+  // front-poppers and back-pushers never conflict.
+  Fixture f;
+  for (long i = 0; i < 5000; ++i) f.dq.unsafe_push_back(i);
+  f.stm.stats().reset();
+  std::barrier sync(2);
+  std::thread front([&] {
+    sync.arrive_and_wait();
+    for (int i = 0; i < 1000; ++i) f.popf();
+  });
+  std::thread back([&] {
+    sync.arrive_and_wait();
+    for (int i = 0; i < 1000; ++i) f.pb(i);
+  });
+  front.join();
+  back.join();
+  EXPECT_EQ(f.stm.stats().snapshot().total_aborts(), 0u);
+  EXPECT_EQ(f.dq.size(), 5000);
+}

@@ -1,0 +1,233 @@
+// Direct tests for AbstractLock and the two lock-allocator policies — the
+// framework pieces underneath every wrapper — plus the TxnSet adapter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/abstract_lock.hpp"
+#include "core/lap.hpp"
+#include "core/txn_set.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+using namespace std::chrono_literals;
+
+TEST(OptimisticLap, WriteAcquireWritesUniqueStampToCaSlot) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::OptimisticLap<long> lap(stm, 16);
+  stm.stats().reset();
+  stm.atomically([&](stm::Txn& tx) {
+    lap.acquire(tx, 3, /*write=*/true);
+    lap.acquire(tx, 3, /*write=*/true);  // second write, new stamp
+  });
+  const auto s = stm.stats().snapshot();
+  EXPECT_EQ(s.writes, 2u);
+  EXPECT_EQ(s.reads, 0u);
+}
+
+TEST(OptimisticLap, ReadAcquireIsValidatedRead) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::OptimisticLap<long> lap(stm, 16);
+  stm.stats().reset();
+  stm.atomically([&](stm::Txn& tx) { lap.acquire(tx, 5, /*write=*/false); });
+  const auto s = stm.stats().snapshot();
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.writes, 0u);
+}
+
+TEST(OptimisticLap, StripingMapsKeysModuloRegion) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::OptimisticLap<long> lap(stm, 8);
+  EXPECT_EQ(lap.region_size(), 8u);
+  // Two txns writing keys that collide modulo the region must conflict:
+  // demonstrate via the Lazy STM — a committed conflicting CA write
+  // invalidates the reader.
+  stm::Stm stm2(stm::Mode::Lazy);
+  core::OptimisticLap<long> small(stm2, 1);  // everything collides
+  std::atomic<int> stage{0};
+  int attempts = 0;
+  std::thread reader([&] {
+    stm2.atomically([&](stm::Txn& tx) {
+      ++attempts;
+      small.acquire(tx, 100, /*write=*/false);
+      if (attempts == 1) {
+        stage.store(1);
+        while (stage.load() < 2) std::this_thread::yield();
+      }
+      small.acquire(tx, 100, /*write=*/false);
+    });
+  });
+  while (stage.load() < 1) std::this_thread::yield();
+  stm2.atomically([&](stm::Txn& tx) {
+    small.acquire(tx, 999, /*write=*/true);  // different key, same slot
+  });
+  stage.store(2);
+  reader.join();
+  EXPECT_EQ(attempts, 2) << "false conflict via striping must abort reader";
+}
+
+TEST(PessimisticLap, LocksReleasedOnCommitAndAbort) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::PessimisticLap<long> lap(stm, 16, std::chrono::milliseconds(5));
+  // Commit path.
+  stm.atomically([&](stm::Txn& tx) { lap.acquire(tx, 1, true); });
+  // If the lock leaked, this second acquisition from a different txn object
+  // would time out.
+  stm.atomically([&](stm::Txn& tx) { lap.acquire(tx, 1, true); });
+  // Abort path.
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 lap.acquire(tx, 2, true);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  stm.atomically([&](stm::Txn& tx) { lap.acquire(tx, 2, true); });
+}
+
+TEST(PessimisticLap, TimeoutAbortsAndRetries) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::PessimisticLap<long> lap(stm, 16, std::chrono::milliseconds(2));
+  std::atomic<int> stage{0};
+  std::thread holder([&] {
+    stm.atomically([&](stm::Txn& tx) {
+      lap.acquire(tx, 7, /*write=*/true);
+      stage.store(1);
+      while (stage.load() < 2) std::this_thread::yield();
+    });
+  });
+  while (stage.load() < 1) std::this_thread::yield();
+  std::atomic<bool> done{false};
+  std::thread contender([&] {
+    stm.atomically([&](stm::Txn& tx) { lap.acquire(tx, 7, true); });
+    done.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(done.load());
+  stage.store(2);
+  holder.join();
+  contender.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_GE(stm.stats().snapshot().aborts[static_cast<std::size_t>(
+                stm::AbortReason::AbstractLockTimeout)],
+            1u);
+}
+
+TEST(AbstractLock, EagerInverseReceivesOpResult) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::OptimisticLap<long> lap(stm, 16);
+  core::AbstractLock<long, core::OptimisticLap<long>> lock(
+      lap, core::UpdateStrategy::Eager);
+  long inverse_saw = -1;
+  try {
+    stm.atomically([&](stm::Txn& tx) {
+      const long r = lock.apply(
+          tx, {core::Write(1L)}, [] { return 42L; },
+          [&](long result) { inverse_saw = result; });
+      EXPECT_EQ(r, 42);
+      throw std::runtime_error("abort");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(inverse_saw, 42);
+}
+
+TEST(AbstractLock, VoidOpWithInverse) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::OptimisticLap<long> lap(stm, 16);
+  core::AbstractLock<long, core::OptimisticLap<long>> lock(
+      lap, core::UpdateStrategy::Eager);
+  int op_runs = 0, inverse_runs = 0;
+  try {
+    stm.atomically([&](stm::Txn& tx) {
+      lock.apply(tx, {core::Write(1L)}, [&] { ++op_runs; },
+                 [&] { ++inverse_runs; });
+      throw std::runtime_error("abort");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(op_runs, 1);
+  EXPECT_EQ(inverse_runs, 1);
+}
+
+TEST(AbstractLock, LazyWriteLocksReadAfterOp) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::OptimisticLap<long> lap(stm, 16);
+  core::AbstractLock<long, core::OptimisticLap<long>> lock(
+      lap, core::UpdateStrategy::Lazy);
+  stm.stats().reset();
+  stm.atomically([&](stm::Txn& tx) {
+    lock.apply(tx, {core::Write(1L)}, [] { return 0; });
+  });
+  const auto s = stm.stats().snapshot();
+  EXPECT_EQ(s.writes, 1u) << "CA write before the op";
+  EXPECT_EQ(s.reads, 1u) << "Theorem 5.3 read-after on write locks";
+}
+
+TEST(AbstractLock, EagerDoesNotReadAfterOp) {
+  stm::Stm stm(stm::Mode::Lazy);
+  core::OptimisticLap<long> lap(stm, 16);
+  core::AbstractLock<long, core::OptimisticLap<long>> lock(
+      lap, core::UpdateStrategy::Eager);
+  stm.stats().reset();
+  stm.atomically([&](stm::Txn& tx) {
+    lock.apply(tx, {core::Write(1L)}, [] { return 0; }, [](int) {});
+  });
+  const auto s = stm.stats().snapshot();
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.reads, 0u);
+}
+
+TEST(TxnSet, AddRemoveContains) {
+  stm::Stm stm(stm::Mode::EagerAll);
+  core::OptimisticLap<long> lap(stm, 64);
+  core::TxnSet<long, core::OptimisticLap<long>> set(lap);
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_TRUE(set.add(tx, 5));
+    EXPECT_FALSE(set.add(tx, 5));  // already present
+    EXPECT_TRUE(set.contains(tx, 5));
+    EXPECT_TRUE(set.remove(tx, 5));
+    EXPECT_FALSE(set.remove(tx, 5));
+    EXPECT_FALSE(set.contains(tx, 5));
+  });
+}
+
+TEST(TxnSet, SizeAndAbort) {
+  stm::Stm stm(stm::Mode::EagerAll);
+  core::OptimisticLap<long> lap(stm, 64);
+  core::TxnSet<long, core::OptimisticLap<long>> set(lap);
+  stm.atomically([&](stm::Txn& tx) {
+    set.add(tx, 1);
+    set.add(tx, 2);
+  });
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 set.add(tx, 3);
+                 set.remove(tx, 1);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(set.size(), 2);
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_TRUE(set.contains(tx, 1));
+    EXPECT_FALSE(set.contains(tx, 3));
+  });
+}
+
+TEST(TxnSet, ConcurrentDisjointAddsDoNotConflict) {
+  stm::Stm stm(stm::Mode::EagerAll);
+  core::OptimisticLap<long> lap(stm, 1024);
+  core::TxnSet<long, core::OptimisticLap<long>> set(lap);
+  stm.stats().reset();
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      for (long i = 0; i < 500; ++i) {
+        stm.atomically([&](stm::Txn& tx) { set.add(tx, t * 1000 + i); });
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(set.size(), 2000);
+}

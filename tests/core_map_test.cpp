@@ -1,0 +1,183 @@
+// Semantic tests run against EVERY transactional map configuration in the
+// design space (see map_configs.hpp): the same abstract-map contract must
+// hold regardless of LAP, update strategy, shadow-copy flavour or STM mode.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "map_configs.hpp"
+
+using namespace proust::testing;
+
+class CoreMapTest : public ::testing::TestWithParam<MapConfig> {
+ protected:
+  void SetUp() override { map_ = GetParam().make(); }
+  std::unique_ptr<MapUnderTest> map_;
+};
+
+TEST_P(CoreMapTest, PutGetRoundTrip) {
+  EXPECT_EQ(map_->put1(1, 10), std::nullopt);
+  EXPECT_EQ(map_->get1(1), 10);
+  EXPECT_EQ(map_->put1(1, 11), 10);
+  EXPECT_EQ(map_->get1(1), 11);
+}
+
+TEST_P(CoreMapTest, GetAbsent) {
+  EXPECT_EQ(map_->get1(404), std::nullopt);
+  EXPECT_FALSE(map_->contains1(404));
+}
+
+TEST_P(CoreMapTest, RemoveSemantics) {
+  map_->put1(2, 20);
+  EXPECT_EQ(map_->remove1(2), 20);
+  EXPECT_EQ(map_->remove1(2), std::nullopt);
+  EXPECT_EQ(map_->get1(2), std::nullopt);
+}
+
+TEST_P(CoreMapTest, ContainsReflectsState) {
+  EXPECT_FALSE(map_->contains1(3));
+  map_->put1(3, 30);
+  EXPECT_TRUE(map_->contains1(3));
+  map_->remove1(3);
+  EXPECT_FALSE(map_->contains1(3));
+}
+
+TEST_P(CoreMapTest, CommittedSizeTracksNetInserts) {
+  if (map_->committed_size() < 0) GTEST_SKIP() << "size unsupported";
+  EXPECT_EQ(map_->committed_size(), 0);
+  map_->put1(1, 1);
+  map_->put1(2, 2);
+  map_->put1(2, 22);  // overwrite: no size change
+  EXPECT_EQ(map_->committed_size(), 2);
+  map_->remove1(1);
+  map_->remove1(99);  // absent: no size change
+  EXPECT_EQ(map_->committed_size(), 1);
+}
+
+TEST_P(CoreMapTest, ReadYourOwnWritesWithinTxn) {
+  map_->atomically([](MapView& m) {
+    EXPECT_EQ(m.put(5, 50), std::nullopt);
+    EXPECT_EQ(m.get(5), 50);
+    EXPECT_EQ(m.put(5, 51), 50);
+    EXPECT_EQ(m.get(5), 51);
+  });
+  EXPECT_EQ(map_->get1(5), 51);
+}
+
+TEST_P(CoreMapTest, RemoveThenPutWithinTxn) {
+  map_->put1(6, 60);
+  map_->atomically([](MapView& m) {
+    EXPECT_EQ(m.remove(6), 60);
+    EXPECT_EQ(m.get(6), std::nullopt);
+    EXPECT_EQ(m.put(6, 61), std::nullopt);
+    EXPECT_EQ(m.get(6), 61);
+  });
+  EXPECT_EQ(map_->get1(6), 61);
+}
+
+TEST_P(CoreMapTest, GetAfterRemoveInTxnIsAbsent) {
+  map_->put1(7, 70);
+  map_->atomically([](MapView& m) {
+    m.remove(7);
+    EXPECT_FALSE(m.contains(7));
+    EXPECT_EQ(m.remove(7), std::nullopt);  // idempotent within txn
+  });
+  EXPECT_FALSE(map_->contains1(7));
+}
+
+TEST_P(CoreMapTest, MultiKeyTxnCommitsAtomically) {
+  map_->atomically([](MapView& m) {
+    m.put(10, 100);
+    m.put(11, 110);
+    m.put(12, 120);
+  });
+  map_->atomically([](MapView& m) {
+    EXPECT_EQ(m.get(10), 100);
+    EXPECT_EQ(m.get(11), 110);
+    EXPECT_EQ(m.get(12), 120);
+  });
+}
+
+TEST_P(CoreMapTest, UserExceptionRollsBackAllUpdates) {
+  map_->put1(20, 200);
+  map_->put1(21, 210);
+  EXPECT_THROW(map_->atomically([](MapView& m) {
+                 m.put(20, -1);
+                 m.remove(21);
+                 m.put(22, -1);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(map_->get1(20), 200);
+  EXPECT_EQ(map_->get1(21), 210);
+  EXPECT_EQ(map_->get1(22), std::nullopt);
+}
+
+TEST_P(CoreMapTest, AbortedTxnDoesNotChangeSize) {
+  if (map_->committed_size() < 0) GTEST_SKIP() << "size unsupported";
+  map_->put1(30, 300);
+  EXPECT_THROW(map_->atomically([](MapView& m) {
+                 m.put(31, 310);
+                 m.remove(30);
+                 throw std::logic_error("abort");
+               }),
+               std::logic_error);
+  EXPECT_EQ(map_->committed_size(), 1);
+}
+
+TEST_P(CoreMapTest, AbortThenRetrySucceeds) {
+  int attempts = 0;
+  map_->atomically([&](MapView& m) {
+    ++attempts;
+    m.put(40, attempts);
+    if (attempts == 1) {
+      throw proust::stm::ConflictAbort{proust::stm::AbortReason::Explicit};
+    }
+  });
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(map_->get1(40), 2);
+}
+
+TEST_P(CoreMapTest, OverwriteChainReturnsPriorValues) {
+  EXPECT_EQ(map_->put1(50, 1), std::nullopt);
+  EXPECT_EQ(map_->put1(50, 2), 1);
+  EXPECT_EQ(map_->put1(50, 3), 2);
+  EXPECT_EQ(map_->remove1(50), 3);
+}
+
+TEST_P(CoreMapTest, ManyKeysSingleTxn) {
+  map_->atomically([](MapView& m) {
+    for (long k = 0; k < 200; ++k) m.put(k, k * 7);
+  });
+  map_->atomically([](MapView& m) {
+    for (long k = 0; k < 200; ++k) EXPECT_EQ(m.get(k), k * 7);
+  });
+  if (map_->committed_size() >= 0) {
+    EXPECT_EQ(map_->committed_size(), 200);
+  }
+}
+
+TEST_P(CoreMapTest, InterleavedTxnsSeeCommittedStateOnly) {
+  map_->put1(60, 600);
+  map_->atomically([](MapView& m) {
+    m.put(60, 601);
+    // A second (flat-nested) read sees the transaction's own view.
+    EXPECT_EQ(m.get(60), 601);
+  });
+  EXPECT_EQ(map_->get1(60), 601);
+}
+
+TEST_P(CoreMapTest, PutRemovePingPongKeepsConsistency) {
+  for (int round = 0; round < 50; ++round) {
+    map_->atomically([&](MapView& m) {
+      m.put(70, round);
+      m.remove(70);
+      m.put(70, round + 1000);
+    });
+    EXPECT_EQ(map_->get1(70), round + 1000);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, CoreMapTest, ::testing::ValuesIn(all_map_configs()),
+    [](const auto& info) { return info.param.name; });

@@ -1,0 +1,146 @@
+// Tests for the Proustian FIFO queue extension (Head/Tail abstract state).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/lap.hpp"
+#include "core/txn_queue.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+using core::QueueState;
+using core::QueueStateHasher;
+using OptLap = core::OptimisticLap<QueueState, QueueStateHasher>;
+
+namespace {
+struct Fixture {
+  stm::Stm stm{stm::Mode::EagerAll};
+  OptLap lap{stm, 2};
+  core::TxnQueue<long, OptLap> q{lap};
+
+  void enq1(long v) {
+    stm.atomically([&](stm::Txn& tx) { q.enq(tx, v); });
+  }
+  std::optional<long> deq1() {
+    return stm.atomically([&](stm::Txn& tx) { return q.deq(tx); });
+  }
+};
+}  // namespace
+
+TEST(TxnQueue, FifoOrder) {
+  Fixture f;
+  for (long v : {1L, 2L, 3L}) f.enq1(v);
+  EXPECT_EQ(f.deq1(), 1);
+  EXPECT_EQ(f.deq1(), 2);
+  EXPECT_EQ(f.deq1(), 3);
+  EXPECT_EQ(f.deq1(), std::nullopt);
+}
+
+TEST(TxnQueue, DeqEmptyReturnsNullopt) {
+  Fixture f;
+  EXPECT_EQ(f.deq1(), std::nullopt);
+  EXPECT_EQ(f.q.size(), 0);
+}
+
+TEST(TxnQueue, SizeTracksCommitted) {
+  Fixture f;
+  f.enq1(1);
+  f.enq1(2);
+  EXPECT_EQ(f.q.size(), 2);
+  f.deq1();
+  EXPECT_EQ(f.q.size(), 1);
+}
+
+TEST(TxnQueue, AbortRollsBackEnq) {
+  Fixture f;
+  f.enq1(10);
+  EXPECT_THROW(f.stm.atomically([&](stm::Txn& tx) {
+                 f.q.enq(tx, 11);
+                 f.q.enq(tx, 12);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  EXPECT_EQ(f.q.size(), 1);
+  EXPECT_EQ(f.deq1(), 10);
+  EXPECT_EQ(f.deq1(), std::nullopt);
+}
+
+TEST(TxnQueue, AbortRestoresDeqAtFront) {
+  Fixture f;
+  f.enq1(1);
+  f.enq1(2);
+  EXPECT_THROW(f.stm.atomically([&](stm::Txn& tx) {
+                 EXPECT_EQ(f.q.deq(tx), 1);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  // The aborted deq's inverse must restore 1 at the FRONT.
+  EXPECT_EQ(f.deq1(), 1);
+  EXPECT_EQ(f.deq1(), 2);
+}
+
+TEST(TxnQueue, EnqDeqWithinOneTxn) {
+  Fixture f;
+  f.stm.atomically([&](stm::Txn& tx) {
+    f.q.enq(tx, 5);
+    EXPECT_EQ(f.q.deq(tx), 5);
+    EXPECT_EQ(f.q.deq(tx), std::nullopt);
+  });
+  EXPECT_EQ(f.q.size(), 0);
+}
+
+TEST(TxnQueue, ConcurrentEnqDeqConservesElements) {
+  Fixture f;
+  constexpr int kThreads = 4, kPerThread = 600;
+  std::atomic<long> deqd{0};
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      for (long i = 0; i < kPerThread; ++i) {
+        f.enq1(t * kPerThread + i);
+        if (i % 2 == 1 && f.deq1()) deqd.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(f.q.size() + deqd.load(), long{kThreads} * kPerThread);
+}
+
+TEST(TxnQueue, ConcurrentDeqsAreDistinct) {
+  Fixture f;
+  constexpr long kN = 800;
+  for (long i = 0; i < kN; ++i) f.enq1(i);
+  std::vector<std::vector<long>> got(4);
+  std::barrier sync(4);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      for (long i = 0; i < kN / 4; ++i) {
+        if (auto v = f.deq1()) got[t].push_back(*v);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  std::set<long> all;
+  std::size_t count = 0;
+  for (auto& vec : got) {
+    // Per-thread FIFO: each thread's dequeues must be increasing.
+    for (std::size_t i = 1; i < vec.size(); ++i) {
+      EXPECT_LT(vec[i - 1], vec[i]);
+    }
+    for (long v : vec) {
+      all.insert(v);
+      ++count;
+    }
+  }
+  EXPECT_EQ(all.size(), count);
+  EXPECT_EQ(static_cast<long>(count), kN);
+}

@@ -1,0 +1,170 @@
+// Cross-structure integration tests: one transaction spanning multiple
+// Proustian objects (map + priority queue + queue + counter) over one STM —
+// the composability that motivates integrating wrappers with the STM rather
+// than leaving them stand-alone like classic Boosting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/lap.hpp"
+#include "core/lazy_pqueue.hpp"
+#include "core/lazy_trie_map.hpp"
+#include "core/txn_counter.hpp"
+#include "core/txn_hash_map.hpp"
+#include "core/txn_queue.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+
+namespace {
+struct World {
+  stm::Stm stm{stm::Mode::EagerAll};
+  core::OptimisticLap<long> map_lap{stm, 256};
+  core::OptimisticLap<core::PQueueState, core::PQueueStateHasher> pq_lap{stm, 2};
+  core::OptimisticLap<core::QueueState, core::QueueStateHasher> q_lap{stm, 2};
+  core::OptimisticLap<core::CounterState, core::CounterStateHasher> c_lap{stm, 1};
+
+  core::TxnHashMap<long, long, core::OptimisticLap<long>> accounts{map_lap};
+  core::LazyTrieMap<long, long, core::OptimisticLap<long>> audit{map_lap};
+  core::LazyPriorityQueue<long, decltype(pq_lap)> work{pq_lap};
+  core::TxnQueue<long, decltype(q_lap)> events{q_lap};
+  core::TxnCounter<decltype(c_lap)> in_flight{c_lap};
+};
+}  // namespace
+
+TEST(Integration, MultiStructureTxnCommitsAtomically) {
+  World w;
+  w.stm.atomically([&](stm::Txn& tx) {
+    w.accounts.put(tx, 1, 100);
+    w.audit.put(tx, 1, 1);
+    w.work.insert(tx, 5);
+    w.events.enq(tx, 42);
+    w.in_flight.incr(tx);
+  });
+  w.stm.atomically([&](stm::Txn& tx) {
+    EXPECT_EQ(w.accounts.get(tx, 1), 100);
+    EXPECT_EQ(w.audit.get(tx, 1), 1);
+    EXPECT_EQ(w.work.min(tx), 5);
+    EXPECT_EQ(w.events.deq(tx), 42);
+  });
+  EXPECT_EQ(w.in_flight.value(), 1);
+}
+
+TEST(Integration, MultiStructureTxnAbortsAtomically) {
+  World w;
+  EXPECT_THROW(w.stm.atomically([&](stm::Txn& tx) {
+                 w.accounts.put(tx, 1, 100);
+                 w.audit.put(tx, 1, 1);
+                 w.work.insert(tx, 5);
+                 w.events.enq(tx, 42);
+                 w.in_flight.incr(tx);
+                 throw std::runtime_error("abort all");
+               }),
+               std::runtime_error);
+  w.stm.atomically([&](stm::Txn& tx) {
+    EXPECT_FALSE(w.accounts.contains(tx, 1));
+    EXPECT_FALSE(w.audit.contains(tx, 1));
+    EXPECT_EQ(w.work.min(tx), std::nullopt);
+    EXPECT_EQ(w.events.deq(tx), std::nullopt);
+  });
+  EXPECT_EQ(w.in_flight.value(), 0);
+  EXPECT_EQ(w.accounts.size(), 0);
+  EXPECT_EQ(w.work.size(), 0);
+}
+
+TEST(Integration, WorkQueuePipelineConservesJobs) {
+  // Producers enqueue jobs into the priority queue and mark them in the
+  // audit map; consumers move jobs from the pqueue into the event queue.
+  // Invariant: every job is in exactly one place; counts reconcile.
+  World w;
+  constexpr int kProducers = 2, kConsumers = 2, kJobsPerProducer = 300;
+  std::atomic<long> consumed{0};
+  std::barrier sync(kProducers + kConsumers);
+  std::vector<std::thread> ts;
+  for (int p = 0; p < kProducers; ++p) {
+    ts.emplace_back([&, p] {
+      sync.arrive_and_wait();
+      for (long j = 0; j < kJobsPerProducer; ++j) {
+        const long job = p * kJobsPerProducer + j;
+        w.stm.atomically([&](stm::Txn& tx) {
+          w.work.insert(tx, job);
+          w.audit.put(tx, job, 0);
+          w.in_flight.incr(tx);
+        });
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    ts.emplace_back([&] {
+      sync.arrive_and_wait();
+      for (int i = 0; i < kProducers * kJobsPerProducer; ++i) {
+        const bool got = w.stm.atomically([&](stm::Txn& tx) {
+          auto job = w.work.remove_min(tx);
+          if (!job) return false;
+          w.events.enq(tx, *job);
+          w.audit.put(tx, *job, 1);
+          w.in_flight.decr(tx);
+          return true;
+        });
+        if (got) consumed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+
+  const long produced = long{kProducers} * kJobsPerProducer;
+  EXPECT_EQ(w.work.size() + consumed.load(), produced);
+  EXPECT_EQ(w.events.size(), consumed.load());
+  EXPECT_EQ(w.in_flight.value(), produced - consumed.load());
+  EXPECT_EQ(w.audit.size(), produced);
+}
+
+TEST(Integration, BankTransfersAcrossMapAndAuditLog) {
+  World w;
+  constexpr long kAccounts = 10, kInitial = 100;
+  for (long a = 0; a < kAccounts; ++a) {
+    w.stm.atomically([&](stm::Txn& tx) { w.accounts.put(tx, a, kInitial); });
+  }
+  constexpr int kThreads = 4;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) * 13 + 3);
+      for (int i = 0; i < 400; ++i) {
+        const long from = static_cast<long>(rng.below(kAccounts));
+        const long to = static_cast<long>(rng.below(kAccounts));
+        if (from == to) continue;
+        w.stm.atomically([&](stm::Txn& tx) {
+          const long bal = w.accounts.get(tx, from).value();
+          if (bal <= 0) return;
+          w.accounts.put(tx, from, bal - 1);
+          w.accounts.put(tx, to, w.accounts.get(tx, to).value() + 1);
+          w.events.enq(tx, from * 1000 + to);
+        });
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+
+  long total = 0;
+  for (long a = 0; a < kAccounts; ++a) {
+    total += w.stm
+                 .atomically([&](stm::Txn& tx) { return w.accounts.get(tx, a); })
+                 .value();
+  }
+  EXPECT_EQ(total, kAccounts * kInitial);
+  // Every committed transfer logged exactly one event.
+  long transfers = 0;
+  while (w.stm.atomically([&](stm::Txn& tx) { return w.events.deq(tx); })) {
+    ++transfers;
+  }
+  EXPECT_EQ(w.events.size(), 0);
+  EXPECT_GT(transfers, 0);
+}

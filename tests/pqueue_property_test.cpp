@@ -1,0 +1,179 @@
+// Property-based differential tests for the priority queues and the FIFO
+// queue: long random operation sequences against reference models,
+// parameterized by seed.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <queue>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/lap.hpp"
+#include "core/lazy_pqueue.hpp"
+#include "core/txn_pqueue.hpp"
+#include "core/txn_queue.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+using core::PQueueState;
+using core::PQueueStateHasher;
+
+namespace {
+using OptPQLap = core::OptimisticLap<PQueueState, PQueueStateHasher>;
+}
+
+class PQueueDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PQueueDifferentialTest, EagerMatchesMultisetModel) {
+  stm::Stm stm(stm::Mode::EagerAll);
+  OptPQLap lap(stm, 2);
+  core::TxnPriorityQueue<long, OptPQLap> pq(lap);
+  std::multiset<long> model;
+  Xoshiro256 rng(GetParam());
+
+  for (int i = 0; i < 3000; ++i) {
+    const double r = rng.uniform();
+    const long v = static_cast<long>(rng.below(200));
+    if (r < 0.45) {
+      stm.atomically([&](stm::Txn& tx) { pq.insert(tx, v); });
+      model.insert(v);
+    } else if (r < 0.75) {
+      const auto got =
+          stm.atomically([&](stm::Txn& tx) { return pq.remove_min(tx); });
+      if (model.empty()) {
+        ASSERT_EQ(got, std::nullopt) << "op " << i;
+      } else {
+        ASSERT_EQ(got, *model.begin()) << "op " << i;
+        model.erase(model.begin());
+      }
+    } else if (r < 0.9) {
+      const auto got =
+          stm.atomically([&](stm::Txn& tx) { return pq.min(tx); });
+      if (model.empty()) {
+        ASSERT_EQ(got, std::nullopt) << "op " << i;
+      } else {
+        ASSERT_EQ(got, *model.begin()) << "op " << i;
+      }
+    } else {
+      const bool got =
+          stm.atomically([&](stm::Txn& tx) { return pq.contains(tx, v); });
+      ASSERT_EQ(got, model.count(v) != 0) << "op " << i;
+    }
+    ASSERT_EQ(pq.size(), static_cast<long>(model.size())) << "op " << i;
+  }
+}
+
+TEST_P(PQueueDifferentialTest, LazyMatchesMultisetModel) {
+  stm::Stm stm(stm::Mode::Lazy);
+  OptPQLap lap(stm, 2);
+  core::LazyPriorityQueue<long, OptPQLap> pq(lap);
+  std::multiset<long> model;
+  Xoshiro256 rng(GetParam() ^ 0xFACE);
+
+  for (int i = 0; i < 3000; ++i) {
+    const double r = rng.uniform();
+    const long v = static_cast<long>(rng.below(200));
+    if (r < 0.45) {
+      stm.atomically([&](stm::Txn& tx) { pq.insert(tx, v); });
+      model.insert(v);
+    } else if (r < 0.75) {
+      const auto got =
+          stm.atomically([&](stm::Txn& tx) { return pq.remove_min(tx); });
+      if (model.empty()) {
+        ASSERT_EQ(got, std::nullopt) << "op " << i;
+      } else {
+        ASSERT_EQ(got, *model.begin()) << "op " << i;
+        model.erase(model.begin());
+      }
+    } else if (r < 0.9) {
+      const auto got =
+          stm.atomically([&](stm::Txn& tx) { return pq.min(tx); });
+      ASSERT_EQ(got, model.empty()
+                         ? std::optional<long>{}
+                         : std::optional<long>{*model.begin()})
+          << "op " << i;
+    } else {
+      const bool got =
+          stm.atomically([&](stm::Txn& tx) { return pq.contains(tx, v); });
+      ASSERT_EQ(got, model.count(v) != 0) << "op " << i;
+    }
+  }
+  ASSERT_EQ(pq.size(), static_cast<long>(model.size()));
+}
+
+TEST_P(PQueueDifferentialTest, MultiOpTxnsMatchModel) {
+  // Transactions of several pqueue ops applied atomically; the model applies
+  // them in the same order only once the transaction commits.
+  stm::Stm stm(stm::Mode::EagerAll);
+  OptPQLap lap(stm, 2);
+  core::TxnPriorityQueue<long, OptPQLap> pq(lap);
+  std::multiset<long> model;
+  Xoshiro256 rng(GetParam() * 31 + 1);
+
+  for (int t = 0; t < 300; ++t) {
+    const int ops = 1 + static_cast<int>(rng.below(6));
+    struct Planned {
+      int kind;
+      long v;
+    };
+    std::vector<Planned> plan;
+    for (int i = 0; i < ops; ++i) {
+      plan.push_back({static_cast<int>(rng.below(2)),
+                      static_cast<long>(rng.below(100))});
+    }
+    std::vector<std::optional<long>> got;
+    stm.atomically([&](stm::Txn& tx) {
+      got.clear();
+      for (const Planned& p : plan) {
+        if (p.kind == 0) {
+          pq.insert(tx, p.v);
+          got.push_back(std::nullopt);
+        } else {
+          got.push_back(pq.remove_min(tx));
+        }
+      }
+    });
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].kind == 0) {
+        model.insert(plan[i].v);
+      } else if (model.empty()) {
+        ASSERT_EQ(got[i], std::nullopt);
+      } else {
+        ASSERT_EQ(got[i], *model.begin()) << "txn " << t << " op " << i;
+        model.erase(model.begin());
+      }
+    }
+  }
+}
+
+TEST_P(PQueueDifferentialTest, FifoQueueMatchesDequeModel) {
+  stm::Stm stm(stm::Mode::EagerAll);
+  core::OptimisticLap<core::QueueState, core::QueueStateHasher> lap(stm, 2);
+  core::TxnQueue<long, decltype(lap)> q(lap);
+  std::deque<long> model;
+  Xoshiro256 rng(GetParam() + 1000);
+
+  for (int i = 0; i < 4000; ++i) {
+    if (rng.uniform() < 0.55) {
+      const long v = static_cast<long>(rng.below(100000));
+      stm.atomically([&](stm::Txn& tx) { q.enq(tx, v); });
+      model.push_back(v);
+    } else {
+      const auto got = stm.atomically([&](stm::Txn& tx) { return q.deq(tx); });
+      if (model.empty()) {
+        ASSERT_EQ(got, std::nullopt) << "op " << i;
+      } else {
+        ASSERT_EQ(got, model.front()) << "op " << i;
+        model.pop_front();
+      }
+    }
+  }
+  ASSERT_EQ(q.size(), static_cast<long>(model.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PQueueDifferentialTest,
+                         ::testing::Values(11u, 22u, 33u, 44u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });

@@ -1,0 +1,126 @@
+// Property-based differential tests: long random operation sequences are
+// driven through every transactional map configuration and through an
+// in-memory reference model; every return value and the final state must
+// agree. Parameterized over (configuration × seed), giving a broad sweep of
+// distinct random programs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "map_configs.hpp"
+
+using namespace proust::testing;
+
+namespace {
+
+using Param = std::tuple<MapConfig, std::uint64_t>;
+
+class MapDifferentialTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override { map_ = std::get<0>(GetParam()).make(); }
+  std::unique_ptr<MapUnderTest> map_;
+};
+
+std::vector<MapConfig> configs_for_property() { return all_map_configs(); }
+
+}  // namespace
+
+TEST_P(MapDifferentialTest, RandomSingleOpTxnsMatchReference) {
+  proust::Xoshiro256 rng(std::get<1>(GetParam()));
+  std::map<long, long> reference;
+  for (int i = 0; i < 2500; ++i) {
+    const long k = static_cast<long>(rng.below(32));
+    const double r = rng.uniform();
+    if (r < 0.4) {
+      const long v = static_cast<long>(rng.below(1000));
+      auto it = reference.find(k);
+      std::optional<long> expected =
+          it == reference.end() ? std::nullopt : std::make_optional(it->second);
+      reference[k] = v;
+      ASSERT_EQ(map_->put1(k, v), expected) << "op " << i;
+    } else if (r < 0.6) {
+      auto it = reference.find(k);
+      std::optional<long> expected =
+          it == reference.end() ? std::nullopt : std::make_optional(it->second);
+      if (it != reference.end()) reference.erase(it);
+      ASSERT_EQ(map_->remove1(k), expected) << "op " << i;
+    } else if (r < 0.9) {
+      auto it = reference.find(k);
+      std::optional<long> expected =
+          it == reference.end() ? std::nullopt : std::make_optional(it->second);
+      ASSERT_EQ(map_->get1(k), expected) << "op " << i;
+    } else {
+      ASSERT_EQ(map_->contains1(k), reference.count(k) != 0) << "op " << i;
+    }
+  }
+  // Final state agreement.
+  for (long k = 0; k < 32; ++k) {
+    auto it = reference.find(k);
+    std::optional<long> expected =
+        it == reference.end() ? std::nullopt : std::make_optional(it->second);
+    ASSERT_EQ(map_->get1(k), expected);
+  }
+  if (map_->committed_size() >= 0) {
+    ASSERT_EQ(map_->committed_size(), static_cast<long>(reference.size()));
+  }
+}
+
+TEST_P(MapDifferentialTest, RandomMultiOpTxnsMatchReference) {
+  proust::Xoshiro256 rng(std::get<1>(GetParam()) ^ 0xABCDEF);
+  std::map<long, long> reference;
+  for (int t = 0; t < 250; ++t) {
+    const int ops = 1 + static_cast<int>(rng.below(12));
+    // Pre-draw the transaction body so aborted attempts replay identically.
+    struct Planned {
+      int kind;
+      long k, v;
+    };
+    std::vector<Planned> plan;
+    for (int i = 0; i < ops; ++i) {
+      plan.push_back({static_cast<int>(rng.below(3)),
+                      static_cast<long>(rng.below(24)),
+                      static_cast<long>(rng.below(1000))});
+    }
+    std::vector<std::optional<long>> got;
+    map_->atomically([&](MapView& m) {
+      got.clear();
+      for (const Planned& p : plan) {
+        switch (p.kind) {
+          case 0: got.push_back(m.put(p.k, p.v)); break;
+          case 1: got.push_back(m.remove(p.k)); break;
+          default: got.push_back(m.get(p.k)); break;
+        }
+      }
+    });
+    // Apply the same body to the reference and compare returns.
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const Planned& p = plan[i];
+      auto it = reference.find(p.k);
+      std::optional<long> expected =
+          it == reference.end() ? std::nullopt : std::make_optional(it->second);
+      ASSERT_EQ(got[i], expected) << "txn " << t << " op " << i;
+      if (p.kind == 0) {
+        reference[p.k] = p.v;
+      } else if (p.kind == 1 && it != reference.end()) {
+        reference.erase(it);
+      }
+    }
+  }
+  for (long k = 0; k < 24; ++k) {
+    auto it = reference.find(k);
+    std::optional<long> expected =
+        it == reference.end() ? std::nullopt : std::make_optional(it->second);
+    ASSERT_EQ(map_->get1(k), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapDifferentialTest,
+    ::testing::Combine(::testing::ValuesIn(configs_for_property()),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::get<0>(info.param).name + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });

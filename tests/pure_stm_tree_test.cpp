@@ -1,0 +1,170 @@
+// Tests for the pure-STM treap baseline (ordered map in STM memory).
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "baselines/pure_stm_tree_map.hpp"
+#include "common/rng.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust;
+
+class PureStmTreeTest : public ::testing::TestWithParam<stm::Mode> {
+ protected:
+  stm::Stm stm{GetParam()};
+  baselines::PureStmTreeMap<long, long> map{stm, 8192};
+};
+
+TEST_P(PureStmTreeTest, PutGetRemoveRoundTrip) {
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_EQ(map.put(tx, 5, 50), std::nullopt);
+    EXPECT_EQ(map.get(tx, 5), 50);
+    EXPECT_EQ(map.put(tx, 5, 51), 50);
+    EXPECT_EQ(map.remove(tx, 5), 51);
+    EXPECT_EQ(map.get(tx, 5), std::nullopt);
+    EXPECT_EQ(map.remove(tx, 5), std::nullopt);
+  });
+}
+
+TEST_P(PureStmTreeTest, InOrderTraversalSorted) {
+  Xoshiro256 rng(7);
+  std::map<long, long> reference;
+  stm.atomically([&](stm::Txn& tx) {
+    for (int i = 0; i < 500; ++i) {
+      const long k = static_cast<long>(rng.below(2000));
+      reference[k] = i;
+      map.put(tx, k, i);
+    }
+  });
+  std::vector<long> keys;
+  stm.atomically([&](stm::Txn& tx) {
+    keys.clear();
+    map.range_for_each(tx, 0, 1999, [&](long k, long v) {
+      keys.push_back(k);
+      EXPECT_EQ(reference.at(k), v);
+    });
+  });
+  EXPECT_EQ(keys.size(), reference.size());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_P(PureStmTreeTest, RangeSumRespectsBounds) {
+  stm.atomically([&](stm::Txn& tx) {
+    for (long k = 0; k < 100; ++k) map.put(tx, k, 1);
+  });
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_EQ(map.range_sum(tx, 0, 99), 100);
+    EXPECT_EQ(map.range_sum(tx, 25, 34), 10);
+    EXPECT_EQ(map.range_sum(tx, 200, 300), 0);
+  });
+}
+
+TEST_P(PureStmTreeTest, AbortRollsBackStructureAndFreeList) {
+  stm.atomically([&](stm::Txn& tx) { map.put(tx, 1, 10); });
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 for (long k = 100; k < 140; ++k) map.put(tx, k, k);
+                 map.remove(tx, 1);
+                 throw std::runtime_error("abort");
+               }),
+               std::runtime_error);
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_EQ(map.get(tx, 1), 10);
+    EXPECT_EQ(map.range_sum(tx, 100, 139), 0);
+  });
+  // Free-list rollback: the 40 aborted allocations must be reusable.
+  stm.atomically([&](stm::Txn& tx) {
+    for (long k = 0; k < 1000; ++k) map.put(tx, k, k);
+  });
+  stm.atomically([&](stm::Txn& tx) {
+    EXPECT_EQ(map.range_sum(tx, 2, 4), 2 + 3 + 4);
+  });
+}
+
+TEST_P(PureStmTreeTest, ReleaseRecyclesNodes) {
+  // Insert/remove churn beyond the pool capacity only works if release()
+  // returns nodes to the free list.
+  for (int round = 0; round < 4; ++round) {
+    stm.atomically([&](stm::Txn& tx) {
+      for (long k = 0; k < 4000; ++k) map.put(tx, k, k);
+    });
+    stm.atomically([&](stm::Txn& tx) {
+      for (long k = 0; k < 4000; ++k) map.remove(tx, k);
+    });
+  }
+  stm.atomically([&](stm::Txn& tx) { EXPECT_EQ(map.range_sum(tx, 0, 4000), 0); });
+}
+
+TEST_P(PureStmTreeTest, ConcurrentTransfersPreserveTotal) {
+  constexpr long kAccounts = 8;
+  for (long k = 0; k < kAccounts; ++k) map.unsafe_put(k, 100);
+  constexpr int kThreads = 4;
+  std::barrier sync(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 31);
+      for (int i = 0; i < 400; ++i) {
+        const long a = static_cast<long>(rng.below(kAccounts));
+        const long b = static_cast<long>(rng.below(kAccounts));
+        if (a == b) continue;
+        stm.atomically([&](stm::Txn& tx) {
+          const long va = map.get(tx, a).value();
+          if (va > 0) {
+            map.put(tx, a, va - 1);
+            map.put(tx, b, map.get(tx, b).value() + 1);
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  const long total = stm.atomically(
+      [&](stm::Txn& tx) { return map.range_sum(tx, 0, kAccounts - 1); });
+  EXPECT_EQ(total, kAccounts * 100);
+}
+
+TEST_P(PureStmTreeTest, SequentialDifferentialAgainstStdMap) {
+  std::map<long, long> reference;
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const long k = static_cast<long>(rng.below(128));
+    const double r = rng.uniform();
+    if (r < 0.5) {
+      auto it = reference.find(k);
+      std::optional<long> expected =
+          it == reference.end() ? std::nullopt : std::make_optional(it->second);
+      const auto got = stm.atomically(
+          [&](stm::Txn& tx) { return map.put(tx, k, i); });
+      ASSERT_EQ(got, expected) << "op " << i;
+      reference[k] = i;
+    } else if (r < 0.75) {
+      auto it = reference.find(k);
+      std::optional<long> expected =
+          it == reference.end() ? std::nullopt : std::make_optional(it->second);
+      const auto got =
+          stm.atomically([&](stm::Txn& tx) { return map.remove(tx, k); });
+      ASSERT_EQ(got, expected) << "op " << i;
+      if (it != reference.end()) reference.erase(it);
+    } else {
+      auto it = reference.find(k);
+      std::optional<long> expected =
+          it == reference.end() ? std::nullopt : std::make_optional(it->second);
+      const auto got =
+          stm.atomically([&](stm::Txn& tx) { return map.get(tx, k); });
+      ASSERT_EQ(got, expected) << "op " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, PureStmTreeTest,
+                         ::testing::Values(stm::Mode::Lazy,
+                                           stm::Mode::EagerWrite,
+                                           stm::Mode::EagerAll),
+                         [](const auto& info) {
+                           return std::string(stm::to_string(info.param));
+                         });

@@ -1,0 +1,121 @@
+// STM-level differential property tests: random single-threaded programs
+// of transactional reads/writes over a var array, mirrored against a plain
+// array; every read's value and the final state must agree, including
+// across injected aborts. Parameterized over (mode × seed).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stm/stm.hpp"
+
+using namespace proust::stm;
+
+namespace {
+
+struct InjectedAbort {};
+
+using Param = std::tuple<Mode, std::uint64_t>;
+
+class StmDifferentialTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr int kVars = 24;
+  Stm stm{std::get<0>(GetParam())};
+  std::vector<Var<long>> vars{kVars};
+  std::array<long, kVars> model{};
+};
+
+}  // namespace
+
+TEST_P(StmDifferentialTest, RandomProgramsMatchModel) {
+  proust::Xoshiro256 rng(std::get<1>(GetParam()) * 31 + 7);
+
+  for (int t = 0; t < 600; ++t) {
+    const int ops = 1 + static_cast<int>(rng.below(12));
+    const bool abort = rng.uniform() < 0.3;
+    const int abort_after =
+        abort ? static_cast<int>(rng.below(static_cast<std::uint64_t>(ops)))
+              : ops;
+    struct Planned {
+      bool is_write;
+      int idx;
+      long val;
+    };
+    std::vector<Planned> plan;
+    for (int i = 0; i < ops; ++i) {
+      plan.push_back({rng.uniform() < 0.5, static_cast<int>(rng.below(kVars)),
+                      static_cast<long>(rng.below(100000))});
+    }
+
+    std::array<long, kVars> shadow = model;  // txn-local view of the model
+    try {
+      stm.atomically([&](Txn& tx) {
+        shadow = model;  // reset per attempt
+        for (int i = 0; i < ops; ++i) {
+          if (i == abort_after) throw InjectedAbort{};
+          const Planned& p = plan[i];
+          if (p.is_write) {
+            tx.write(vars[static_cast<std::size_t>(p.idx)], p.val);
+            shadow[static_cast<std::size_t>(p.idx)] = p.val;
+          } else {
+            const long got = tx.read(vars[static_cast<std::size_t>(p.idx)]);
+            ASSERT_EQ(got, shadow[static_cast<std::size_t>(p.idx)])
+                << "txn " << t << " op " << i;
+          }
+        }
+        if (abort && abort_after == ops) throw InjectedAbort{};
+      });
+      ASSERT_FALSE(abort);
+      model = shadow;  // committed
+    } catch (const InjectedAbort&) {
+      ASSERT_TRUE(abort);
+    }
+
+    if (t % 40 == 0) {
+      for (int i = 0; i < kVars; ++i) {
+        ASSERT_EQ(vars[static_cast<std::size_t>(i)].unsafe_ref(),
+                  model[static_cast<std::size_t>(i)])
+            << "after txn " << t;
+      }
+    }
+  }
+
+  for (int i = 0; i < kVars; ++i) {
+    EXPECT_EQ(vars[static_cast<std::size_t>(i)].unsafe_ref(),
+              model[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_P(StmDifferentialTest, ReadValidateNeverChangesSemantics) {
+  // Interleave read_validate calls (which log but return nothing) with
+  // normal operations — they must not perturb values or commits.
+  proust::Xoshiro256 rng(std::get<1>(GetParam()) ^ 0xBEEF);
+  for (int t = 0; t < 200; ++t) {
+    stm.atomically([&](Txn& tx) {
+      for (int i = 0; i < 6; ++i) {
+        const auto idx = static_cast<std::size_t>(rng.below(kVars));
+        switch (rng.below(3)) {
+          case 0: tx.write(vars[idx], static_cast<long>(t)); model[idx] = t; break;
+          case 1: tx.read(vars[idx]); break;
+          default: tx.read_validate(vars[idx]); break;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kVars; ++i) {
+    EXPECT_EQ(vars[static_cast<std::size_t>(i)].unsafe_ref(),
+              model[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StmDifferentialTest,
+    ::testing::Combine(::testing::Values(Mode::Lazy, Mode::EagerWrite,
+                                         Mode::EagerAll),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });

@@ -1,0 +1,132 @@
+// Tests for the re-entrant reader-writer abstract locks, including the
+// group discipline used by PQueueMultiSet.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "sync/reentrant_rw_lock.hpp"
+
+using namespace proust::sync;
+using namespace std::chrono_literals;
+
+namespace {
+constexpr auto kShort = 5ms;
+constexpr auto kLong = 2s;
+int owner_a, owner_b, owner_c;  // opaque owner tokens
+}  // namespace
+
+TEST(ReentrantRwLock, ReadersShare) {
+  ReentrantRwLock l;
+  EXPECT_TRUE(l.try_acquire(&owner_a, false, kShort));
+  EXPECT_TRUE(l.try_acquire(&owner_b, false, kShort));
+  l.release_all(&owner_a);
+  l.release_all(&owner_b);
+}
+
+TEST(ReentrantRwLock, WriterExcludesReader) {
+  ReentrantRwLock l;
+  ASSERT_TRUE(l.try_acquire(&owner_a, true, kShort));
+  EXPECT_FALSE(l.try_acquire(&owner_b, false, kShort));
+  l.release_all(&owner_a);
+  EXPECT_TRUE(l.try_acquire(&owner_b, false, kShort));
+  l.release_all(&owner_b);
+}
+
+TEST(ReentrantRwLock, WriterExcludesWriter) {
+  ReentrantRwLock l;
+  ASSERT_TRUE(l.try_acquire(&owner_a, true, kShort));
+  EXPECT_FALSE(l.try_acquire(&owner_b, true, kShort));
+  l.release_all(&owner_a);
+}
+
+TEST(ReentrantRwLock, ReaderExcludesWriter) {
+  ReentrantRwLock l;
+  ASSERT_TRUE(l.try_acquire(&owner_a, false, kShort));
+  EXPECT_FALSE(l.try_acquire(&owner_b, true, kShort));
+  l.release_all(&owner_a);
+}
+
+TEST(ReentrantRwLock, ReentrantInBothModes) {
+  ReentrantRwLock l;
+  EXPECT_TRUE(l.try_acquire(&owner_a, false, kShort));
+  EXPECT_TRUE(l.try_acquire(&owner_a, false, kShort));
+  EXPECT_TRUE(l.try_acquire(&owner_a, true, kShort));  // upgrade, sole holder
+  EXPECT_TRUE(l.try_acquire(&owner_a, true, kShort));
+  EXPECT_TRUE(l.holds(&owner_a, true));
+  l.release_all(&owner_a);
+  EXPECT_FALSE(l.holds(&owner_a, false));
+}
+
+TEST(ReentrantRwLock, UpgradeBlockedByOtherReader) {
+  ReentrantRwLock l;
+  ASSERT_TRUE(l.try_acquire(&owner_a, false, kShort));
+  ASSERT_TRUE(l.try_acquire(&owner_b, false, kShort));
+  EXPECT_FALSE(l.try_acquire(&owner_a, true, kShort));  // b still reading
+  l.release_all(&owner_b);
+  EXPECT_TRUE(l.try_acquire(&owner_a, true, kShort));
+  l.release_all(&owner_a);
+}
+
+TEST(ReentrantRwLock, ReleaseAllWithoutHoldsIsNoop) {
+  ReentrantRwLock l;
+  l.release_all(&owner_a);  // must not crash or corrupt counts
+  EXPECT_TRUE(l.try_acquire(&owner_b, true, kShort));
+  l.release_all(&owner_b);
+}
+
+TEST(ReentrantRwLock, GroupModeWritersShare) {
+  ReentrantRwLock l(LockKind::kGroup);
+  EXPECT_TRUE(l.try_acquire(&owner_a, true, kShort));
+  EXPECT_TRUE(l.try_acquire(&owner_b, true, kShort));  // writers share
+  EXPECT_FALSE(l.try_acquire(&owner_c, false, kShort));  // readers excluded
+  l.release_all(&owner_a);
+  EXPECT_FALSE(l.try_acquire(&owner_c, false, kShort));  // b still writing
+  l.release_all(&owner_b);
+  EXPECT_TRUE(l.try_acquire(&owner_c, false, kShort));
+  l.release_all(&owner_c);
+}
+
+TEST(ReentrantRwLock, GroupModeReadersExcludeWriters) {
+  ReentrantRwLock l(LockKind::kGroup);
+  ASSERT_TRUE(l.try_acquire(&owner_a, false, kShort));
+  EXPECT_FALSE(l.try_acquire(&owner_b, true, kShort));
+  l.release_all(&owner_a);
+  EXPECT_TRUE(l.try_acquire(&owner_b, true, kShort));
+  l.release_all(&owner_b);
+}
+
+TEST(ReentrantRwLock, WaiterWakesOnRelease) {
+  ReentrantRwLock l;
+  ASSERT_TRUE(l.try_acquire(&owner_a, true, kShort));
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    acquired.store(l.try_acquire(&owner_b, true, kLong));
+  });
+  std::this_thread::sleep_for(20ms);
+  l.release_all(&owner_a);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  l.release_all(&owner_b);
+}
+
+TEST(ReentrantRwLock, WriteExclusionStress) {
+  ReentrantRwLock l;
+  long counter = 0;  // protected by l (write mode)
+  constexpr int kThreads = 4, kIters = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      const void* me = reinterpret_cast<const void*>(
+          static_cast<std::uintptr_t>(t + 1));
+      for (int i = 0; i < kIters; ++i) {
+        ASSERT_TRUE(l.try_acquire(me, true, kLong));
+        ++counter;
+        l.release_all(me);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(counter, long{kThreads} * kIters);
+}
