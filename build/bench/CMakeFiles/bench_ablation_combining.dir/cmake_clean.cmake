@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_combining.dir/bench_ablation_combining.cpp.o"
+  "CMakeFiles/bench_ablation_combining.dir/bench_ablation_combining.cpp.o.d"
+  "bench_ablation_combining"
+  "bench_ablation_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

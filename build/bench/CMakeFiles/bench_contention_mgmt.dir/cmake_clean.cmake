@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contention_mgmt.dir/bench_contention_mgmt.cpp.o"
+  "CMakeFiles/bench_contention_mgmt.dir/bench_contention_mgmt.cpp.o.d"
+  "bench_contention_mgmt"
+  "bench_contention_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contention_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_conflicts.dir/bench_false_conflicts.cpp.o"
+  "CMakeFiles/bench_false_conflicts.dir/bench_false_conflicts.cpp.o.d"
+  "bench_false_conflicts"
+  "bench_false_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

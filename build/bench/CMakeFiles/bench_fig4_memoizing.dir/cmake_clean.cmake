@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_memoizing.dir/bench_fig4_memoizing.cpp.o"
+  "CMakeFiles/bench_fig4_memoizing.dir/bench_fig4_memoizing.cpp.o.d"
+  "bench_fig4_memoizing"
+  "bench_fig4_memoizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_memoizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_containers.dir/bench_micro_containers.cpp.o"
+  "CMakeFiles/bench_micro_containers.dir/bench_micro_containers.cpp.o.d"
+  "bench_micro_containers"
+  "bench_micro_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_stm.dir/bench_micro_stm.cpp.o"
+  "CMakeFiles/bench_micro_stm.dir/bench_micro_stm.cpp.o.d"
+  "bench_micro_stm"
+  "bench_micro_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pessimistic_livelock.dir/bench_pessimistic_livelock.cpp.o"
+  "CMakeFiles/bench_pessimistic_livelock.dir/bench_pessimistic_livelock.cpp.o.d"
+  "bench_pessimistic_livelock"
+  "bench_pessimistic_livelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pessimistic_livelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_pessimistic_livelock.
+# This may be replaced when dependencies are built.

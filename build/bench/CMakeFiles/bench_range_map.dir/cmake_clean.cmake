@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_map.dir/bench_range_map.cpp.o"
+  "CMakeFiles/bench_range_map.dir/bench_range_map.cpp.o.d"
+  "bench_range_map"
+  "bench_range_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

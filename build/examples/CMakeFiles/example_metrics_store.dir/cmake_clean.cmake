@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_metrics_store.dir/metrics_store.cpp.o"
+  "CMakeFiles/example_metrics_store.dir/metrics_store.cpp.o.d"
+  "example_metrics_store"
+  "example_metrics_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_metrics_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_order_book.dir/order_book.cpp.o"
+  "CMakeFiles/example_order_book.dir/order_book.cpp.o.d"
+  "example_order_book"
+  "example_order_book.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_order_book.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

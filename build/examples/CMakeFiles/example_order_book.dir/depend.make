@@ -1,0 +1,2 @@
+# Empty dependencies file for example_order_book.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_task_scheduler.dir/task_scheduler.cpp.o"
+  "CMakeFiles/example_task_scheduler.dir/task_scheduler.cpp.o.d"
+  "example_task_scheduler"
+  "example_task_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_task_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_verify_ca.dir/verify_ca.cpp.o"
+  "CMakeFiles/example_verify_ca.dir/verify_ca.cpp.o.d"
+  "example_verify_ca"
+  "example_verify_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_verify_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

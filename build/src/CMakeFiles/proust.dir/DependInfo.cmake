@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stm/stats.cpp" "src/CMakeFiles/proust.dir/stm/stats.cpp.o" "gcc" "src/CMakeFiles/proust.dir/stm/stats.cpp.o.d"
+  "/root/repo/src/stm/thread_registry.cpp" "src/CMakeFiles/proust.dir/stm/thread_registry.cpp.o" "gcc" "src/CMakeFiles/proust.dir/stm/thread_registry.cpp.o.d"
+  "/root/repo/src/stm/txn.cpp" "src/CMakeFiles/proust.dir/stm/txn.cpp.o" "gcc" "src/CMakeFiles/proust.dir/stm/txn.cpp.o.d"
+  "/root/repo/src/sync/reentrant_rw_lock.cpp" "src/CMakeFiles/proust.dir/sync/reentrant_rw_lock.cpp.o" "gcc" "src/CMakeFiles/proust.dir/sync/reentrant_rw_lock.cpp.o.d"
+  "/root/repo/src/verify/checker.cpp" "src/CMakeFiles/proust.dir/verify/checker.cpp.o" "gcc" "src/CMakeFiles/proust.dir/verify/checker.cpp.o.d"
+  "/root/repo/src/verify/models/counter_model.cpp" "src/CMakeFiles/proust.dir/verify/models/counter_model.cpp.o" "gcc" "src/CMakeFiles/proust.dir/verify/models/counter_model.cpp.o.d"
+  "/root/repo/src/verify/models/deque_model.cpp" "src/CMakeFiles/proust.dir/verify/models/deque_model.cpp.o" "gcc" "src/CMakeFiles/proust.dir/verify/models/deque_model.cpp.o.d"
+  "/root/repo/src/verify/models/map_model.cpp" "src/CMakeFiles/proust.dir/verify/models/map_model.cpp.o" "gcc" "src/CMakeFiles/proust.dir/verify/models/map_model.cpp.o.d"
+  "/root/repo/src/verify/models/ordered_map_model.cpp" "src/CMakeFiles/proust.dir/verify/models/ordered_map_model.cpp.o" "gcc" "src/CMakeFiles/proust.dir/verify/models/ordered_map_model.cpp.o.d"
+  "/root/repo/src/verify/models/pqueue_model.cpp" "src/CMakeFiles/proust.dir/verify/models/pqueue_model.cpp.o" "gcc" "src/CMakeFiles/proust.dir/verify/models/pqueue_model.cpp.o.d"
+  "/root/repo/src/verify/models/queue_model.cpp" "src/CMakeFiles/proust.dir/verify/models/queue_model.cpp.o" "gcc" "src/CMakeFiles/proust.dir/verify/models/queue_model.cpp.o.d"
+  "/root/repo/src/verify/synth.cpp" "src/CMakeFiles/proust.dir/verify/synth.cpp.o" "gcc" "src/CMakeFiles/proust.dir/verify/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proust.dir/stm/stats.cpp.o"
+  "CMakeFiles/proust.dir/stm/stats.cpp.o.d"
+  "CMakeFiles/proust.dir/stm/thread_registry.cpp.o"
+  "CMakeFiles/proust.dir/stm/thread_registry.cpp.o.d"
+  "CMakeFiles/proust.dir/stm/txn.cpp.o"
+  "CMakeFiles/proust.dir/stm/txn.cpp.o.d"
+  "CMakeFiles/proust.dir/sync/reentrant_rw_lock.cpp.o"
+  "CMakeFiles/proust.dir/sync/reentrant_rw_lock.cpp.o.d"
+  "CMakeFiles/proust.dir/verify/checker.cpp.o"
+  "CMakeFiles/proust.dir/verify/checker.cpp.o.d"
+  "CMakeFiles/proust.dir/verify/models/counter_model.cpp.o"
+  "CMakeFiles/proust.dir/verify/models/counter_model.cpp.o.d"
+  "CMakeFiles/proust.dir/verify/models/deque_model.cpp.o"
+  "CMakeFiles/proust.dir/verify/models/deque_model.cpp.o.d"
+  "CMakeFiles/proust.dir/verify/models/map_model.cpp.o"
+  "CMakeFiles/proust.dir/verify/models/map_model.cpp.o.d"
+  "CMakeFiles/proust.dir/verify/models/ordered_map_model.cpp.o"
+  "CMakeFiles/proust.dir/verify/models/ordered_map_model.cpp.o.d"
+  "CMakeFiles/proust.dir/verify/models/pqueue_model.cpp.o"
+  "CMakeFiles/proust.dir/verify/models/pqueue_model.cpp.o.d"
+  "CMakeFiles/proust.dir/verify/models/queue_model.cpp.o"
+  "CMakeFiles/proust.dir/verify/models/queue_model.cpp.o.d"
+  "CMakeFiles/proust.dir/verify/synth.cpp.o"
+  "CMakeFiles/proust.dir/verify/synth.cpp.o.d"
+  "libproust.a"
+  "libproust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abort_injection_test.dir/abort_injection_test.cpp.o"
+  "CMakeFiles/abort_injection_test.dir/abort_injection_test.cpp.o.d"
+  "abort_injection_test"
+  "abort_injection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abort_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_hamt_test.dir/containers_hamt_test.cpp.o"
+  "CMakeFiles/containers_hamt_test.dir/containers_hamt_test.cpp.o.d"
+  "containers_hamt_test"
+  "containers_hamt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_hamt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_hash_map_test.dir/containers_hash_map_test.cpp.o"
+  "CMakeFiles/containers_hash_map_test.dir/containers_hash_map_test.cpp.o.d"
+  "containers_hash_map_test"
+  "containers_hash_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_hash_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_heap_test.dir/containers_heap_test.cpp.o"
+  "CMakeFiles/containers_heap_test.dir/containers_heap_test.cpp.o.d"
+  "containers_heap_test"
+  "containers_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_skip_list_test.dir/containers_skip_list_test.cpp.o"
+  "CMakeFiles/containers_skip_list_test.dir/containers_skip_list_test.cpp.o.d"
+  "containers_skip_list_test"
+  "containers_skip_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_skip_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

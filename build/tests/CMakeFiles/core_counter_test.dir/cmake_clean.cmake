@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_counter_test.dir/core_counter_test.cpp.o"
+  "CMakeFiles/core_counter_test.dir/core_counter_test.cpp.o.d"
+  "core_counter_test"
+  "core_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

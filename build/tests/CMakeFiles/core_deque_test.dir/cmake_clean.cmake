@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_deque_test.dir/core_deque_test.cpp.o"
+  "CMakeFiles/core_deque_test.dir/core_deque_test.cpp.o.d"
+  "core_deque_test"
+  "core_deque_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_deque_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_map_test.dir/core_map_test.cpp.o"
+  "CMakeFiles/core_map_test.dir/core_map_test.cpp.o.d"
+  "core_map_test"
+  "core_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

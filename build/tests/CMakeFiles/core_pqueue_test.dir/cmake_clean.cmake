@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pqueue_test.dir/core_pqueue_test.cpp.o"
+  "CMakeFiles/core_pqueue_test.dir/core_pqueue_test.cpp.o.d"
+  "core_pqueue_test"
+  "core_pqueue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqueue_property_test.dir/pqueue_property_test.cpp.o"
+  "CMakeFiles/pqueue_property_test.dir/pqueue_property_test.cpp.o.d"
+  "pqueue_property_test"
+  "pqueue_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqueue_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pure_stm_tree_test.dir/pure_stm_tree_test.cpp.o"
+  "CMakeFiles/pure_stm_tree_test.dir/pure_stm_tree_test.cpp.o.d"
+  "pure_stm_tree_test"
+  "pure_stm_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pure_stm_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

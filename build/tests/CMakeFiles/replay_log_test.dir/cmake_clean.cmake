@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_log_test.dir/replay_log_test.cpp.o"
+  "CMakeFiles/replay_log_test.dir/replay_log_test.cpp.o.d"
+  "replay_log_test"
+  "replay_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

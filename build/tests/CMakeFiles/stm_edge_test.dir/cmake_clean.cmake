@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_edge_test.dir/stm_edge_test.cpp.o"
+  "CMakeFiles/stm_edge_test.dir/stm_edge_test.cpp.o.d"
+  "stm_edge_test"
+  "stm_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

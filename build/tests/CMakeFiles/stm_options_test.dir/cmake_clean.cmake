@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_options_test.dir/stm_options_test.cpp.o"
+  "CMakeFiles/stm_options_test.dir/stm_options_test.cpp.o.d"
+  "stm_options_test"
+  "stm_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

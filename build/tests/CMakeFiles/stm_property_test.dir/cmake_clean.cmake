@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_property_test.dir/stm_property_test.cpp.o"
+  "CMakeFiles/stm_property_test.dir/stm_property_test.cpp.o.d"
+  "stm_property_test"
+  "stm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
