@@ -19,6 +19,7 @@
 #include "bench_util/adapters.hpp"
 #include "bench_util/cli.hpp"
 #include "bench_util/harness.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
 using namespace proust;
@@ -27,18 +28,20 @@ using namespace proust::bench;
 namespace {
 
 template <class Adapter>
-void bench_one(Table& table, const std::string& name, Adapter& adapter,
-               RunConfig cfg) {
+void bench_one(Table& table, JsonWriter* json, const std::string& name,
+               Adapter& adapter, RunConfig cfg) {
   prefill_half(adapter, cfg.key_range);
   const RunResult r = run_map_throughput(adapter, cfg);
-  const double abort_pct =
-      r.starts == 0 ? 0.0
-                    : 100.0 * static_cast<double>(r.aborts) /
-                          static_cast<double>(r.starts);
+  const double abort_pct = 100.0 * r.abort_ratio();
   table.row({name, Table::fmt(cfg.write_fraction, 2),
              std::to_string(cfg.ops_per_txn), std::to_string(cfg.threads),
              Table::fmt(r.mean_ms, 1), Table::fmt(r.sd_ms, 1),
              Table::fmt(abort_pct, 1)});
+  if (json != nullptr) {
+    json->add(JsonRecord{"fig4_map_throughput", name, "", cfg.threads,
+                         cfg.ops_per_txn, cfg.write_fraction,
+                         r.ops_per_sec(cfg.total_ops), r.abort_ratio()});
+  }
 }
 
 }  // namespace
@@ -72,6 +75,10 @@ int main(int argc, char** argv) {
               base.total_ops, base.key_range, stm::to_string(mode));
   Table table({"impl", "u", "o", "threads", "ms", "sd", "abort%"});
 
+  const std::string json_path = cli.get("json", "");
+  JsonWriter json_writer(cli.get("label", "current"));
+  JsonWriter* json = json_path.empty() ? nullptr : &json_writer;
+
   for (double u : write_fracs) {
     for (long o : txn_sizes) {
       for (long t : thread_counts) {
@@ -82,37 +89,44 @@ int main(int argc, char** argv) {
 
         {
           PureStmAdapter a(mode, cfg.key_range);
-          bench_one(table, a.name(), a, cfg);
+          bench_one(table, json, a.name(), a, cfg);
         }
         {
           PredicationAdapter a(mode);
-          bench_one(table, a.name(), a, cfg);
+          bench_one(table, json, a.name(), a, cfg);
         }
         {
           EagerOptAdapter a(mode, ca_slots);
-          bench_one(table, a.name(), a, cfg);
+          bench_one(table, json, a.name(), a, cfg);
         }
         {
           LazySnapshotAdapter a(mode, ca_slots);
-          bench_one(table, a.name(), a, cfg);
+          bench_one(table, json, a.name(), a, cfg);
         }
         {
           LazyMemoAdapter a(mode, ca_slots, /*combine=*/false);
-          bench_one(table, a.name(), a, cfg);
+          bench_one(table, json, a.name(), a, cfg);
         }
         if (o == 1) {
           // Pessimistic results only at o = 1, as in the paper (§7: longer
           // transactions livelocked under the weak CM coupling).
           PessimisticAdapter a(mode, ca_slots);
-          bench_one(table, a.name(), a, cfg);
+          bench_one(table, json, a.name(), a, cfg);
         }
         {
           GlobalLockAdapter a;
-          bench_one(table, a.name(), a, cfg);
+          bench_one(table, json, a.name(), a, cfg);
         }
       }
       std::printf("\n");
     }
+  }
+  if (json != nullptr) {
+    if (!json->write(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", json_path.c_str());
   }
   return 0;
 }

@@ -1,8 +1,24 @@
-// Microbenchmarks of the raw STM engine (google-benchmark): per-operation
-// costs of reads, writes, commits and conflict-abstraction accesses in each
-// mode. These quantify the constant factors under the Figure 4 curves.
+// Microbenchmarks of the raw STM engine: per-operation costs of reads,
+// writes, commits and conflict-abstraction accesses in each mode. These
+// quantify the constant factors under the Figure 4 curves.
+//
+// Two entry points:
+//   default          — the google-benchmark suite below.
+//   --json=<path>    — a deterministic fixed-iteration "trajectory" run of
+//                      the canonical workloads (read_only, write_heavy,
+//                      read_modify_write, write_large) in every mode, with
+//                      machine-readable output; BENCH_STM.json at the repo
+//                      top level records these across PRs. --label=<str>
+//                      tags the run (defaults to "current").
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/cli.hpp"
+#include "bench_util/json.hpp"
+#include "bench_util/table.hpp"
 #include "core/lap.hpp"
 #include "stm/stm.hpp"
 
@@ -83,3 +99,125 @@ static void BM_TxnLocalCreation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TxnLocalCreation);
+
+// --- Deterministic trajectory run (--json) ---------------------------------
+
+namespace {
+
+/// Run `txns` transactions of `body`, each counting as `ops_per_txn`
+/// accesses, and return accesses per second.
+template <class Body>
+double timed_txns(long txns, int ops_per_txn, Body&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (long i = 0; i < txns; ++i) body(i);
+  const auto stop = std::chrono::steady_clock::now();
+  const double sec = std::chrono::duration<double>(stop - start).count();
+  return sec <= 0 ? 0.0
+                  : static_cast<double>(txns) * ops_per_txn / sec;
+}
+
+struct Cell {
+  const char* workload;
+  int ops_per_txn;
+  double write_fraction;
+  double ops_per_sec;
+  double abort_ratio;
+};
+
+Cell run_cell(stm::Stm& stm, const char* workload, long txns) {
+  using stm::Txn;
+  Cell cell{workload, 1, 0, 0, 0};
+  const long warmup = txns / 10 + 1;
+
+  auto measure = [&](int ops_per_txn, double u, auto&& body) {
+    for (long i = 0; i < warmup; ++i) body(i);
+    stm.stats().reset();
+    cell.ops_per_txn = ops_per_txn;
+    cell.write_fraction = u;
+    cell.ops_per_sec = timed_txns(txns, ops_per_txn, body);
+    cell.abort_ratio = stm.stats().snapshot().abort_ratio();
+  };
+
+  if (std::string_view(workload) == "read_only") {
+    stm::Var<long> v(7);
+    long sink = 0;
+    measure(1, 0.0, [&](long) {
+      sink += stm.atomically([&](Txn& tx) { return tx.read(v); });
+    });
+    if (sink == 42) std::printf("#");  // defeat dead-code elimination
+  } else if (std::string_view(workload) == "write_heavy") {
+    std::vector<stm::Var<long>> vars(8);
+    measure(8, 1.0, [&](long i) {
+      stm.atomically([&](Txn& tx) {
+        for (auto& v : vars) tx.write(v, i);
+      });
+    });
+  } else if (std::string_view(workload) == "read_modify_write") {
+    stm::Var<long> v(0);
+    measure(2, 0.5, [&](long) {
+      stm.atomically([&](Txn& tx) { tx.write(v, tx.read(v) + 1); });
+    });
+  } else {  // write_large: 64 distinct vars, exercising the flat-table tier
+    std::vector<stm::Var<long>> vars(64);
+    measure(64, 1.0, [&](long i) {
+      stm.atomically([&](Txn& tx) {
+        for (auto& v : vars) tx.write(v, i);
+      });
+    });
+  }
+  return cell;
+}
+
+int run_trajectory(const bench::Cli& cli) {
+  const std::string path = cli.get("json", "BENCH_STM.json");
+  const std::string label = cli.get("label", "current");
+  const long scale = cli.get_long("scale", 1);
+
+  struct Spec {
+    const char* workload;
+    long txns;
+  };
+  const Spec specs[] = {
+      {"read_only", 2000000 * scale},
+      {"write_heavy", 400000 * scale},
+      {"read_modify_write", 1000000 * scale},
+      {"write_large", 50000 * scale},
+  };
+  const stm::Mode modes[] = {stm::Mode::Lazy, stm::Mode::EagerWrite,
+                             stm::Mode::EagerAll};
+
+  bench::JsonWriter json(label);
+  bench::Table table({"workload", "mode", "ops/txn", "Mops/s", "abort"});
+  for (const Spec& spec : specs) {
+    for (stm::Mode mode : modes) {
+      stm::Stm stm(mode);
+      const Cell cell = run_cell(stm, spec.workload, spec.txns);
+      json.add(bench::JsonRecord{"micro_stm", cell.workload,
+                                 stm::to_string(mode), 1, cell.ops_per_txn,
+                                 cell.write_fraction, cell.ops_per_sec,
+                                 cell.abort_ratio});
+      table.row({cell.workload, stm::to_string(mode),
+                 std::to_string(cell.ops_per_txn),
+                 bench::Table::fmt(cell.ops_per_sec / 1e6, 2),
+                 bench::Table::fmt(cell.abort_ratio, 4)});
+    }
+  }
+  if (!json.write(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (label: %s)\n", path.c_str(), label.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Cli cli(argc, argv);
+  if (cli.has("json")) return run_trajectory(cli);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

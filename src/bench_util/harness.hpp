@@ -35,6 +35,18 @@ struct RunResult {
   std::uint64_t starts = 0;  // transaction attempts during timed runs
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
+
+  /// Completed operations per second for one timed run of `total_ops`.
+  double ops_per_sec(long total_ops) const noexcept {
+    return mean_ms <= 0 ? 0.0
+                        : static_cast<double>(total_ops) / (mean_ms / 1000.0);
+  }
+  /// Aborted attempts as a fraction of started attempts.
+  double abort_ratio() const noexcept {
+    return starts == 0 ? 0.0
+                       : static_cast<double>(aborts) /
+                             static_cast<double>(starts);
+  }
 };
 
 namespace detail {

@@ -1,0 +1,72 @@
+// Machine-readable benchmark output. Drivers that print paper-style tables
+// can also accumulate JsonRecords and dump them with `--json <path>`, so a
+// perf trajectory can be tracked across PRs (see BENCH_STM.json at the repo
+// top level). The schema is deliberately flat: one record per measured cell.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace proust::bench {
+
+struct JsonRecord {
+  std::string bench;     // driver name, e.g. "micro_stm"
+  std::string workload;  // cell name, e.g. "write_heavy" or an impl name
+  std::string mode;      // STM mode, or "" when not applicable
+  int threads = 1;
+  int ops_per_txn = 1;
+  double write_fraction = -1;  // < 0 = not applicable
+  double ops_per_sec = 0;
+  double abort_ratio = 0;
+};
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string label) : label_(std::move(label)) {}
+
+  void add(JsonRecord r) { records_.push_back(std::move(r)); }
+
+  /// Write `{"label": ..., "records": [...]}` to `path`. Returns false on
+  /// I/O failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"label\": \"%s\",\n  \"records\": [",
+                 escape(label_).c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      std::fprintf(f,
+                   "%s\n    {\"bench\": \"%s\", \"workload\": \"%s\", "
+                   "\"mode\": \"%s\", \"threads\": %d, \"ops_per_txn\": %d, "
+                   "\"write_fraction\": %.3f, \"ops_per_sec\": %.1f, "
+                   "\"abort_ratio\": %.5f}",
+                   i == 0 ? "" : ",", escape(r.bench).c_str(),
+                   escape(r.workload).c_str(), escape(r.mode).c_str(),
+                   r.threads, r.ops_per_txn, r.write_fraction, r.ops_per_sec,
+                   r.abort_ratio);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    return ok;
+  }
+
+  const std::vector<JsonRecord>& records() const noexcept { return records_; }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string label_;
+  std::vector<JsonRecord> records_;
+};
+
+}  // namespace proust::bench

@@ -1,0 +1,58 @@
+// A bump allocator whose blocks are retained across resets. Transaction-
+// local objects (replay logs, shadow copies, memo tables) are carved out of
+// one of these instead of individual make_shared allocations; when the
+// attempt ends the arena rewinds and the same blocks serve the next attempt,
+// so a retry loop reaches a steady state where `allocate` never touches the
+// global heap. Objects placed here are not destroyed by the arena — callers
+// track and run destructors themselves (see Txn's locals list).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace proust {
+
+class BumpArena {
+ public:
+  void* allocate(std::size_t n, std::size_t align) {
+    for (;;) {
+      if (current_ < blocks_.size()) {
+        Block& b = blocks_[current_];
+        const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+        const std::uintptr_t p = (base + b.used + align - 1) & ~(align - 1);
+        if (p + n <= base + b.size) {
+          b.used = static_cast<std::size_t>(p + n - base);
+          return reinterpret_cast<void*>(p);
+        }
+        ++current_;
+        continue;
+      }
+      const std::size_t size = n + align > kBlockSize ? n + align : kBlockSize;
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size, 0});
+    }
+  }
+
+  /// Rewind all blocks to empty without freeing them.
+  void reset() noexcept {
+    for (Block& b : blocks_) b.used = 0;
+    current_ = 0;
+  }
+
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+ private:
+  static constexpr std::size_t kBlockSize = 4096;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+    std::size_t used;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace proust

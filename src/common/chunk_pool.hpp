@@ -1,0 +1,51 @@
+// A chunked object pool with stable addresses and cross-use reuse. Objects
+// are default-constructed once per slot and then recycled: `reset()` rewinds
+// the logical size without destroying anything, so members that own capacity
+// (small-buffer values, retained heap blocks) keep it for the next use. The
+// transaction write set lives in one of these — retries after an abort touch
+// only memory allocated on earlier attempts.
+//
+// Addresses are stable across growth (chunks never move), which the STM
+// needs because a locked orec points at the LockRecord inside its WriteEntry.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace proust {
+
+template <class T, std::size_t ChunkSize = 32>
+class ChunkPool {
+ public:
+  /// Bump the logical size by one, constructing a fresh chunk only when all
+  /// existing slots are in use. The returned object is in whatever state the
+  /// previous use left it — callers must re-initialize the fields they read.
+  T& acquire() {
+    const std::size_t chunk = size_ / ChunkSize;
+    if (chunk == chunks_.size()) chunks_.push_back(std::make_unique<Chunk>());
+    return (*chunks_[chunk])[size_++ % ChunkSize];
+  }
+
+  T& operator[](std::size_t i) noexcept {
+    return (*chunks_[i / ChunkSize])[i % ChunkSize];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    return (*chunks_[i / ChunkSize])[i % ChunkSize];
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Rewind to empty, retaining every slot (and whatever its members own).
+  void reset() noexcept { size_ = 0; }
+
+ private:
+  using Chunk = std::array<T, ChunkSize>;
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace proust

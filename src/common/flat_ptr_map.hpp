@@ -1,0 +1,84 @@
+// An open-addressing pointer-keyed hash table used as the write-set index
+// fallback once a transaction outgrows the linear-scan fast path. Unlike
+// std::unordered_map it does no per-node allocation: slots live in one flat
+// power-of-two array that is cleared (memset) and reused across attempts and
+// transactions, so a warmed-up table does steady-state lookups and inserts
+// with zero allocation. No erase — the write set only grows within an
+// attempt and is discarded wholesale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace proust {
+
+class FlatPtrMap {
+ public:
+  void* find(const void* key) const noexcept {
+    if (count_ == 0) return nullptr;
+    const std::size_t mask = cap_ - 1;
+    std::size_t i = hash(key) & mask;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return s.val;
+      if (s.key == nullptr) return nullptr;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Insert a key assumed absent (the write set checks find() first).
+  void insert(const void* key, void* val) {
+    if (cap_ == 0 || (count_ + 1) * 4 >= cap_ * 3) grow();
+    place(key, val);
+    ++count_;
+  }
+
+  std::size_t size() const noexcept { return count_; }
+
+  /// Forget all entries but keep the slot array for reuse.
+  void clear() noexcept {
+    if (count_ != 0) {
+      std::memset(slots_.get(), 0, cap_ * sizeof(Slot));
+      count_ = 0;
+    }
+  }
+
+ private:
+  struct Slot {
+    const void* key;
+    void* val;
+  };
+
+  static std::size_t hash(const void* p) noexcept {
+    // Fibonacci-style mix; vars are ≥8-byte aligned so drop the low bits.
+    auto x = reinterpret_cast<std::uintptr_t>(p) >> 3;
+    x *= 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(x ^ (x >> 29));
+  }
+
+  void place(const void* key, void* val) noexcept {
+    const std::size_t mask = cap_ - 1;
+    std::size_t i = hash(key) & mask;
+    while (slots_[i].key != nullptr) i = (i + 1) & mask;
+    slots_[i] = Slot{key, val};
+  }
+
+  void grow() {
+    const std::size_t new_cap = cap_ == 0 ? 64 : cap_ * 2;
+    auto old = std::move(slots_);
+    const std::size_t old_cap = cap_;
+    slots_ = std::make_unique<Slot[]>(new_cap);  // value-initialized (zeroed)
+    cap_ = new_cap;
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (old[i].key != nullptr) place(old[i].key, old[i].val);
+    }
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t cap_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace proust

@@ -1,0 +1,122 @@
+// A move-only callable with inline storage, used for the transaction hook
+// lists. std::function heap-allocates captures above ~16 bytes on libstdc++,
+// which puts an allocation on every wrapper operation that registers an
+// inverse or a replay hook; SmallFunc keeps captures up to `Inline` bytes in
+// place (and in a capacity-retaining vector, attempt N+1 reuses attempt N's
+// slots with zero allocation). Oversized or throwing-move captures fall back
+// to the heap so semantics never depend on the capture's size.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace proust {
+
+template <class Sig, std::size_t Inline = 48>
+class SmallFunc;
+
+template <class R, class... Args, std::size_t Inline>
+class SmallFunc<R(Args...), Inline> {
+ public:
+  SmallFunc() noexcept = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallFunc> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  SmallFunc(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    init(std::forward<F>(f));
+  }
+
+  SmallFunc(SmallFunc&& other) noexcept { move_from(other); }
+  SmallFunc& operator=(SmallFunc&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFunc(const SmallFunc&) = delete;
+  SmallFunc& operator=(const SmallFunc&) = delete;
+  ~SmallFunc() { destroy(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { Destroy, Move };
+  using InvokeFn = R (*)(void*, Args&&...);
+  using ManageFn = void (*)(void* self, void* other, Op);
+
+  template <class F>
+  struct InlineModel {
+    static R invoke(void* s, Args&&... a) {
+      return (*static_cast<F*>(s))(std::forward<Args>(a)...);
+    }
+    static void manage(void* self, void* other, Op op) {
+      if (op == Op::Destroy) {
+        static_cast<F*>(self)->~F();
+      } else {
+        ::new (self) F(std::move(*static_cast<F*>(other)));
+        static_cast<F*>(other)->~F();
+      }
+    }
+  };
+
+  template <class F>
+  struct HeapModel {
+    static R invoke(void* s, Args&&... a) {
+      return (**static_cast<F**>(s))(std::forward<Args>(a)...);
+    }
+    static void manage(void* self, void* other, Op op) {
+      if (op == Op::Destroy) {
+        delete *static_cast<F**>(self);
+      } else {
+        *static_cast<F**>(self) = *static_cast<F**>(other);
+        *static_cast<F**>(other) = nullptr;
+      }
+    }
+  };
+
+  template <class F>
+  void init(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= Inline && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = &InlineModel<D>::invoke;
+      manage_ = &InlineModel<D>::manage;
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(storage_)) =
+          new D(std::forward<F>(f));
+      invoke_ = &HeapModel<D>::invoke;
+      manage_ = &HeapModel<D>::manage;
+    }
+  }
+
+  void move_from(SmallFunc& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(storage_, other.storage_, Op::Move);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void destroy() noexcept {
+    if (manage_ != nullptr) {
+      manage_(storage_, nullptr, Op::Destroy);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Inline];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace proust

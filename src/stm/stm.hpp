@@ -89,6 +89,10 @@ class Stm {
         pause_between_attempts(backoff);
       } catch (...) {
         tx.rollback(AbortReason::Explicit);
+        // Reset gate exemption before propagating: a Txn (or arena) reused
+        // after a user exception must not inherit stale fallback state. The
+        // exclusive gate itself is released by exclusive_gate's destructor.
+        tx.set_gate_exempt(false);
         throw;
       }
     }

@@ -14,12 +14,20 @@ thread_local Txn* tls_current = nullptr;
 
 Txn* Txn::current() noexcept { return tls_current; }
 
+TxnArena& TxnArena::of_thread() {
+  static thread_local TxnArena arena;
+  return arena;
+}
+
 Txn::Txn(Stm& stm)
-    : stm_(stm), mode_(stm.mode()), slot_(ThreadRegistry::slot()) {
+    : stm_(stm),
+      arena_(TxnArena::of_thread()),
+      mode_(stm.mode()),
+      slot_(ThreadRegistry::slot()) {
   assert(tls_current == nullptr && "a transaction is already running here");
+  assert(arena_.writes.empty() && arena_.locals.empty() &&
+         "arena not reset by the previous transaction");
   tls_current = this;
-  reads_.reserve(64);
-  reader_marks_.reserve(16);
 }
 
 Txn::~Txn() {
@@ -44,17 +52,38 @@ void Txn::begin() {
 std::uint64_t Txn::fresh_stamp() noexcept { return stm_.next_stamp(); }
 
 detail::WriteEntry* Txn::find_write(const VarBase* var) noexcept {
-  if (write_index_.empty()) return nullptr;
-  auto it = write_index_.find(var);
-  return it == write_index_.end() ? nullptr : it->second;
+  if ((write_bloom_ & bloom_bit(var)) == 0) return nullptr;
+  if (write_table_on_) {
+    return static_cast<detail::WriteEntry*>(arena_.write_table.find(var));
+  }
+  const std::size_t n = arena_.writes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    detail::WriteEntry& e = arena_.writes[i];
+    if (e.var == var) return &e;
+  }
+  return nullptr;
 }
 
 detail::WriteEntry& Txn::new_write(VarBase* var) {
-  writes_.emplace_back();
-  detail::WriteEntry& e = writes_.back();
+  detail::WriteEntry& e = arena_.writes.acquire();
+  // Pool slots are recycled, not destroyed: re-initialize every field the
+  // protocols read (the ValBufs keep their capacity on purpose).
   e.var = var;
   e.lock.owner = this;
-  write_index_.emplace(var, &e);
+  e.lock.old_version = 0;
+  e.locked = false;
+  e.has_redo = false;
+  e.wrote = false;
+  write_bloom_ |= bloom_bit(var);
+  if (write_table_on_) {
+    arena_.write_table.insert(var, &e);
+  } else if (arena_.writes.size() > kSmallWriteSet) {
+    // Outgrew the linear-scan window: index everything seen so far.
+    for (std::size_t i = 0; i < arena_.writes.size(); ++i) {
+      arena_.write_table.insert(arena_.writes[i].var, &arena_.writes[i]);
+    }
+    write_table_on_ = true;
+  }
   return e;
 }
 
@@ -62,15 +91,15 @@ void Txn::mark_reader(VarBase& var) {
   const std::uint64_t mask = std::uint64_t{1} << slot_;
   const std::uint64_t old =
       var.readers_.fetch_or(mask, std::memory_order_acq_rel);
-  if ((old & mask) == 0) reader_marks_.push_back(&var);
+  if ((old & mask) == 0) arena_.reader_marks.push_back(&var);
 }
 
 void Txn::clear_reader_marks() noexcept {
   const std::uint64_t mask = ~(std::uint64_t{1} << slot_);
-  for (VarBase* var : reader_marks_) {
+  for (VarBase* var : arena_.reader_marks) {
     var->readers_.fetch_and(mask, std::memory_order_acq_rel);
   }
-  reader_marks_.clear();
+  arena_.reader_marks.clear();
 }
 
 void Txn::read_impl(const VarBase& var, void* dst, std::size_t size) {
@@ -115,7 +144,7 @@ void Txn::read_impl(const VarBase& var, void* dst, std::size_t size) {
       extend_or_abort();
       if (ver > rv_) throw ConflictAbort{AbortReason::ReadVersion};
     }
-    if (mode_ != Mode::EagerAll) reads_.push_back({&var, ver});
+    if (mode_ != Mode::EagerAll) arena_.reads.push_back({&var, ver});
     return;
   }
   throw ConflictAbort{AbortReason::ReadVersion};
@@ -159,7 +188,7 @@ void Txn::read_validate_impl(const VarBase& var) {
     extend_or_abort();
     if (ver > rv_) throw ConflictAbort{AbortReason::ReadVersion};
   }
-  reads_.push_back({&var, ver});
+  arena_.reads.push_back({&var, ver});
 }
 
 void Txn::write_impl(VarBase& var, const void* src, std::size_t size) {
@@ -203,7 +232,7 @@ void Txn::write_impl(VarBase& var, const void* src, std::size_t size) {
 }
 
 bool Txn::validate_read_set() const noexcept {
-  for (const auto& r : reads_) {
+  for (const auto& r : arena_.reads) {
     const std::uintptr_t w = r.var->orec_.load();
     if (Orec::is_locked(w)) {
       const LockRecord* rec = Orec::owner_of(w);
@@ -229,7 +258,9 @@ void Txn::extend_or_abort() {
 }
 
 void Txn::release_locks(Version version) noexcept {
-  for (auto& e : writes_) {
+  const std::size_t n = arena_.writes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    detail::WriteEntry& e = arena_.writes[i];
     if (e.locked) {
       e.var->orec_.unlock(version);
       e.locked = false;
@@ -238,11 +269,11 @@ void Txn::release_locks(Version version) noexcept {
 }
 
 void Txn::undo_writes() noexcept {
-  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
-    if (it->wrote) {
-      std::memcpy(it->var->data_, it->undo.data(it->var->size_),
-                  it->var->size_);
-      it->wrote = false;
+  for (std::size_t i = arena_.writes.size(); i-- > 0;) {
+    detail::WriteEntry& e = arena_.writes[i];
+    if (e.wrote) {
+      std::memcpy(e.var->data_, e.undo.data(e.var->size_), e.var->size_);
+      e.wrote = false;
     }
   }
 }
@@ -264,19 +295,21 @@ void Txn::commit() {
 
   // Read-only (and hook-free) fast path: reads were validated incrementally,
   // no clock advance needed.
-  if (writes_.empty() && commit_locked_hooks_.empty()) {
+  if (arena_.writes.empty() && arena_.commit_locked_hooks.empty()) {
     clear_reader_marks();
     active_ = false;
     stm_.stats().count_commit();
-    for (auto& h : commit_hooks_) h();
-    for (auto& h : finish_hooks_) h(Outcome::Committed);
+    for (auto& h : arena_.commit_hooks) h();
+    for (auto& h : arena_.finish_hooks) h(Outcome::Committed);
     reset_attempt_state();
     return;
   }
 
+  const std::size_t nwrites = arena_.writes.size();
   if (mode_ == Mode::Lazy) {
     // Commit-time locking, arbitrary order, abort-on-busy (deadlock-free).
-    for (auto& e : writes_) {
+    for (std::size_t i = 0; i < nwrites; ++i) {
+      detail::WriteEntry& e = arena_.writes[i];
       if (!e.var->orec_.try_lock(&e.lock)) {
         throw ConflictAbort{AbortReason::WriteLocked};
       }
@@ -286,7 +319,7 @@ void Txn::commit() {
 
   const Version wv = stm_.clock_advance();
   const bool need_validation =
-      mode_ != Mode::EagerAll && !reads_.empty() && rv_ + 1 != wv;
+      mode_ != Mode::EagerAll && !arena_.reads.empty() && rv_ + 1 != wv;
   if (need_validation && !validate_read_set()) {
     throw ConflictAbort{AbortReason::ValidationFailed};
   }
@@ -297,7 +330,8 @@ void Txn::commit() {
   run_commit_locked_hooks();
 
   if (mode_ == Mode::Lazy) {
-    for (auto& e : writes_) {
+    for (std::size_t i = 0; i < nwrites; ++i) {
+      detail::WriteEntry& e = arena_.writes[i];
       if (e.has_redo) {
         std::memcpy(e.var->data_, e.redo.data(e.var->size_), e.var->size_);
       }
@@ -308,13 +342,13 @@ void Txn::commit() {
   active_ = false;
   stm_.stats().count_commit();
 
-  for (auto& h : commit_hooks_) h();
-  for (auto& h : finish_hooks_) h(Outcome::Committed);
+  for (auto& h : arena_.commit_hooks) h();
+  for (auto& h : arena_.finish_hooks) h(Outcome::Committed);
   reset_attempt_state();
 }
 
 void Txn::run_commit_locked_hooks() noexcept {
-  for (auto& h : commit_locked_hooks_) h();
+  for (auto& h : arena_.commit_locked_hooks) h();
 }
 
 void Txn::rollback(AbortReason reason) noexcept {
@@ -323,7 +357,8 @@ void Txn::rollback(AbortReason reason) noexcept {
 
   // Proust inverse operations: reverse order, while this transaction's STM
   // locks (covering its conflict-abstraction locations) are still held.
-  for (auto it = abort_hooks_.rbegin(); it != abort_hooks_.rend(); ++it) {
+  for (auto it = arena_.abort_hooks.rbegin(); it != arena_.abort_hooks.rend();
+       ++it) {
     try {
       (*it)();
     } catch (...) {
@@ -334,15 +369,16 @@ void Txn::rollback(AbortReason reason) noexcept {
   undo_writes();
   // Release with the displaced versions so readers never observe a version
   // regression.
-  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
-    if (it->locked) {
-      it->var->orec_.unlock(it->lock.old_version);
-      it->locked = false;
+  for (std::size_t i = arena_.writes.size(); i-- > 0;) {
+    detail::WriteEntry& e = arena_.writes[i];
+    if (e.locked) {
+      e.var->orec_.unlock(e.lock.old_version);
+      e.locked = false;
     }
   }
   clear_reader_marks();
   active_ = false;
-  for (auto& h : finish_hooks_) {
+  for (auto& h : arena_.finish_hooks) {
     try {
       h(Outcome::Aborted);
     } catch (...) {
@@ -353,15 +389,9 @@ void Txn::rollback(AbortReason reason) noexcept {
 }
 
 void Txn::reset_attempt_state() noexcept {
-  reads_.clear();
-  writes_.clear();
-  write_index_.clear();
-  reader_marks_.clear();
-  abort_hooks_.clear();
-  commit_locked_hooks_.clear();
-  commit_hooks_.clear();
-  finish_hooks_.clear();
-  locals_.clear();
+  arena_.reset_attempt();
+  write_bloom_ = 0;
+  write_table_on_ = false;
 }
 
 }  // namespace proust::stm

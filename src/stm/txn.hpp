@@ -1,5 +1,7 @@
 // The transaction engine. One `Txn` object lives on the stack of an
-// `Stm::atomically` call and is reused across retry attempts.
+// `Stm::atomically` call and is reused across retry attempts; its
+// variable-sized state lives in a per-thread TxnArena (txn_arena.hpp) so
+// that steady-state attempts allocate nothing.
 //
 // Three commit/abort protocols are implemented, selected by the Stm's Mode:
 //
@@ -25,71 +27,33 @@
 //   on_commit        — post-commit notifications (after locks released).
 //   on_finish        — runs on both outcomes, last; pessimistic abstract-lock
 //                      release hangs off this.
+//
+// Write-set lookup is a two-tier index: a pointer-hash Bloom summary word
+// gates a linear scan while the write set is small (≤ kSmallWriteSet
+// entries), then an open-addressing flat table (reused across attempts)
+// takes over. Both tiers are allocation-free in steady state.
 #pragma once
 
 #include <cassert>
 #include <cstring>
-#include <deque>
-#include <functional>
 #include <memory>
-#include <unordered_map>
+#include <new>
 #include <utility>
-#include <vector>
 
 #include "stm/fwd.hpp"
 #include "stm/orec.hpp"
 #include "stm/stats.hpp"
 #include "stm/thread_registry.hpp"
+#include "stm/txn_arena.hpp"
 #include "stm/var.hpp"
 
 namespace proust::stm {
 
-namespace detail {
-
-/// Small-buffer value storage for redo/undo copies.
-class ValBuf {
- public:
-  void* ensure(std::size_t n) {
-    if (n <= kInline) return inline_;
-    if (!heap_ || heap_size_ < n) {
-      heap_ = std::make_unique<unsigned char[]>(n);
-      heap_size_ = n;
-    }
-    return heap_.get();
-  }
-  void* data(std::size_t n) noexcept {
-    return n <= kInline ? static_cast<void*>(inline_) : heap_.get();
-  }
-  const void* data(std::size_t n) const noexcept {
-    return n <= kInline ? static_cast<const void*>(inline_) : heap_.get();
-  }
-
- private:
-  static constexpr std::size_t kInline = 32;
-  alignas(16) unsigned char inline_[kInline];
-  std::unique_ptr<unsigned char[]> heap_;
-  std::size_t heap_size_ = 0;
-};
-
-struct WriteEntry {
-  VarBase* var = nullptr;
-  LockRecord lock;
-  ValBuf redo;   // buffered new value (Lazy mode)
-  ValBuf undo;   // displaced value (eager modes)
-  bool locked = false;
-  bool has_redo = false;
-  bool wrote = false;  // eager modes: undo saved and in-place value replaced
-};
-
-struct ReadEntry {
-  const VarBase* var;
-  Version version;
-};
-
-}  // namespace detail
-
 class Txn {
  public:
+  using Hook = SmallFunc<void()>;
+  using FinishHook = SmallFunc<void(Outcome)>;
+
   Txn(const Txn&) = delete;
   Txn& operator=(const Txn&) = delete;
   ~Txn();
@@ -150,30 +114,38 @@ class Txn {
   }
 
   // --- Hook registration (see file comment for semantics) -----------------
-  void on_abort(std::function<void()> fn) { abort_hooks_.push_back(std::move(fn)); }
-  void on_commit_locked(std::function<void()> fn) {
-    commit_locked_hooks_.push_back(std::move(fn));
+  void on_abort(Hook fn) { arena_.abort_hooks.push_back(std::move(fn)); }
+  void on_commit_locked(Hook fn) {
+    arena_.commit_locked_hooks.push_back(std::move(fn));
   }
-  void on_commit(std::function<void()> fn) { commit_hooks_.push_back(std::move(fn)); }
-  void on_finish(std::function<void(Outcome)> fn) {
-    finish_hooks_.push_back(std::move(fn));
+  void on_commit(Hook fn) { arena_.commit_hooks.push_back(std::move(fn)); }
+  void on_finish(FinishHook fn) {
+    arena_.finish_hooks.push_back(std::move(fn));
   }
 
   // --- Transaction-local storage ------------------------------------------
   /// Per-(transaction-attempt) storage, keyed by an owner address. This is
   /// the analogue of ScalaSTM's TxnLocal: replay logs and shadow copies live
-  /// here and are discarded when the attempt ends (either way).
+  /// here and are discarded when the attempt ends (either way). Objects are
+  /// placed in the arena's bump allocator; their destructors run at attempt
+  /// end, in reverse creation order.
   template <class T, class Factory>
   T& local(const void* key, Factory&& make) {
-    auto it = locals_.find(key);
-    if (it == locals_.end()) {
-      it = locals_.emplace(key, std::shared_ptr<void>(std::make_shared<T>(
-                                    std::forward<Factory>(make)())))
-               .first;
+    for (const TxnArena::LocalSlot& s : arena_.locals) {
+      if (s.key == key) return *static_cast<T*>(s.obj);
     }
-    return *static_cast<T*>(it->second.get());
+    void* mem = arena_.local_slab.allocate(sizeof(T), alignof(T));
+    T* obj = ::new (mem) T(std::forward<Factory>(make)());
+    arena_.locals.push_back(
+        TxnArena::LocalSlot{key, obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    return *obj;
   }
-  bool has_local(const void* key) const { return locals_.count(key) != 0; }
+  bool has_local(const void* key) const {
+    for (const TxnArena::LocalSlot& s : arena_.locals) {
+      if (s.key == key) return true;
+    }
+    return false;
+  }
 
  private:
   friend class Stm;
@@ -205,7 +177,19 @@ class Txn {
   void undo_writes() noexcept;
   void reset_attempt_state() noexcept;
 
+  /// One bit of a 64-bit pointer-hash summary of the write set; a clear bit
+  /// proves the var was never written by this transaction.
+  static std::uint64_t bloom_bit(const VarBase* var) noexcept {
+    auto x = reinterpret_cast<std::uintptr_t>(var) >> 3;
+    x *= 0x9E3779B97F4A7C15ULL;
+    return std::uint64_t{1} << (x >> 58);
+  }
+
+  /// Write sets at most this large are probed by linear scan.
+  static constexpr std::size_t kSmallWriteSet = 8;
+
   Stm& stm_;
+  TxnArena& arena_;
   Mode mode_;
   unsigned slot_;
   Version rv_ = 0;
@@ -213,17 +197,8 @@ class Txn {
   bool active_ = false;
   bool snapshot_frozen_ = false;
   bool gate_exempt_ = false;
-
-  std::vector<detail::ReadEntry> reads_;
-  std::deque<detail::WriteEntry> writes_;  // deque: stable LockRecord addresses
-  std::unordered_map<const VarBase*, detail::WriteEntry*> write_index_;
-  std::vector<VarBase*> reader_marks_;
-
-  std::vector<std::function<void()>> abort_hooks_;
-  std::vector<std::function<void()>> commit_locked_hooks_;
-  std::vector<std::function<void()>> commit_hooks_;
-  std::vector<std::function<void(Outcome)>> finish_hooks_;
-  std::unordered_map<const void*, std::shared_ptr<void>> locals_;
+  bool write_table_on_ = false;  // flat-table tier engaged this attempt
+  std::uint64_t write_bloom_ = 0;
 };
 
 // Var<T> accessor definitions (declared in var.hpp).

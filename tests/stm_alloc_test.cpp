@@ -1,0 +1,161 @@
+// The steady-state zero-allocation invariant (DESIGN.md "Transaction memory
+// layout & hot path"): after a short warm-up, a transaction attempt — reads,
+// writes (both index tiers), hooks, locals, commit or retry — performs zero
+// heap allocations. Verified with a counting global operator new.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "stm/stm.hpp"
+
+namespace {
+std::atomic<std::size_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace proust::stm;
+
+namespace {
+
+/// Run `body` `warmup` times, then `measured` times, and return the number
+/// of operator-new calls made during the measured phase.
+template <class Body>
+std::size_t allocations_in_steady_state(Body&& body, int warmup = 128,
+                                        int measured = 1024) {
+  for (int i = 0; i < warmup; ++i) body(i);
+  const std::size_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < measured; ++i) body(i);
+  return g_news.load(std::memory_order_relaxed) - before;
+}
+
+class ZeroAllocTest : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(ZeroAllocTest, SmallWriteSetAttemptsAllocateNothing) {
+  Stm stm(GetParam());
+  std::vector<Var<long>> vars(4);
+  const std::size_t n = allocations_in_steady_state([&](int i) {
+    stm.atomically([&](Txn& tx) {
+      for (auto& v : vars) tx.write(v, tx.read(v) + i);
+    });
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_P(ZeroAllocTest, LargeWriteSetAttemptsAllocateNothing) {
+  // 100 vars: flat-table tier, pool-chunk growth, table rehash — all during
+  // warm-up; steady state reuses every structure.
+  Stm stm(GetParam());
+  std::vector<Var<long>> vars(100);
+  const std::size_t n = allocations_in_steady_state([&](int i) {
+    stm.atomically([&](Txn& tx) {
+      for (auto& v : vars) tx.write(v, long{i});
+    });
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_P(ZeroAllocTest, OversizedValuesReuseRetainedBuffers) {
+  // 64-byte values exceed ValBuf's 32-byte inline storage; the heap buffers
+  // are allocated on first use and retained by the pool afterwards.
+  struct Big {
+    long a[8];
+  };
+  Stm stm(GetParam());
+  std::vector<Var<Big>> vars(12);
+  const std::size_t n = allocations_in_steady_state([&](int i) {
+    stm.atomically([&](Txn& tx) {
+      for (auto& v : vars) tx.write(v, Big{{long{i}}});
+    });
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_P(ZeroAllocTest, ReadOnlyAttemptsAllocateNothing) {
+  Stm stm(GetParam());
+  std::vector<Var<long>> vars(16);
+  long sink = 0;
+  const std::size_t n = allocations_in_steady_state([&](int) {
+    sink += stm.atomically([&](Txn& tx) {
+      long s = 0;
+      for (auto& v : vars) s += tx.read(v);
+      return s;
+    });
+  });
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(sink, 0);
+}
+
+TEST_P(ZeroAllocTest, HooksAndLocalsAllocateNothing) {
+  Stm stm(GetParam());
+  Var<long> v;
+  int key = 0;
+  long observed = 0;
+  const std::size_t n = allocations_in_steady_state([&](int i) {
+    stm.atomically([&](Txn& tx) {
+      long& acc = tx.local<long>(&key, [] { return 0L; });
+      acc += i;
+      tx.write(v, acc);
+      tx.on_commit([&observed, &acc] { observed = acc; });
+      tx.on_finish([](Outcome) {});
+    });
+  });
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(observed, v.unsafe_ref());
+}
+
+TEST_P(ZeroAllocTest, RetriesAfterAbortAllocateNothing) {
+  // A retry re-runs the attempt against the same arena; the abort/rollback
+  // path (undo, lock release, reset) must not allocate either. The throw
+  // itself uses the runtime's exception allocator, not operator new.
+  Stm stm(GetParam(), StmOptions{.cm_policy = CmPolicy::None});
+  std::vector<Var<long>> vars(10);
+  const std::size_t n = allocations_in_steady_state([&](int i) {
+    stm.atomically([&](Txn& tx) {
+      for (auto& v : vars) tx.write(v, long{i});
+      if (tx.attempt() % 2 == 1) tx.retry();  // every txn aborts once
+    });
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ZeroAllocTest,
+                         ::testing::Values(Mode::Lazy, Mode::EagerWrite,
+                                           Mode::EagerAll),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Targeted coverage for the two-tier write-set index (Bloom-gated linear
+// scan → flat open-addressing table), the recycled write-entry pool, and the
+// attempt-scoped lifetime of Txn::local under arena reuse.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stm/stm.hpp"
+
+using namespace proust::stm;
+
+namespace {
+
+class WriteSetIndexTest : public ::testing::TestWithParam<Mode> {};
+
+// Read-after-write through both index tiers: the first writes sit in the
+// linear-scan window, everything past kSmallWriteSet (8) goes through the
+// flat table, and >64 vars forces pool-chunk growth (chunk size 32).
+TEST_P(WriteSetIndexTest, ReadAfterWriteLargeWriteSet) {
+  Stm stm(GetParam());
+  constexpr int kVars = 100;
+  std::vector<Var<long>> vars(kVars);
+
+  stm.atomically([&](Txn& tx) {
+    for (int i = 0; i < kVars; ++i) tx.write(vars[i], long{i} * 3);
+    // Every var must resolve to this transaction's own write, in both the
+    // small-set tier (first writes) and the table tier.
+    for (int i = 0; i < kVars; ++i) EXPECT_EQ(tx.read(vars[i]), long{i} * 3);
+    // Overwrites must find the existing entry, not create a duplicate.
+    for (int i = 0; i < kVars; i += 7) tx.write(vars[i], long{i} * 5);
+    for (int i = 0; i < kVars; ++i) {
+      EXPECT_EQ(tx.read(vars[i]), i % 7 == 0 ? long{i} * 5 : long{i} * 3);
+    }
+  });
+
+  for (int i = 0; i < kVars; ++i) {
+    EXPECT_EQ(vars[i].unsafe_ref(), i % 7 == 0 ? long{i} * 5 : long{i} * 3)
+        << "var " << i;
+  }
+}
+
+// A second transaction on the same thread reuses the arena's pool chunks and
+// flat table; stale entries from the first transaction must be invisible.
+TEST_P(WriteSetIndexTest, PoolReuseAcrossTransactions) {
+  Stm stm(GetParam());
+  std::vector<Var<long>> first(80), second(80);
+
+  stm.atomically([&](Txn& tx) {
+    for (auto& v : first) tx.write(v, 11);
+  });
+  stm.atomically([&](Txn& tx) {
+    // Vars written by the previous transaction are NOT in this write set.
+    for (auto& v : first) EXPECT_EQ(tx.read(v), 11);
+    for (auto& v : second) tx.write(v, 22);
+    for (auto& v : second) EXPECT_EQ(tx.read(v), 22);
+  });
+  for (auto& v : second) EXPECT_EQ(v.unsafe_ref(), 22);
+}
+
+// Commit ordering with a table-tier write set: commit-locked hooks run at
+// the commit point (before the transaction's own post-commit hooks), lazy
+// write-back publishes every buffered value, and commit hooks observe them.
+TEST_P(WriteSetIndexTest, HookOrderingWithLargeWriteSet) {
+  Stm stm(GetParam());
+  constexpr int kVars = 72;
+  std::vector<Var<long>> vars(kVars);
+  std::vector<std::string> order;
+
+  stm.atomically([&](Txn& tx) {
+    for (int i = 0; i < kVars; ++i) tx.write(vars[i], 9);
+    tx.on_commit_locked([&] { order.push_back("locked"); });
+    tx.on_commit([&] {
+      order.push_back("commit");
+      // Post-commit: every write must already be published.
+      for (int i = 0; i < kVars; ++i) EXPECT_EQ(vars[i].unsafe_ref(), 9);
+    });
+    tx.on_finish([&](Outcome o) {
+      EXPECT_EQ(o, Outcome::Committed);
+      order.push_back("finish");
+    });
+  });
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "locked");
+  EXPECT_EQ(order[1], "commit");
+  EXPECT_EQ(order[2], "finish");
+}
+
+// Abort with a large write set: all writes are rolled back (eager modes
+// restore undo values entry by entry) and inverse hooks run in reverse.
+TEST_P(WriteSetIndexTest, AbortRollsBackLargeWriteSet) {
+  Stm stm(GetParam());
+  constexpr int kVars = 96;
+  std::vector<Var<long>> vars(kVars);
+  for (int i = 0; i < kVars; ++i) vars[i].unsafe_store(long{i});
+  std::vector<int> inverse_order;
+
+  struct Bail {};
+  EXPECT_THROW(stm.atomically([&](Txn& tx) {
+    tx.on_abort([&] { inverse_order.push_back(1); });
+    for (int i = 0; i < kVars; ++i) tx.write(vars[i], -1);
+    tx.on_abort([&] { inverse_order.push_back(2); });
+    throw Bail{};
+  }),
+               Bail);
+
+  for (int i = 0; i < kVars; ++i) EXPECT_EQ(vars[i].unsafe_ref(), long{i});
+  ASSERT_EQ(inverse_order.size(), 2u);
+  EXPECT_EQ(inverse_order[0], 2);  // reverse registration order
+  EXPECT_EQ(inverse_order[1], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, WriteSetIndexTest,
+                         ::testing::Values(Mode::Lazy, Mode::EagerWrite,
+                                           Mode::EagerAll),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// Txn::local values must be discarded between attempts: arena reuse may keep
+// the memory, but each attempt must see a freshly constructed object, and
+// the previous attempt's object must have been destroyed.
+TEST(TxnLocalLifetimeTest, LocalsDiscardedBetweenAttempts) {
+  Stm stm(Mode::Lazy);
+  int key = 0;
+  int factory_calls = 0;
+  auto tracker = std::make_shared<int>(7);  // use_count tracks live copies
+
+  const long got = stm.atomically([&](Txn& tx) {
+    auto& value = tx.local<std::pair<std::shared_ptr<int>, long>>(
+        &key, [&] {
+          ++factory_calls;
+          return std::make_pair(tracker, 0L);
+        });
+    EXPECT_EQ(value.second, 0L) << "stale local leaked across attempts";
+    value.second = 42;
+    // The only live copies: `tracker` itself + this attempt's local.
+    EXPECT_EQ(tracker.use_count(), 2);
+    if (tx.attempt() == 1) tx.retry();  // force a second attempt
+    return value.second;
+  });
+
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(factory_calls, 2);  // one construction per attempt
+  EXPECT_EQ(tracker.use_count(), 1);  // both attempt-locals were destroyed
+}
+
+// Multiple distinct local keys in one attempt, destroyed on commit too.
+TEST(TxnLocalLifetimeTest, LocalsDestroyedOnCommit) {
+  Stm stm(Mode::Lazy);
+  int k1 = 0, k2 = 0;
+  auto tracker = std::make_shared<int>(1);
+
+  stm.atomically([&](Txn& tx) {
+    tx.local<std::shared_ptr<int>>(&k1, [&] { return tracker; });
+    tx.local<std::shared_ptr<int>>(&k2, [&] { return tracker; });
+    EXPECT_TRUE(tx.has_local(&k1));
+    EXPECT_TRUE(tx.has_local(&k2));
+    EXPECT_EQ(tracker.use_count(), 3);
+  });
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+}  // namespace
