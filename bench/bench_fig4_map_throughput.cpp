@@ -29,7 +29,7 @@ namespace {
 
 template <class Adapter>
 void bench_one(Table& table, JsonWriter* json, const std::string& name,
-               Adapter& adapter, RunConfig cfg) {
+               Adapter& adapter, RunConfig cfg, const char* scheme) {
   prefill_half(adapter, cfg.key_range);
   const RunResult r = run_map_throughput(adapter, cfg);
   const double abort_pct = 100.0 * r.abort_ratio();
@@ -38,9 +38,12 @@ void bench_one(Table& table, JsonWriter* json, const std::string& name,
              Table::fmt(r.mean_ms, 1), Table::fmt(r.sd_ms, 1),
              Table::fmt(abort_pct, 1)});
   if (json != nullptr) {
-    json->add(JsonRecord{"fig4_map_throughput", name, "", cfg.threads,
-                         cfg.ops_per_txn, cfg.write_fraction,
-                         r.ops_per_sec(cfg.total_ops), r.abort_ratio()});
+    JsonRecord rec{"fig4_map_throughput", name, "", cfg.threads,
+                   cfg.ops_per_txn, cfg.write_fraction,
+                   r.ops_per_sec(cfg.total_ops), r.abort_ratio()};
+    rec.scheme = scheme;
+    rec.with_stats(r.stats);
+    json->add(std::move(rec));
   }
 }
 
@@ -57,12 +60,16 @@ int main(int argc, char** argv) {
   base.timed_runs = static_cast<int>(cli.get_long("runs", full ? 10 : 2));
   base.zipf_theta = cli.get_double("zipf", 0.0);
   const stm::Mode mode = cli.get_mode("mode", stm::Mode::Lazy);
+  const stm::ClockScheme scheme =
+      cli.get_scheme("scheme", stm::ClockScheme::IncOnCommit);
+  stm::StmOptions opts;
+  opts.clock_scheme = scheme;
   const std::size_t ca_slots =
       static_cast<std::size_t>(cli.get_long("ca-slots", 1024));
 
   const auto thread_counts = cli.get_longs(
       "threads", full ? std::vector<long>{1, 2, 4, 8, 16, 32}
-                      : std::vector<long>{1, 2, 4, 8});
+                      : std::vector<long>{1, 2, 4, 8, 16});
   const auto txn_sizes =
       cli.get_longs("o", full ? std::vector<long>{1, 2, 16, 256}
                               : std::vector<long>{1, 16, 256});
@@ -71,8 +78,9 @@ int main(int argc, char** argv) {
                 : std::vector<double>{0, 0.5, 1});
 
   std::printf("# Figure 4 (top): map throughput, %ld ops, key range %ld, "
-              "STM mode %s\n",
-              base.total_ops, base.key_range, stm::to_string(mode));
+              "STM mode %s, clock scheme %s\n",
+              base.total_ops, base.key_range, stm::to_string(mode),
+              stm::to_string(scheme));
   Table table({"impl", "u", "o", "threads", "ms", "sd", "abort%"});
 
   const std::string json_path = cli.get("json", "");
@@ -87,35 +95,36 @@ int main(int argc, char** argv) {
         cfg.ops_per_txn = static_cast<int>(o);
         cfg.threads = static_cast<int>(t);
 
+        const char* sch = stm::to_string(scheme);
         {
-          PureStmAdapter a(mode, cfg.key_range);
-          bench_one(table, json, a.name(), a, cfg);
+          PureStmAdapter a(mode, cfg.key_range, opts);
+          bench_one(table, json, a.name(), a, cfg, sch);
         }
         {
-          PredicationAdapter a(mode);
-          bench_one(table, json, a.name(), a, cfg);
+          PredicationAdapter a(mode, opts);
+          bench_one(table, json, a.name(), a, cfg, sch);
         }
         {
-          EagerOptAdapter a(mode, ca_slots);
-          bench_one(table, json, a.name(), a, cfg);
+          EagerOptAdapter a(mode, ca_slots, opts);
+          bench_one(table, json, a.name(), a, cfg, sch);
         }
         {
-          LazySnapshotAdapter a(mode, ca_slots);
-          bench_one(table, json, a.name(), a, cfg);
+          LazySnapshotAdapter a(mode, ca_slots, opts);
+          bench_one(table, json, a.name(), a, cfg, sch);
         }
         {
-          LazyMemoAdapter a(mode, ca_slots, /*combine=*/false);
-          bench_one(table, json, a.name(), a, cfg);
+          LazyMemoAdapter a(mode, ca_slots, /*combine=*/false, opts);
+          bench_one(table, json, a.name(), a, cfg, sch);
         }
         if (o == 1) {
           // Pessimistic results only at o = 1, as in the paper (§7: longer
           // transactions livelocked under the weak CM coupling).
-          PessimisticAdapter a(mode, ca_slots);
-          bench_one(table, json, a.name(), a, cfg);
+          PessimisticAdapter a(mode, ca_slots, opts);
+          bench_one(table, json, a.name(), a, cfg, sch);
         }
         {
           GlobalLockAdapter a;
-          bench_one(table, json, a.name(), a, cfg);
+          bench_one(table, json, a.name(), a, cfg, "");
         }
       }
       std::printf("\n");

@@ -4,16 +4,22 @@
 //
 // Two entry points:
 //   default          — the google-benchmark suite below.
-//   --json=<path>    — a deterministic fixed-iteration "trajectory" run of
-//                      the canonical workloads (read_only, write_heavy,
-//                      read_modify_write, write_large) in every mode, with
+//   --json=<path>    — a deterministic fixed-iteration "trajectory" run with
 //                      machine-readable output; BENCH_STM.json at the repo
 //                      top level records these across PRs. --label=<str>
-//                      tags the run (defaults to "current").
+//                      tags the run (defaults to "current"). Two sections:
+//                      the canonical single-thread workloads (read_only,
+//                      write_heavy, read_modify_write, write_large) in every
+//                      mode, and a multi-thread sweep (1/2/4/8/16 threads,
+//                      override with --mt-threads=) of write workloads under
+//                      every global-clock scheme, which is what captures
+//                      commit-path scaling rather than just constant factors.
 #include <benchmark/benchmark.h>
 
+#include <barrier>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_util/cli.hpp"
@@ -168,6 +174,101 @@ Cell run_cell(stm::Stm& stm, const char* workload, long txns) {
   return cell;
 }
 
+// --- Multi-thread sweep ------------------------------------------------------
+
+/// Split `total_txns` across `threads` workers, release them through a
+/// barrier, and time the whole batch. `per_thread(t, my_txns)` runs on its
+/// own thread. Returns elapsed seconds.
+template <class PerThread>
+double timed_mt(int threads, long total_txns, PerThread&& per_thread) {
+  std::barrier sync(threads + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    const long my_txns =
+        total_txns / threads + (t < total_txns % threads ? 1 : 0);
+    workers.emplace_back([&, t, my_txns] {
+      sync.arrive_and_wait();
+      per_thread(t, my_txns);
+      sync.arrive_and_wait();
+    });
+  }
+  sync.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  sync.arrive_and_wait();
+  const auto stop = std::chrono::steady_clock::now();
+  for (auto& w : workers) w.join();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+struct MtSpec {
+  const char* workload;
+  stm::Mode mode;
+  int ops_per_txn;
+  long total_txns;
+};
+
+/// One (workload, mode, scheme, threads) cell of the multi-thread sweep.
+/// Workloads are write-shaped on purpose: writing commits are the only
+/// transactions that touch the global clock, so they are where the scheme
+/// shows up.
+///   mt_write_heavy    — every txn writes the same 8 shared vars (w/w
+///                       contention plus clock traffic)
+///   mt_disjoint_write — each thread writes its own 8 vars (the clock is the
+///                       only shared word: isolates commit-path overhead)
+///   mt_counter        — single shared read-modify-write counter (maximum
+///                       data contention; scheme effects are second-order)
+bench::JsonRecord run_mt_cell(const MtSpec& spec, stm::ClockScheme scheme,
+                              int threads) {
+  stm::StmOptions opts;
+  opts.clock_scheme = scheme;
+  stm::Stm stm(spec.mode, opts);
+
+  std::vector<stm::Var<long>> shared(8);
+  std::vector<std::vector<stm::Var<long>>> mine(threads);
+  for (auto& v : mine) v = std::vector<stm::Var<long>>(8);
+  stm::Var<long> counter(0);
+
+  auto body = [&](int t, long i) {
+    if (std::string_view(spec.workload) == "mt_write_heavy") {
+      stm.atomically([&](stm::Txn& tx) {
+        for (auto& v : shared) tx.write(v, i);
+      });
+    } else if (std::string_view(spec.workload) == "mt_disjoint_write") {
+      stm.atomically([&](stm::Txn& tx) {
+        for (auto& v : mine[t]) tx.write(v, i);
+      });
+    } else {  // mt_counter
+      stm.atomically(
+          [&](stm::Txn& tx) { tx.write(counter, tx.read(counter) + 1); });
+    }
+  };
+
+  const long warmup = spec.total_txns / 10 + 1;
+  timed_mt(threads, warmup, [&](int t, long n) {
+    for (long i = 0; i < n; ++i) body(t, i);
+  });
+  stm.stats().reset();
+  const double sec = timed_mt(threads, spec.total_txns, [&](int t, long n) {
+    for (long i = 0; i < n; ++i) body(t, i);
+  });
+  const stm::StatsSnapshot s = stm.stats().snapshot();
+
+  bench::JsonRecord rec{
+      "micro_stm_mt",
+      spec.workload,
+      stm::to_string(spec.mode),
+      threads,
+      spec.ops_per_txn,
+      std::string_view(spec.workload) == "mt_counter" ? 0.5 : 1.0,
+      sec <= 0 ? 0.0
+               : static_cast<double>(spec.total_txns) * spec.ops_per_txn / sec,
+      s.abort_ratio()};
+  rec.scheme = stm::to_string(scheme);
+  rec.with_stats(s);
+  return rec;
+}
+
 int run_trajectory(const bench::Cli& cli) {
   const std::string path = cli.get("json", "BENCH_STM.json");
   const std::string label = cli.get("label", "current");
@@ -192,16 +293,47 @@ int run_trajectory(const bench::Cli& cli) {
     for (stm::Mode mode : modes) {
       stm::Stm stm(mode);
       const Cell cell = run_cell(stm, spec.workload, spec.txns);
-      json.add(bench::JsonRecord{"micro_stm", cell.workload,
-                                 stm::to_string(mode), 1, cell.ops_per_txn,
-                                 cell.write_fraction, cell.ops_per_sec,
-                                 cell.abort_ratio});
+      bench::JsonRecord rec{"micro_stm", cell.workload, stm::to_string(mode),
+                            1, cell.ops_per_txn, cell.write_fraction,
+                            cell.ops_per_sec, cell.abort_ratio};
+      rec.scheme = stm::to_string(stm::ClockScheme::IncOnCommit);
+      json.add(std::move(rec));
       table.row({cell.workload, stm::to_string(mode),
                  std::to_string(cell.ops_per_txn),
                  bench::Table::fmt(cell.ops_per_sec / 1e6, 2),
                  bench::Table::fmt(cell.abort_ratio, 4)});
     }
   }
+
+  // Thread sweep: every clock scheme over write-shaped workloads.
+  const auto mt_threads =
+      cli.get_longs("mt-threads", std::vector<long>{1, 2, 4, 8, 16});
+  const stm::ClockScheme schemes[] = {stm::ClockScheme::IncOnCommit,
+                                      stm::ClockScheme::PassOnFailure,
+                                      stm::ClockScheme::LazyBump};
+  const MtSpec mt_specs[] = {
+      {"mt_write_heavy", stm::Mode::Lazy, 8, 120000 * scale},
+      {"mt_write_heavy", stm::Mode::EagerWrite, 8, 120000 * scale},
+      {"mt_disjoint_write", stm::Mode::Lazy, 8, 120000 * scale},
+      {"mt_disjoint_write", stm::Mode::EagerWrite, 8, 120000 * scale},
+      {"mt_counter", stm::Mode::Lazy, 2, 120000 * scale},
+  };
+  bench::Table mt_table(
+      {"workload", "mode", "scheme", "threads", "Mops/s", "abort"});
+  for (const MtSpec& spec : mt_specs) {
+    for (stm::ClockScheme scheme : schemes) {
+      for (long t : mt_threads) {
+        bench::JsonRecord rec =
+            run_mt_cell(spec, scheme, static_cast<int>(t));
+        mt_table.row({rec.workload, rec.mode, rec.scheme,
+                      std::to_string(rec.threads),
+                      bench::Table::fmt(rec.ops_per_sec / 1e6, 2),
+                      bench::Table::fmt(rec.abort_ratio, 4)});
+        json.add(std::move(rec));
+      }
+    }
+  }
+
   if (!json.write(path)) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
     return 1;

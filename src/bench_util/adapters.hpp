@@ -47,7 +47,8 @@ class StmAdapterBase {
   stm::Stm& stm() noexcept { return stm_; }
 
  protected:
-  explicit StmAdapterBase(stm::Mode mode) : stm_(mode) {}
+  explicit StmAdapterBase(stm::Mode mode, stm::StmOptions opts = {})
+      : stm_(mode, opts) {}
   stm::Stm stm_;
 };
 
@@ -56,8 +57,9 @@ class PureStmAdapter
   using Map = baselines::PureStmMap<long, long>;
 
  public:
-  PureStmAdapter(stm::Mode mode, long key_range)
-      : StmAdapterBase(mode), map_(stm_, static_cast<std::size_t>(key_range) * 4) {}
+  PureStmAdapter(stm::Mode mode, long key_range, stm::StmOptions opts = {})
+      : StmAdapterBase(mode, opts),
+        map_(stm_, static_cast<std::size_t>(key_range) * 4) {}
   static std::string name() { return "pure-stm"; }
   Map& map() noexcept { return map_; }
   void prefill(long k, long v) { map_.unsafe_put(k, v); }
@@ -72,8 +74,8 @@ class PredicationAdapter
   using Map = baselines::PredicationMap<long, long>;
 
  public:
-  explicit PredicationAdapter(stm::Mode mode)
-      : StmAdapterBase(mode), map_(stm_) {}
+  explicit PredicationAdapter(stm::Mode mode, stm::StmOptions opts = {})
+      : StmAdapterBase(mode, opts), map_(stm_) {}
   static std::string name() { return "predication"; }
   Map& map() noexcept { return map_; }
   void prefill(long k, long v) { map_.unsafe_put(k, v); }
@@ -91,8 +93,9 @@ class EagerOptAdapter
   using Map = core::TxnHashMap<long, long, Lap>;
 
  public:
-  EagerOptAdapter(stm::Mode mode, std::size_t ca_slots)
-      : StmAdapterBase(mode), lap_(stm_, ca_slots), map_(lap_) {}
+  EagerOptAdapter(stm::Mode mode, std::size_t ca_slots,
+                  stm::StmOptions opts = {})
+      : StmAdapterBase(mode, opts), lap_(stm_, ca_slots), map_(lap_) {}
   static std::string name() { return "proust-eager"; }
   Map& map() noexcept { return map_; }
   void prefill(long k, long v) { map_.unsafe_put(k, v); }
@@ -111,8 +114,9 @@ class PessimisticAdapter
   using Map = core::TxnHashMap<long, long, Lap>;
 
  public:
-  PessimisticAdapter(stm::Mode mode, std::size_t stripes)
-      : StmAdapterBase(mode), lap_(stm_, stripes), map_(lap_) {}
+  PessimisticAdapter(stm::Mode mode, std::size_t stripes,
+                     stm::StmOptions opts = {})
+      : StmAdapterBase(mode, opts), lap_(stm_, stripes), map_(lap_) {}
   static std::string name() { return "proust-pess"; }
   Map& map() noexcept { return map_; }
   void prefill(long k, long v) { map_.unsafe_put(k, v); }
@@ -131,8 +135,9 @@ class LazySnapshotAdapter
   using Map = core::LazyTrieMap<long, long, Lap>;
 
  public:
-  LazySnapshotAdapter(stm::Mode mode, std::size_t ca_slots)
-      : StmAdapterBase(mode), lap_(stm_, ca_slots), map_(lap_) {}
+  LazySnapshotAdapter(stm::Mode mode, std::size_t ca_slots,
+                      stm::StmOptions opts = {})
+      : StmAdapterBase(mode, opts), lap_(stm_, ca_slots), map_(lap_) {}
   static std::string name() { return "proust-lazy-snap"; }
   Map& map() noexcept { return map_; }
   void prefill(long k, long v) { map_.unsafe_put(k, v); }
@@ -152,8 +157,9 @@ class LazyMemoAdapter
   using Map = core::LazyHashMap<long, long, Lap>;
 
  public:
-  LazyMemoAdapter(stm::Mode mode, std::size_t ca_slots, bool combine)
-      : StmAdapterBase(mode), lap_(stm_, ca_slots), map_(lap_, combine),
+  LazyMemoAdapter(stm::Mode mode, std::size_t ca_slots, bool combine,
+                  stm::StmOptions opts = {})
+      : StmAdapterBase(mode, opts), lap_(stm_, ca_slots), map_(lap_, combine),
         combine_(combine) {}
   std::string name() const {
     return combine_ ? "proust-lazy-memo+c" : "proust-lazy-memo";

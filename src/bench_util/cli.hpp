@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "stm/fwd.hpp"
+#include "stm/options.hpp"
 
 namespace proust::bench {
 
@@ -68,6 +69,16 @@ class Cli {
     if (v == "lazy") return stm::Mode::Lazy;
     if (v == "eagerwrite") return stm::Mode::EagerWrite;
     if (v == "eagerall") return stm::Mode::EagerAll;
+    return def;
+  }
+
+  /// --scheme=inc|pass|lazybump (global-clock scheme).
+  stm::ClockScheme get_scheme(const std::string& flag,
+                              stm::ClockScheme def) const {
+    const std::string v = get(flag, "");
+    if (v == "inc") return stm::ClockScheme::IncOnCommit;
+    if (v == "pass") return stm::ClockScheme::PassOnFailure;
+    if (v == "lazybump") return stm::ClockScheme::LazyBump;
     return def;
   }
 

@@ -35,6 +35,7 @@ struct RunResult {
   std::uint64_t starts = 0;  // transaction attempts during timed runs
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
+  stm::StatsSnapshot stats;  // full breakdown (aborts by reason, extensions)
 
   /// Completed operations per second for one timed run of `total_ops`.
   double ops_per_sec(long total_ops) const noexcept {
@@ -117,6 +118,7 @@ RunResult run_map_throughput(Adapter& adapter, const RunConfig& cfg) {
   r.starts = s.starts;
   r.commits = s.commits;
   r.aborts = s.total_aborts();
+  r.stats = s;
   return r;
 }
 

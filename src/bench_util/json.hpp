@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "stm/stats.hpp"
+
 namespace proust::bench {
 
 struct JsonRecord {
@@ -20,6 +22,18 @@ struct JsonRecord {
   double write_fraction = -1;  // < 0 = not applicable
   double ops_per_sec = 0;
   double abort_ratio = 0;
+  std::string scheme;  // clock scheme, or "" when not applicable
+
+  /// Optional attempt-level breakdown (starts/commits/extensions and aborts
+  /// by reason) so scheme/mode ablations are diagnosable from the JSON, not
+  /// just a throughput number. Call with a StatsSnapshot to attach it.
+  JsonRecord& with_stats(const stm::StatsSnapshot& s) {
+    stats = s;
+    has_stats = true;
+    return *this;
+  }
+  stm::StatsSnapshot stats;
+  bool has_stats = false;
 };
 
 class JsonWriter {
@@ -41,11 +55,32 @@ class JsonWriter {
                    "%s\n    {\"bench\": \"%s\", \"workload\": \"%s\", "
                    "\"mode\": \"%s\", \"threads\": %d, \"ops_per_txn\": %d, "
                    "\"write_fraction\": %.3f, \"ops_per_sec\": %.1f, "
-                   "\"abort_ratio\": %.5f}",
+                   "\"abort_ratio\": %.5f",
                    i == 0 ? "" : ",", escape(r.bench).c_str(),
                    escape(r.workload).c_str(), escape(r.mode).c_str(),
                    r.threads, r.ops_per_txn, r.write_fraction, r.ops_per_sec,
                    r.abort_ratio);
+      if (!r.scheme.empty()) {
+        std::fprintf(f, ", \"scheme\": \"%s\"", escape(r.scheme).c_str());
+      }
+      if (r.has_stats) {
+        std::fprintf(f,
+                     ", \"starts\": %llu, \"commits\": %llu, "
+                     "\"extensions\": %llu, \"aborts\": {",
+                     static_cast<unsigned long long>(r.stats.starts),
+                     static_cast<unsigned long long>(r.stats.commits),
+                     static_cast<unsigned long long>(r.stats.extensions));
+        bool first = true;
+        for (std::size_t j = 0; j < r.stats.aborts.size(); ++j) {
+          if (r.stats.aborts[j] == 0) continue;
+          std::fprintf(f, "%s\"%s\": %llu", first ? "" : ", ",
+                       stm::to_string(static_cast<stm::AbortReason>(j)),
+                       static_cast<unsigned long long>(r.stats.aborts[j]));
+          first = false;
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
     const bool ok = std::fclose(f) == 0;

@@ -1,12 +1,17 @@
 // Forward declarations and small shared vocabulary types for the STM.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace proust::stm {
 
 /// Monotone version timestamps drawn from a per-STM global clock.
 using Version = std::uint64_t;
+
+/// Destructive-interference granularity used to pad per-thread cells and
+/// transactional variables so adjacent instances never share a cache line.
+inline constexpr std::size_t kCacheLine = 64;
 
 class Stm;
 class Txn;

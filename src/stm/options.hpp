@@ -1,7 +1,7 @@
 // Runtime policy knobs for the STM: the contention-management policy applied
-// between retry attempts (§7 discusses how much CM coupling matters), and an
-// optional serializing fallback that bounds retries under pathological
-// contention.
+// between retry attempts (§7 discusses how much CM coupling matters), the
+// global-version-clock scheme used by the commit path, and an optional
+// serializing fallback that bounds retries under pathological contention.
 #pragma once
 
 #include <cstdint>
@@ -29,8 +29,49 @@ constexpr const char* to_string(CmPolicy p) noexcept {
   return "?";
 }
 
+/// How a writing commit obtains its write version `wv` from the STM's global
+/// clock — a design-space axis of its own (TL2's GV1/GV4/GV5 family). The
+/// clock word is the one cache line every writing commit shares, so the
+/// scheme decides how commit throughput scales with thread count.
+///
+/// The `rv + 1 == wv` validation-skip fast path is sound ONLY under
+/// IncOnCommit: there every committer increments the clock *after* acquiring
+/// its write locks, so `wv == rv + 1` proves no writer overlapped this
+/// transaction's reads. Under PassOnFailure two commits may share one `wv`
+/// (the CAS loser adopts the winner's value mid-flight), and under LazyBump
+/// the clock does not tick per commit at all, so both schemes always
+/// revalidate the read set (see DESIGN.md §7).
+enum class ClockScheme : std::uint8_t {
+  /// GV1: every writing commit does one `fetch_add` on the shared clock.
+  /// Cheapest bookkeeping, keeps the validation-skip fast path, but every
+  /// commit ping-pongs the clock cache line.
+  IncOnCommit,
+  /// GV4: CAS the clock from its observed value `g` to `g + 1`; on CAS
+  /// failure reuse the winner's published value as this commit's `wv`
+  /// instead of retrying. Contended commits stop fighting over the clock
+  /// line — at most one RMW succeeds per tick, everyone else piggybacks.
+  PassOnFailure,
+  /// GV5: commit at `clock_now() + 1` without writing the clock at all; a
+  /// reader that meets a too-new version bumps the clock up to it before
+  /// retrying (Stm::clock_catch_up), which bounds the extra aborts this
+  /// scheme trades for a write-free commit.
+  LazyBump,
+};
+
+constexpr const char* to_string(ClockScheme s) noexcept {
+  switch (s) {
+    case ClockScheme::IncOnCommit: return "IncOnCommit";
+    case ClockScheme::PassOnFailure: return "PassOnFailure";
+    case ClockScheme::LazyBump: return "LazyBump";
+  }
+  return "?";
+}
+
 struct StmOptions {
   CmPolicy cm_policy = CmPolicy::ExponentialBackoff;
+
+  /// Global-clock scheme used by writing commits (see ClockScheme).
+  ClockScheme clock_scheme = ClockScheme::IncOnCommit;
 
   /// If nonzero, an atomically() call whose attempt count reaches this
   /// threshold re-runs under the STM's exclusive commit gate: no other

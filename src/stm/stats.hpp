@@ -26,7 +26,40 @@ struct StatsSnapshot {
 };
 
 class Stats {
+  struct alignas(kCacheLine) Cell {
+    std::uint64_t starts = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t extensions = 0;
+    std::array<std::uint64_t, static_cast<std::size_t>(AbortReason::kCount)>
+        aborts{};
+  };
+
  public:
+  /// A resolved pointer to one thread slot's padded counter cell. Txn caches
+  /// one at construction so per-read/per-write accounting is a single
+  /// increment instead of a ThreadRegistry::slot() TLS lookup per event.
+  class Counters {
+   public:
+    void count_start() noexcept { c_->starts += 1; }
+    void count_commit() noexcept { c_->commits += 1; }
+    void count_read() noexcept { c_->reads += 1; }
+    void count_write() noexcept { c_->writes += 1; }
+    void count_extension() noexcept { c_->extensions += 1; }
+    void count_abort(AbortReason r) noexcept {
+      c_->aborts[static_cast<std::size_t>(r)] += 1;
+    }
+
+   private:
+    friend class Stats;
+    explicit Counters(Cell* c) noexcept : c_(c) {}
+    Cell* c_;
+  };
+
+  /// Counter handle for a specific registry slot (must be the caller's own).
+  Counters counters(unsigned slot) noexcept { return Counters(&cells_[slot]); }
+
   void count_start() noexcept { cell().starts += 1; }
   void count_commit() noexcept { cell().commits += 1; }
   void count_read() noexcept { cell().reads += 1; }
@@ -40,16 +73,6 @@ class Stats {
   void reset();
 
  private:
-  struct alignas(64) Cell {
-    std::uint64_t starts = 0;
-    std::uint64_t commits = 0;
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    std::uint64_t extensions = 0;
-    std::array<std::uint64_t, static_cast<std::size_t>(AbortReason::kCount)>
-        aborts{};
-  };
-
   Cell& cell() noexcept { return cells_[ThreadRegistry::slot()]; }
 
   std::array<Cell, ThreadRegistry::kMaxSlots> cells_{};

@@ -1,5 +1,6 @@
-// The STM runtime: a global version clock, a stamp source, a conflict
-// detection mode and statistics, plus the `atomically` retry loop.
+// The STM runtime: a global version clock (with a pluggable advance scheme),
+// a block-allocating stamp source, a conflict detection mode and statistics,
+// plus the `atomically` retry loop.
 //
 // Multiple independent Stm instances may coexist (tests do this), but a
 // given transaction touches vars through exactly one Stm, and nested
@@ -7,6 +8,7 @@
 // nesting).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <mutex>
 #include <shared_mutex>
@@ -19,6 +21,7 @@
 #include "stm/fwd.hpp"
 #include "stm/options.hpp"
 #include "stm/stats.hpp"
+#include "stm/thread_registry.hpp"
 #include "stm/txn.hpp"
 
 namespace proust::stm {
@@ -37,11 +40,60 @@ class Stm {
   Version clock_now() const noexcept {
     return clock_.load(std::memory_order_acquire);
   }
-  Version clock_advance() noexcept {
-    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  /// Produce this commit's write version under the configured clock scheme.
+  /// Must be called *after* the committing transaction holds all of its
+  /// write locks: every scheme's correctness argument (and the orec-version
+  /// monotonicity invariant) relies on `wv` postdating lock acquisition.
+  Version generate_wv() noexcept {
+    switch (options_.clock_scheme) {
+      case ClockScheme::IncOnCommit:
+        return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      case ClockScheme::PassOnFailure: {
+        Version g = clock_.load(std::memory_order_acquire);
+        if (clock_.compare_exchange_strong(g, g + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+          return g + 1;
+        }
+        // Lost the race: the winner already moved the clock past us. Adopt
+        // its published value instead of retrying the RMW — sharing a wv is
+        // safe because both committers generated it while holding their
+        // (necessarily disjoint) write locks.
+        return clock_.load(std::memory_order_acquire);
+      }
+      case ClockScheme::LazyBump:
+        // Commit "in the future" without touching the clock; readers that
+        // meet the version catch the clock up (clock_catch_up).
+        return clock_.load(std::memory_order_acquire) + 1;
+    }
+    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;  // unreachable
   }
-  std::uint64_t next_stamp() noexcept {
-    return stamps_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  /// Raise the clock to at least `v` (no-op if already there). LazyBump
+  /// readers call this when they observe a version ahead of the clock, so
+  /// the retried attempt begins with `rv >= v` and can make progress.
+  void clock_catch_up(Version v) noexcept {
+    Version g = clock_.load(std::memory_order_acquire);
+    while (g < v && !clock_.compare_exchange_weak(g, v,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+    }
+  }
+
+  /// A process-unique stamp for `slot` (the calling thread's registry slot).
+  /// Threads draw blocks of kStampBlock stamps with a single shared
+  /// `fetch_add` and then hand them out from a slot-private cell, so the
+  /// per-stamp cost is one private increment. Stamps are globally unique
+  /// and strictly increasing per slot — a recycled slot resumes the previous
+  /// holder's partially-used block, never reissuing a value.
+  std::uint64_t next_stamp(unsigned slot) noexcept {
+    StampCell& c = stamp_cells_[slot];
+    if (c.next == c.end) {
+      c.next = stamps_.fetch_add(kStampBlock, std::memory_order_relaxed);
+      c.end = c.next + kStampBlock;
+    }
+    return ++c.next;
   }
 
   /// Run `body(Txn&)` atomically, retrying on conflict with randomized
@@ -59,8 +111,12 @@ class Stm {
       return body(*cur);
     }
     Txn tx(*this);
+    // Seed from the thread slot as well as the stack address: stacks are
+    // allocated at stride-aligned addresses, so address bits alone give
+    // sibling threads correlated backoff sequences.
     Backoff backoff(0x7265747279ULL ^
-                    (reinterpret_cast<std::uintptr_t>(&tx) >> 4));
+                    (reinterpret_cast<std::uintptr_t>(&tx) >> 4) ^
+                    (std::uint64_t{tx.slot()} * 0x9E3779B97F4A7C15ULL));
     for (;;) {
       // Irrevocable fallback: past the threshold, hold the commit gate
       // exclusively for the whole attempt — no other transaction can commit
@@ -115,8 +171,18 @@ class Stm {
     }
   }
 
-  alignas(64) std::atomic<Version> clock_{0};
-  alignas(64) std::atomic<std::uint64_t> stamps_{0};
+  /// Stamps handed out per thread slot; padded so neighbouring slots never
+  /// share a cache line. Exclusively owned by the slot's current holder
+  /// (handoff is ordered by the ThreadRegistry mutex).
+  struct alignas(kCacheLine) StampCell {
+    std::uint64_t next = 0;
+    std::uint64_t end = 0;
+  };
+  static constexpr std::uint64_t kStampBlock = 1024;
+
+  alignas(kCacheLine) std::atomic<Version> clock_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> stamps_{0};
+  std::array<StampCell, ThreadRegistry::kMaxSlots> stamp_cells_{};
   Mode mode_;
   StmOptions options_;
   Stats stats_;

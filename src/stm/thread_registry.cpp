@@ -8,10 +8,6 @@ std::mutex ThreadRegistry::mu_;
 std::vector<bool> ThreadRegistry::in_use_(ThreadRegistry::kMaxSlots, false);
 std::atomic<unsigned> ThreadRegistry::high_water_{0};
 
-namespace {
-struct SlotHolderImpl;
-}
-
 struct SlotHolder {
   unsigned slot;
   SlotHolder() : slot(ThreadRegistry::acquire_slot()) {}

@@ -23,7 +23,9 @@ Txn::Txn(Stm& stm)
     : stm_(stm),
       arena_(TxnArena::of_thread()),
       mode_(stm.mode()),
-      slot_(ThreadRegistry::slot()) {
+      scheme_(stm.options().clock_scheme),
+      slot_(ThreadRegistry::slot()),
+      stats_(stm.stats().counters(slot_)) {
   assert(tls_current == nullptr && "a transaction is already running here");
   assert(arena_.writes.empty() && arena_.locals.empty() &&
          "arena not reset by the previous transaction");
@@ -46,10 +48,14 @@ void Txn::begin() {
   ++attempt_;
   active_ = true;
   snapshot_frozen_ = false;
-  stm_.stats().count_start();
+  stats_.count_start();
 }
 
-std::uint64_t Txn::fresh_stamp() noexcept { return stm_.next_stamp(); }
+std::uint64_t Txn::fresh_stamp() noexcept { return stm_.next_stamp(slot_); }
+
+void Txn::note_version_ahead(Version ver) noexcept {
+  if (scheme_ == ClockScheme::LazyBump) stm_.clock_catch_up(ver);
+}
 
 detail::WriteEntry* Txn::find_write(const VarBase* var) noexcept {
   if ((write_bloom_ & bloom_bit(var)) == 0) return nullptr;
@@ -105,7 +111,7 @@ void Txn::clear_reader_marks() noexcept {
 void Txn::read_impl(const VarBase& var, void* dst, std::size_t size) {
   assert(active_);
   assert(size == var.size_);
-  stm_.stats().count_read();
+  stats_.count_read();
 
   if (detail::WriteEntry* e = find_write(&var)) {
     if (mode_ == Mode::Lazy) {
@@ -137,6 +143,7 @@ void Txn::read_impl(const VarBase& var, void* dst, std::size_t size) {
 
     const Version ver = Orec::version_of(w);
     if (ver > rv_) {
+      note_version_ahead(ver);
       if (mode_ == Mode::Lazy) throw ConflictAbort{AbortReason::ReadVersion};
       // Timestamp extension (TinySTM-style). In EagerAll the read set is
       // empty (visible readers make validation unnecessary), so this always
@@ -152,7 +159,7 @@ void Txn::read_impl(const VarBase& var, void* dst, std::size_t size) {
 
 void Txn::read_validate_impl(const VarBase& var) {
   assert(active_);
-  stm_.stats().count_read();
+  stats_.count_read();
 
   if (mode_ == Mode::EagerAll) {
     // Visible readers: publish the bit; a conflicting committer would have
@@ -166,9 +173,11 @@ void Txn::read_validate_impl(const VarBase& var) {
       const LockRecord* rec = Orec::owner_of(w);
       if (rec->owner != this) throw ConflictAbort{AbortReason::ReadLocked};
       if (snapshot_frozen_ && rec->old_version > rv_) {
+        note_version_ahead(rec->old_version);
         throw ConflictAbort{AbortReason::ReadVersion};
       }
     } else if (snapshot_frozen_ && Orec::version_of(w) > rv_) {
+      note_version_ahead(Orec::version_of(w));
       throw ConflictAbort{AbortReason::ReadVersion};
     }
     return;
@@ -184,6 +193,7 @@ void Txn::read_validate_impl(const VarBase& var) {
     ver = Orec::version_of(w);
   }
   if (ver > rv_) {
+    note_version_ahead(ver);
     if (mode_ == Mode::Lazy) throw ConflictAbort{AbortReason::ReadVersion};
     extend_or_abort();
     if (ver > rv_) throw ConflictAbort{AbortReason::ReadVersion};
@@ -194,7 +204,7 @@ void Txn::read_validate_impl(const VarBase& var) {
 void Txn::write_impl(VarBase& var, const void* src, std::size_t size) {
   assert(active_);
   assert(size == var.size_);
-  stm_.stats().count_write();
+  stats_.count_write();
 
   if (detail::WriteEntry* e = find_write(&var)) {
     if (mode_ == Mode::Lazy) {
@@ -249,12 +259,15 @@ void Txn::extend_or_abort() {
     // A pinned shadow copy forbids sliding the snapshot forward.
     throw ConflictAbort{AbortReason::ReadVersion};
   }
+  // Callers that saw a too-new version have already caught the clock up to
+  // it (note_version_ahead), so under every scheme `now` covers the version
+  // that triggered the extension.
   const Version now = stm_.clock_now();
   if (!validate_read_set()) {
     throw ConflictAbort{AbortReason::ValidationFailed};
   }
   rv_ = now;
-  stm_.stats().count_extension();
+  stats_.count_extension();
 }
 
 void Txn::release_locks(Version version) noexcept {
@@ -298,7 +311,7 @@ void Txn::commit() {
   if (arena_.writes.empty() && arena_.commit_locked_hooks.empty()) {
     clear_reader_marks();
     active_ = false;
-    stm_.stats().count_commit();
+    stats_.count_commit();
     for (auto& h : arena_.commit_hooks) h();
     for (auto& h : arena_.finish_hooks) h(Outcome::Committed);
     reset_attempt_state();
@@ -317,9 +330,18 @@ void Txn::commit() {
     }
   }
 
-  const Version wv = stm_.clock_advance();
+  // Write-version generation is scheme-dependent, and so is the validation
+  // skip: `rv_ + 1 == wv` proves "no writer overlapped us" only under
+  // IncOnCommit, where every committer ticks the clock after taking its
+  // locks. A PassOnFailure adopter shares its wv with a concurrent winner
+  // (and a committer whose locks were taken mid-flight may adopt a tick that
+  // predates our snapshot), and LazyBump never ticks at all — both must
+  // always revalidate.
+  const Version wv = stm_.generate_wv();
+  const bool skip_validation =
+      scheme_ == ClockScheme::IncOnCommit && rv_ + 1 == wv;
   const bool need_validation =
-      mode_ != Mode::EagerAll && !arena_.reads.empty() && rv_ + 1 != wv;
+      mode_ != Mode::EagerAll && !arena_.reads.empty() && !skip_validation;
   if (need_validation && !validate_read_set()) {
     throw ConflictAbort{AbortReason::ValidationFailed};
   }
@@ -340,7 +362,7 @@ void Txn::commit() {
   release_locks(wv);
   clear_reader_marks();
   active_ = false;
-  stm_.stats().count_commit();
+  stats_.count_commit();
 
   for (auto& h : arena_.commit_hooks) h();
   for (auto& h : arena_.finish_hooks) h(Outcome::Committed);
@@ -353,7 +375,7 @@ void Txn::run_commit_locked_hooks() noexcept {
 
 void Txn::rollback(AbortReason reason) noexcept {
   if (!active_) return;  // commit already completed; nothing to unwind
-  stm_.stats().count_abort(reason);
+  stats_.count_abort(reason);
 
   // Proust inverse operations: reverse order, while this transaction's STM
   // locks (covering its conflict-abstraction locations) are still held.

@@ -22,7 +22,13 @@
 
 namespace proust::stm {
 
-class VarBase {
+/// Cache-line aligned so that adjacent vars in the striped containers (the
+/// conflict-abstraction region is a dense `Var<uint64_t>` array, the
+/// pure-STM map a dense `Var<Slot>` array) never share a line: one thread
+/// locking/versioning its stripe must not invalidate a neighbour stripe's
+/// readers. Within a var the orec word, reader bitmap and (small) inline
+/// value share a single line on purpose — they are always touched together.
+class alignas(kCacheLine) VarBase {
  public:
   VarBase(const VarBase&) = delete;
   VarBase& operator=(const VarBase&) = delete;
