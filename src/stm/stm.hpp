@@ -10,6 +10,7 @@
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <mutex>
 #include <shared_mutex>
 #include <stdexcept>
@@ -43,40 +44,67 @@ class Stm {
 
   /// Produce this commit's write version under the configured clock scheme.
   /// Must be called *after* the committing transaction holds all of its
-  /// write locks: every scheme's correctness argument (and the orec-version
-  /// monotonicity invariant) relies on `wv` postdating lock acquisition.
-  Version generate_wv() noexcept {
+  /// write locks, with `lock_floor` the largest committed version those
+  /// locks displaced. Every scheme upholds two invariants:
+  ///  - `wv` postdates lock acquisition: a reader whose `rv >= wv` began
+  ///    after this committer's locks were visible, so it can never have
+  ///    copied a pre-commit value of ours;
+  ///  - `wv > lock_floor`: a committed orec's version strictly increases,
+  ///    so the exact-version compares in read-set validation can never
+  ///    mistake two different committed states of one var for each other.
+  /// IncOnCommit and PassOnFailure get the floor for free (the clock is
+  /// ticked past every released version before anyone can displace it);
+  /// LazyBump never writes the clock on commit, so it enforces the floor
+  /// explicitly — otherwise back-to-back commits to one var would both
+  /// release at clock+1 and reuse a version.
+  Version generate_wv(Version lock_floor) noexcept {
     switch (options_.clock_scheme) {
-      case ClockScheme::IncOnCommit:
-        return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      case ClockScheme::IncOnCommit: {
+        const Version wv = clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        assert(wv > lock_floor);
+        return wv;
+      }
       case ClockScheme::PassOnFailure: {
         Version g = clock_.load(std::memory_order_acquire);
         if (clock_.compare_exchange_strong(g, g + 1,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
+          assert(g + 1 > lock_floor);
           return g + 1;
         }
         // Lost the race: the winner already moved the clock past us. Adopt
         // its published value instead of retrying the RMW — sharing a wv is
         // safe because both committers generated it while holding their
-        // (necessarily disjoint) write locks.
-        return clock_.load(std::memory_order_acquire);
+        // (necessarily disjoint) write locks, and the adopted value still
+        // exceeds `lock_floor` (our locks happened-before our `g` load, so
+        // g >= lock_floor, and the adopted value is > g).
+        const Version wv = clock_.load(std::memory_order_acquire);
+        assert(wv > lock_floor);
+        return wv;
       }
-      case ClockScheme::LazyBump:
+      case ClockScheme::LazyBump: {
         // Commit "in the future" without touching the clock; readers that
-        // meet the version catch the clock up (clock_catch_up).
-        return clock_.load(std::memory_order_acquire) + 1;
+        // meet the version catch the clock up (clock_catch_up). The load is
+        // seq_cst, pairing with the seq_cst CAS in clock_catch_up, so a
+        // catch-up that precedes this load in the seq_cst order is never
+        // read stale (see DESIGN.md §7 for the residual multi-copy-atomic
+        // hardware assumption this scheme shares with TL2's GV5).
+        const Version wv = clock_.load(std::memory_order_seq_cst) + 1;
+        return wv > lock_floor ? wv : lock_floor + 1;
+      }
     }
     return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;  // unreachable
   }
 
   /// Raise the clock to at least `v` (no-op if already there). LazyBump
   /// readers call this when they observe a version ahead of the clock, so
-  /// the retried attempt begins with `rv >= v` and can make progress.
+  /// the retried attempt begins with `rv >= v` and can make progress. The
+  /// successful CAS is seq_cst to pair with the LazyBump clock load in
+  /// generate_wv.
   void clock_catch_up(Version v) noexcept {
     Version g = clock_.load(std::memory_order_acquire);
     while (g < v && !clock_.compare_exchange_weak(g, v,
-                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_seq_cst,
                                                   std::memory_order_acquire)) {
     }
   }

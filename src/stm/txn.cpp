@@ -149,7 +149,13 @@ void Txn::read_impl(const VarBase& var, void* dst, std::size_t size) {
       // empty (visible readers make validation unnecessary), so this always
       // succeeds and merely slides the snapshot forward.
       extend_or_abort();
-      if (ver > rv_) throw ConflictAbort{AbortReason::ReadVersion};
+      // The copied value is stale evidence: the var may have been
+      // recommitted between the copy and the extension, and a compare
+      // against the pre-extension `ver` cannot tell (an equal version is
+      // not proof of an unchanged value while a committer races us).
+      // Restart so word, value and version are re-captured under the new
+      // snapshot.
+      continue;
     }
     if (mode_ != Mode::EagerAll) arena_.reads.push_back({&var, ver});
     return;
@@ -183,22 +189,29 @@ void Txn::read_validate_impl(const VarBase& var) {
     return;
   }
 
-  const std::uintptr_t w = var.orec_.load();
-  Version ver;
-  if (Orec::is_locked(w)) {
-    const LockRecord* rec = Orec::owner_of(w);
-    if (rec->owner != this) throw ConflictAbort{AbortReason::ReadLocked};
-    ver = rec->old_version;  // committed version displaced by our own lock
-  } else {
-    ver = Orec::version_of(w);
+  for (int spin = 0; spin < 4; ++spin) {
+    const std::uintptr_t w = var.orec_.load();
+    Version ver;
+    if (Orec::is_locked(w)) {
+      const LockRecord* rec = Orec::owner_of(w);
+      if (rec->owner != this) throw ConflictAbort{AbortReason::ReadLocked};
+      ver = rec->old_version;  // committed version displaced by our own lock
+    } else {
+      ver = Orec::version_of(w);
+    }
+    if (ver > rv_) {
+      note_version_ahead(ver);
+      if (mode_ == Mode::Lazy) throw ConflictAbort{AbortReason::ReadVersion};
+      extend_or_abort();
+      // Re-load the orec before recording the entry: the var may have been
+      // recommitted during the extension, and the read set must hold the
+      // post-extension state, not the version that triggered it.
+      continue;
+    }
+    arena_.reads.push_back({&var, ver});
+    return;
   }
-  if (ver > rv_) {
-    note_version_ahead(ver);
-    if (mode_ == Mode::Lazy) throw ConflictAbort{AbortReason::ReadVersion};
-    extend_or_abort();
-    if (ver > rv_) throw ConflictAbort{AbortReason::ReadVersion};
-  }
-  arena_.reads.push_back({&var, ver});
+  throw ConflictAbort{AbortReason::ReadVersion};
 }
 
 void Txn::write_impl(VarBase& var, const void* src, std::size_t size) {
@@ -330,6 +343,17 @@ void Txn::commit() {
     }
   }
 
+  // Every write lock is held from here on. The largest version our locks
+  // displaced bounds the write version from below: generate_wv guarantees
+  // `wv > lock_floor` under every scheme, so an orec's committed version
+  // strictly increases and exact-version validation stays meaningful (under
+  // LazyBump the clock alone cannot provide this — see DESIGN.md §7).
+  Version lock_floor = 0;
+  for (std::size_t i = 0; i < nwrites; ++i) {
+    const detail::WriteEntry& e = arena_.writes[i];
+    if (e.lock.old_version > lock_floor) lock_floor = e.lock.old_version;
+  }
+
   // Write-version generation is scheme-dependent, and so is the validation
   // skip: `rv_ + 1 == wv` proves "no writer overlapped us" only under
   // IncOnCommit, where every committer ticks the clock after taking its
@@ -337,7 +361,7 @@ void Txn::commit() {
   // (and a committer whose locks were taken mid-flight may adopt a tick that
   // predates our snapshot), and LazyBump never ticks at all — both must
   // always revalidate.
-  const Version wv = stm_.generate_wv();
+  const Version wv = stm_.generate_wv(lock_floor);
   const bool skip_validation =
       scheme_ == ClockScheme::IncOnCommit && rv_ + 1 == wv;
   const bool need_validation =

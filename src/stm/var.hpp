@@ -33,6 +33,13 @@ class alignas(kCacheLine) VarBase {
   VarBase(const VarBase&) = delete;
   VarBase& operator=(const VarBase&) = delete;
 
+  /// Non-transactional: the last committed version of this var. Quiescent
+  /// inspection only (like Var::unsafe_ref); tests use it to pin the
+  /// per-orec version-monotonicity invariant.
+  Version unsafe_version() const noexcept {
+    return Orec::version_of(orec_.load());
+  }
+
  protected:
   VarBase(void* data, std::size_t size) noexcept
       : data_(data), size_(static_cast<std::uint32_t>(size)) {}

@@ -153,6 +153,72 @@ TEST(LazyBump, ReadersCatchTheClockUpAndMakeProgress) {
   EXPECT_GT(stm.clock_now(), 0u);
 }
 
+// LazyBump never writes the clock on commit, so `clock + 1` alone would let
+// back-to-back commits to one var release at the *same* version — two
+// different committed states an exact-version validation compare could not
+// tell apart (the enabler of a torn snapshot on the extension path).
+// generate_wv floors the write version above every displaced lock version:
+// per-orec versions must strictly increase even while the clock never moves.
+TEST(LazyBump, OrecVersionsNeverRepeatWhileClockIsStill) {
+  StmOptions o;
+  o.clock_scheme = ClockScheme::LazyBump;
+  for (Mode mode : {Mode::Lazy, Mode::EagerWrite, Mode::EagerAll}) {
+    Stm stm(mode, o);
+    Var<long> v(0);
+    Version last = v.unsafe_version();
+    for (int i = 0; i < 64; ++i) {
+      stm.atomically([&](Txn& tx) { tx.write(v, static_cast<long>(i)); });
+      const Version now = v.unsafe_version();
+      EXPECT_GT(now, last) << "commit " << i << " reused an orec version";
+      last = now;
+    }
+    EXPECT_EQ(stm.clock_now(), 0u) << "write-only commits must not tick GV5";
+  }
+}
+
+// Regression stress for the torn-snapshot scenario on the eager extension
+// path: a read that meets a too-new version extends its snapshot and must
+// then *re-read* the var — the pre-extension copy is stale evidence, and
+// under a version-reusing clock an equal-version re-check would accept a
+// value from a different commit. One hot var recommitted at maximum
+// frequency (so versions would collide constantly without the wv floor)
+// plus a paired var lets a reader detect any tear as a mismatched pair.
+TEST(LazyBump, EagerExtensionRereadsInsteadOfTrustingStaleCopy) {
+  StmOptions o;
+  o.clock_scheme = ClockScheme::LazyBump;
+  Stm stm(Mode::EagerWrite, o);
+  Var<long> a(0), b(0);
+  std::atomic<bool> torn{false};
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 2;
+  constexpr int kTxnsPerThread = 4000;
+
+  run_threads(kWriters + kReaders, [&](int t) {
+    if (t < kWriters) {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        stm.atomically([&](Txn& tx) {
+          const long next = tx.read(a) + 1;
+          tx.write(a, next);
+          tx.write(b, next);
+        });
+      }
+    } else {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        long sa = 0, sb = 0;
+        stm.atomically([&](Txn& tx) {
+          sa = tx.read(a);  // extension-heavy: writers outpace our rv
+          sb = tx.read(b);
+        });
+        if (sa != sb) torn.store(true);
+      }
+    }
+  });
+
+  EXPECT_FALSE(torn.load()) << "a committed snapshot mixed two commits";
+  EXPECT_EQ(a.unsafe_ref(), long{kWriters} * kTxnsPerThread);
+  EXPECT_EQ(b.unsafe_ref(), a.unsafe_ref());
+}
+
 TEST(LazyBump, SingleThreadWriteOnlyLeavesClockUntouched) {
   StmOptions o;
   o.clock_scheme = ClockScheme::LazyBump;
