@@ -9,11 +9,36 @@
 #include "bench_util/adapters.hpp"
 #include "bench_util/cli.hpp"
 #include "bench_util/harness.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "verify/checker.hpp"
 
 using namespace proust;
 using namespace proust::bench;
+
+namespace {
+
+template <class Adapter>
+void run_row(Table& table, JsonWriter* json, const char* bench,
+             const std::string& name, Adapter& a, const RunConfig& cfg,
+             long m) {
+  prefill_half(a, cfg.key_range);
+  const RunResult r = run_map_throughput(a, cfg);
+  const double abort_pct = 100.0 * r.abort_ratio();
+  table.row({name, std::to_string(m), std::to_string(cfg.threads),
+             Table::fmt(r.mean_ms, 1), Table::fmt(abort_pct, 2)});
+  if (json != nullptr) {
+    JsonRecord rec{bench,          name,
+                   "",             cfg.threads,
+                   cfg.ops_per_txn, cfg.write_fraction,
+                   r.ops_per_sec(cfg.total_ops), r.abort_ratio()};
+    rec.extra = m;  // the striping size under ablation
+    rec.with_stats(r.stats);
+    json->add(std::move(rec));
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -29,19 +54,49 @@ int main(int argc, char** argv) {
   const auto slot_counts = cli.get_longs(
       "m", std::vector<long>{4, 16, 64, 256, 1024, 4096});
 
+  const std::string json_path = cli.get("json", "");
+  JsonWriter json_writer(cli.get("label", "ablation-striping"));
+  JsonWriter* json = json_path.empty() ? nullptr : &json_writer;
+
   std::printf("# Ablation: CA striping size M (u=%.2f, o=%d, t=%d, keys=%ld)\n",
               cfg.write_fraction, cfg.ops_per_txn, cfg.threads, cfg.key_range);
-  Table table({"impl", "M", "ms", "abort%"});
+  Table table({"impl", "M", "threads", "ms", "abort%"});
   for (long m : slot_counts) {
     EagerOptAdapter a(stm::Mode::Lazy, static_cast<std::size_t>(m));
-    prefill_half(a, cfg.key_range);
-    const RunResult r = run_map_throughput(a, cfg);
-    const double abort_pct =
-        r.starts ? 100.0 * static_cast<double>(r.aborts) /
-                       static_cast<double>(r.starts)
-                 : 0;
-    table.row({"proust-eager", std::to_string(m), Table::fmt(r.mean_ms, 1),
-               Table::fmt(abort_pct, 2)});
+    run_row(table, json, "ablation_striping", a.name(), a, cfg, m);
+  }
+
+  // The same M axis for the pessimistic LAP, where M is the abstract-lock
+  // stripe count, across a thread sweep (the stripes are contended state
+  // even when the keys don't conflict — exactly what the atomic-word lock
+  // fast path is supposed to make cheap).
+  const auto pess_threads =
+      cli.get_longs("pess-threads", std::vector<long>{1, 2, 4, 8, 16});
+  const auto pess_slots =
+      cli.get_longs("pess-m", std::vector<long>{64, 1024});
+  std::printf("\n# Pessimistic LAP: stripes x threads (u=%.2f, o=%d)\n",
+              cfg.write_fraction, cfg.ops_per_txn);
+  Table table_p({"impl", "M", "threads", "ms", "abort%"});
+  for (long m : pess_slots) {
+    for (long t : pess_threads) {
+      RunConfig pcfg = cfg;
+      pcfg.threads = static_cast<int>(t);
+      {
+        PessimisticAdapter a(stm::Mode::Lazy, static_cast<std::size_t>(m));
+        run_row(table_p, json, "ablation_striping_pess", a.name(), a, pcfg, m);
+      }
+      {
+        LazyMemoPessAdapter a(stm::Mode::Lazy, static_cast<std::size_t>(m));
+        run_row(table_p, json, "ablation_striping_pess", a.name(), a, pcfg, m);
+      }
+    }
+  }
+  if (json != nullptr) {
+    if (!json->write(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", json_path.c_str());
   }
 
   // The same trade-off, decided analytically on the bounded model.

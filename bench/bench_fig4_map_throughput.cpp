@@ -29,7 +29,8 @@ namespace {
 
 template <class Adapter>
 void bench_one(Table& table, JsonWriter* json, const std::string& name,
-               Adapter& adapter, RunConfig cfg, const char* scheme) {
+               Adapter& adapter, RunConfig cfg, const char* scheme,
+               const char* bench_name = "fig4_map_throughput") {
   prefill_half(adapter, cfg.key_range);
   const RunResult r = run_map_throughput(adapter, cfg);
   const double abort_pct = 100.0 * r.abort_ratio();
@@ -38,7 +39,7 @@ void bench_one(Table& table, JsonWriter* json, const std::string& name,
              Table::fmt(r.mean_ms, 1), Table::fmt(r.sd_ms, 1),
              Table::fmt(abort_pct, 1)});
   if (json != nullptr) {
-    JsonRecord rec{"fig4_map_throughput", name, "", cfg.threads,
+    JsonRecord rec{bench_name, name, "", cfg.threads,
                    cfg.ops_per_txn, cfg.write_fraction,
                    r.ops_per_sec(cfg.total_ops), r.abort_ratio()};
     rec.scheme = scheme;
@@ -47,10 +48,69 @@ void bench_one(Table& table, JsonWriter* json, const std::string& name,
   }
 }
 
+/// Pessimistic-LAP thread sweep (--pess-sweep): eager (Boosting-style
+/// inverses) and lazy (memo replay log) strategies over the abstract-lock
+/// fast path, 1..16 threads. This is the trajectory workload recorded as
+/// "pr3-abstract-locks" in BENCH_STM.json — it isolates the cost of the
+/// abstract locks themselves (o=1 keeps livelock out of the picture, as §7
+/// does for the pessimistic rows of Figure 4).
+int run_pess_sweep(const Cli& cli) {
+  RunConfig base;
+  base.total_ops = cli.get_long("ops", 30000);
+  base.key_range = cli.get_long("key-range", 1024);
+  base.warmup_runs = static_cast<int>(cli.get_long("warmup", 1));
+  base.timed_runs = static_cast<int>(cli.get_long("runs", 3));
+  base.ops_per_txn = static_cast<int>(cli.get_long("o", 1));
+  const stm::Mode mode = cli.get_mode("mode", stm::Mode::Lazy);
+  stm::StmOptions opts;
+  opts.clock_scheme = cli.get_scheme("scheme", stm::ClockScheme::IncOnCommit);
+  const std::size_t stripes =
+      static_cast<std::size_t>(cli.get_long("ca-slots", 1024));
+
+  const auto thread_counts =
+      cli.get_longs("threads", std::vector<long>{1, 2, 4, 8, 16});
+  const auto write_fracs =
+      cli.get_doubles("u", std::vector<double>{0.5, 1});
+
+  std::printf("# Pessimistic-LAP sweep: %ld ops, o=%d, %zu stripes, mode %s\n",
+              base.total_ops, base.ops_per_txn, stripes, stm::to_string(mode));
+  Table table({"impl", "u", "o", "threads", "ms", "sd", "abort%"});
+
+  const std::string json_path = cli.get("json", "");
+  JsonWriter json_writer(cli.get("label", "pess-sweep"));
+  JsonWriter* json = json_path.empty() ? nullptr : &json_writer;
+
+  for (double u : write_fracs) {
+    for (long t : thread_counts) {
+      RunConfig cfg = base;
+      cfg.write_fraction = u;
+      cfg.threads = static_cast<int>(t);
+      {
+        PessimisticAdapter a(mode, stripes, opts);
+        bench_one(table, json, a.name(), a, cfg, "", "pess_sweep");
+      }
+      {
+        LazyMemoPessAdapter a(mode, stripes, opts);
+        bench_one(table, json, a.name(), a, cfg, "", "pess_sweep");
+      }
+    }
+    std::printf("\n");
+  }
+  if (json != nullptr) {
+    if (!json->write(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  if (cli.has("pess-sweep")) return run_pess_sweep(cli);
   const bool full = cli.has("full");
 
   RunConfig base;

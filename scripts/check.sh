@@ -27,13 +27,19 @@ fi
 echo "== tsan: build concurrent suites =="
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
-  --target stm_concurrent_test core_map_concurrent_test
+  --target stm_concurrent_test core_map_concurrent_test \
+  sync_test core_lock_test sync_stress_test
 
 echo "== tsan: run =="
 # tsan.supp masks only the STM's validated-racy core (see the file header);
-# races anywhere above the STM still fail the run.
+# races anywhere above the STM still fail the run. The lock suites guard
+# plain data with abstract-lock holds, so the atomic-word acquire/release
+# protocol's happens-before edges are machine-checked here.
 TSAN="suppressions=$PWD/tsan.supp halt_on_error=1"
 TSAN_OPTIONS="$TSAN" ./build-tsan/tests/stm_concurrent_test
 TSAN_OPTIONS="$TSAN" ./build-tsan/tests/core_map_concurrent_test
+TSAN_OPTIONS="$TSAN" ./build-tsan/tests/sync_test
+TSAN_OPTIONS="$TSAN" ./build-tsan/tests/core_lock_test
+TSAN_OPTIONS="$TSAN" ./build-tsan/tests/sync_stress_test
 
 echo "== all checks passed =="

@@ -126,6 +126,30 @@ class PessimisticAdapter
   Map map_;
 };
 
+/// Proust lazy-memoizing map over the pessimistic LAP — the sound
+/// lazy/pessimistic cell of Figure 1 (the memo table reads the base per key
+/// under that key's abstract lock, so observed values are committed ones).
+class LazyMemoPessAdapter
+    : public StmAdapterBase<
+          LazyMemoPessAdapter,
+          core::LazyHashMap<long, long, core::PessimisticLap<long>>> {
+  using Lap = core::PessimisticLap<long>;
+  using Map = core::LazyHashMap<long, long, Lap>;
+
+ public:
+  LazyMemoPessAdapter(stm::Mode mode, std::size_t stripes,
+                      stm::StmOptions opts = {})
+      : StmAdapterBase(mode, opts), lap_(stm_, stripes),
+        map_(lap_, /*combine_log=*/false) {}
+  static std::string name() { return "proust-pess-lazy"; }
+  Map& map() noexcept { return map_; }
+  void prefill(long k, long v) { map_.unsafe_put(k, v); }
+
+ private:
+  Lap lap_;
+  Map map_;
+};
+
 /// Proust lazy map with snapshot shadow copies (LazyTrieMap of Fig. 2b).
 class LazySnapshotAdapter
     : public StmAdapterBase<

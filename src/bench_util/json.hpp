@@ -23,6 +23,7 @@ struct JsonRecord {
   double ops_per_sec = 0;
   double abort_ratio = 0;
   std::string scheme;  // clock scheme, or "" when not applicable
+  long extra = -1;     // auxiliary swept knob (e.g. striping size M); < 0 = none
 
   /// Optional attempt-level breakdown (starts/commits/extensions and aborts
   /// by reason) so scheme/mode ablations are diagnosable from the JSON, not
@@ -62,6 +63,9 @@ class JsonWriter {
                    r.abort_ratio);
       if (!r.scheme.empty()) {
         std::fprintf(f, ", \"scheme\": \"%s\"", escape(r.scheme).c_str());
+      }
+      if (r.extra >= 0) {
+        std::fprintf(f, ", \"extra\": %ld", r.extra);
       }
       if (r.has_stats) {
         std::fprintf(f,

@@ -1,0 +1,205 @@
+// Containers whose storage is carved from a BumpArena — the building blocks
+// of the lazy strategy's allocation-free replay logs (core/replay_log.hpp).
+// The arena only hands out memory (its reset rewinds without destroying), so
+// these containers destroy their own elements in their destructors and must
+// themselves be destroyed before the arena is reset; Txn's locals list
+// guarantees exactly that ordering for transaction-local logs.
+//
+// Growth abandons the old storage to the arena rather than freeing it — the
+// arena rewinds it all at attempt end, and the blocks themselves are retained
+// across attempts (that retention is what makes the steady state heap-free).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "common/bump_arena.hpp"
+#include "common/hashing.hpp"
+
+namespace proust {
+
+/// Append-only sequence in arena-backed chunks: stable element addresses,
+/// O(1) amortized append, forward iteration in insertion order.
+template <class T, std::size_t ChunkLen = 8>
+class ArenaChunkList {
+ public:
+  explicit ArenaChunkList(BumpArena& arena) noexcept : arena_(&arena) {}
+  ArenaChunkList(const ArenaChunkList&) = delete;
+  ArenaChunkList& operator=(const ArenaChunkList&) = delete;
+
+  ~ArenaChunkList() {
+    for (Chunk* c = head_; c != nullptr; c = c->next) {
+      for (std::size_t i = c->count; i-- > 0;) c->slot(i)->~T();
+    }
+  }
+
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    if (tail_ == nullptr || tail_->count == ChunkLen) {
+      void* mem = arena_->allocate(sizeof(Chunk), alignof(Chunk));
+      Chunk* c = ::new (mem) Chunk;
+      if (tail_ == nullptr) {
+        head_ = tail_ = c;
+      } else {
+        tail_->next = c;
+        tail_ = c;
+      }
+    }
+    T* obj = ::new (static_cast<void*>(tail_->slot(tail_->count)))
+        T(std::forward<Args>(args)...);
+    ++tail_->count;
+    ++size_;
+    return *obj;
+  }
+
+  template <class F>
+  void for_each(F&& f) {
+    for (Chunk* c = head_; c != nullptr; c = c->next) {
+      for (std::size_t i = 0; i < c->count; ++i) f(*c->slot(i));
+    }
+  }
+  template <class F>
+  void for_each(F&& f) const {
+    for (const Chunk* c = head_; c != nullptr; c = c->next) {
+      for (std::size_t i = 0; i < c->count; ++i) f(*c->slot(i));
+    }
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  struct Chunk {
+    Chunk* next = nullptr;
+    std::size_t count = 0;
+    alignas(T) unsigned char storage[ChunkLen * sizeof(T)];
+
+    T* slot(std::size_t i) noexcept {
+      return std::launder(reinterpret_cast<T*>(storage + i * sizeof(T)));
+    }
+    const T* slot(std::size_t i) const noexcept {
+      return std::launder(
+          reinterpret_cast<const T*>(storage + i * sizeof(T)));
+    }
+  };
+
+  BumpArena* arena_;
+  Chunk* head_ = nullptr;
+  Chunk* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Open-addressing (linear probe) hash map in arena-backed flat storage.
+/// Insert and lookup only — the replay-log shadow tables never erase
+/// (a removed key stays present, memoized as "pending removal"). Growth
+/// rehashes into a fresh arena carving and abandons the old one.
+template <class K, class V, class Hasher = proust::Hash<K>>
+class ArenaFlatMap {
+ public:
+  explicit ArenaFlatMap(BumpArena& arena) noexcept : arena_(&arena) {}
+  ArenaFlatMap(const ArenaFlatMap&) = delete;
+  ArenaFlatMap& operator=(const ArenaFlatMap&) = delete;
+
+  ~ArenaFlatMap() {
+    if (slots_ == nullptr) return;
+    for (std::size_t i = 0; i < cap_; ++i) {
+      if (states_[i]) slots_[i].destroy();
+    }
+  }
+
+  V* find(const K& key) noexcept {
+    if (size_ == 0) return nullptr;
+    const std::size_t mask = cap_ - 1;
+    for (std::size_t i = Hasher{}(key) & mask;; i = (i + 1) & mask) {
+      if (!states_[i]) return nullptr;
+      if (slots_[i].key() == key) return &slots_[i].val();
+    }
+  }
+  const V* find(const K& key) const noexcept {
+    return const_cast<ArenaFlatMap*>(this)->find(key);
+  }
+
+  /// The value slot for `key`, inserting a default-constructed V (and
+  /// setting `inserted`) if absent.
+  V& get_or_emplace(const K& key, bool& inserted) {
+    if (cap_ == 0 || (size_ + 1) * 4 > cap_ * 3) grow();
+    const std::size_t mask = cap_ - 1;
+    for (std::size_t i = Hasher{}(key) & mask;; i = (i + 1) & mask) {
+      if (!states_[i]) {
+        slots_[i].construct(key);
+        states_[i] = 1;
+        ++size_;
+        inserted = true;
+        return slots_[i].val();
+      }
+      if (slots_[i].key() == key) {
+        inserted = false;
+        return slots_[i].val();
+      }
+    }
+  }
+
+  template <class F>
+  void for_each(F&& f) {
+    for (std::size_t i = 0; i < cap_; ++i) {
+      if (states_[i]) f(slots_[i].key(), slots_[i].val());
+    }
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Slot {
+    alignas(K) unsigned char kbuf[sizeof(K)];
+    alignas(V) unsigned char vbuf[sizeof(V)];
+
+    K& key() noexcept { return *std::launder(reinterpret_cast<K*>(kbuf)); }
+    V& val() noexcept { return *std::launder(reinterpret_cast<V*>(vbuf)); }
+    void construct(const K& k) {
+      ::new (static_cast<void*>(kbuf)) K(k);
+      ::new (static_cast<void*>(vbuf)) V();
+    }
+    void destroy() noexcept {
+      key().~K();
+      val().~V();
+    }
+  };
+
+  void grow() {
+    const std::size_t new_cap = cap_ == 0 ? 16 : cap_ * 2;
+    Slot* old_slots = slots_;
+    unsigned char* old_states = states_;
+    const std::size_t old_cap = cap_;
+
+    slots_ = static_cast<Slot*>(
+        arena_->allocate(new_cap * sizeof(Slot), alignof(Slot)));
+    states_ = static_cast<unsigned char*>(arena_->allocate(new_cap, 1));
+    for (std::size_t i = 0; i < new_cap; ++i) states_[i] = 0;
+    cap_ = new_cap;
+
+    const std::size_t mask = new_cap - 1;
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (!old_states[i]) continue;
+      for (std::size_t j = Hasher{}(old_slots[i].key()) & mask;;
+           j = (j + 1) & mask) {
+        if (states_[j]) continue;
+        ::new (static_cast<void*>(slots_[j].kbuf))
+            K(std::move(old_slots[i].key()));
+        ::new (static_cast<void*>(slots_[j].vbuf))
+            V(std::move(old_slots[i].val()));
+        states_[j] = 1;
+        break;
+      }
+      old_slots[i].destroy();  // storage itself is reclaimed by arena reset
+    }
+  }
+
+  BumpArena* arena_;
+  Slot* slots_ = nullptr;
+  unsigned char* states_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace proust

@@ -26,7 +26,7 @@
 #include <chrono>
 #include <concepts>
 #include <cstdint>
-#include <memory>
+#include <new>
 #include <vector>
 
 #include "common/hashing.hpp"
@@ -86,6 +86,13 @@ class OptimisticLap {
 /// The pessimistic LAP: striped re-entrant RW abstract locks, two-phase,
 /// released on transaction finish. `kind_of(key)` lets a wrapper choose the
 /// group discipline per abstract-state element (the PQueueMultiSet trick).
+///
+/// Per-transaction hold state (re-entrancy counters, the set of stripes to
+/// release at finish) lives in the transaction's arena as LockHold records —
+/// one per distinct stripe touched — so an acquire is: one reverse scan of a
+/// tiny flat array, then either a thread-local counter bump (mode already
+/// held) or the lock's single-CAS group join. Release walks the records and
+/// drops each held stripe exactly once.
 template <class Key, class Hasher = proust::Hash<Key>>
 class PessimisticLap {
  public:
@@ -93,33 +100,23 @@ class PessimisticLap {
 
   PessimisticLap(stm::Stm& stm, std::size_t stripes,
                  std::chrono::nanoseconds timeout = std::chrono::milliseconds(2))
-      : stm_(&stm), timeout_(timeout) {
-    locks_.reserve(next_pow2(stripes));
-    for (std::size_t i = 0; i < next_pow2(stripes); ++i) {
-      locks_.push_back(std::make_unique<sync::ReentrantRwLock>(
-          sync::LockKind::kReaderWriter));
-    }
-  }
+      : stm_(&stm), timeout_(timeout),
+        locks_(next_pow2(stripes),
+               [](std::size_t) { return sync::LockKind::kReaderWriter; }) {}
 
   /// Construct with a per-stripe lock discipline chooser (index → kind).
   template <class KindFn>
   PessimisticLap(stm::Stm& stm, std::size_t stripes, KindFn&& kind_of,
                  std::chrono::nanoseconds timeout)
-      : stm_(&stm), timeout_(timeout) {
-    const std::size_t n = next_pow2(stripes);
-    locks_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      locks_.push_back(std::make_unique<sync::ReentrantRwLock>(kind_of(i)));
-    }
-  }
+      : stm_(&stm), timeout_(timeout), locks_(next_pow2(stripes), kind_of) {}
 
   PessimisticLap(const PessimisticLap&) = delete;
   PessimisticLap& operator=(const PessimisticLap&) = delete;
 
   void acquire(stm::Txn& tx, const Key& key, bool write) {
-    sync::ReentrantRwLock& lock = *locks_[stripe(key)];
-    remember_for_release(tx, &lock);
-    if (!lock.try_acquire(&tx, write, timeout_)) {
+    sync::ReentrantRwLock& lock = locks_[stripe(key)];
+    stm::TxnArena::LockHold& h = hold_for(tx, &lock);
+    if (!lock.try_acquire(h.readers, h.writers, write, timeout_)) {
       // Deadlock/timeout recovery: abort, drop all abstract locks (via the
       // finish hook), back off, retry.
       tx.retry(stm::AbortReason::AbstractLockTimeout);
@@ -131,31 +128,74 @@ class PessimisticLap {
   stm::Stm& stm() noexcept { return *stm_; }
 
  private:
+  /// Contiguous cache-line-aligned stripe array. ReentrantRwLock is neither
+  /// copyable nor movable, so the table placement-constructs into raw
+  /// storage instead of using std::vector.
+  class StripeTable {
+   public:
+    template <class KindFn>
+    StripeTable(std::size_t n, KindFn&& kind_of) : n_(n) {
+      raw_ = ::operator new(n * sizeof(sync::ReentrantRwLock),
+                            std::align_val_t{alignof(sync::ReentrantRwLock)});
+      locks_ = static_cast<sync::ReentrantRwLock*>(raw_);
+      for (std::size_t i = 0; i < n; ++i) {
+        ::new (static_cast<void*>(locks_ + i)) sync::ReentrantRwLock(kind_of(i));
+      }
+    }
+    ~StripeTable() {
+      for (std::size_t i = n_; i-- > 0;) locks_[i].~ReentrantRwLock();
+      ::operator delete(raw_,
+                        std::align_val_t{alignof(sync::ReentrantRwLock)});
+    }
+    StripeTable(const StripeTable&) = delete;
+    StripeTable& operator=(const StripeTable&) = delete;
+
+    sync::ReentrantRwLock& operator[](std::size_t i) noexcept {
+      return locks_[i];
+    }
+    std::size_t size() const noexcept { return n_; }
+
+   private:
+    void* raw_;
+    sync::ReentrantRwLock* locks_;
+    std::size_t n_;
+  };
+
   std::size_t stripe(const Key& key) const {
     return Hasher{}(key) & (locks_.size() - 1);
   }
 
-  /// Track the stripes this transaction touched; hook their release (both
-  /// outcomes) exactly once per transaction.
-  void remember_for_release(stm::Txn& tx, sync::ReentrantRwLock* lock) {
-    using Touched = std::vector<sync::ReentrantRwLock*>;
-    const bool fresh = !tx.has_local(this);
-    Touched& touched = tx.local<Touched>(
-        static_cast<const void*>(this), [] { return Touched{}; });
-    if (fresh) {
-      tx.on_finish(
-          [&touched, owner = static_cast<const void*>(&tx)](stm::Outcome) {
-            for (sync::ReentrantRwLock* l : touched) l->release_all(owner);
-          });
+  /// The transaction's hold record for `lock`, created (with a one-time
+  /// finish hook for this LAP) on first touch of any of its stripes.
+  stm::TxnArena::LockHold& hold_for(stm::Txn& tx, void* lock) {
+    std::vector<stm::TxnArena::LockHold>& holds = tx.lock_holds();
+    bool lap_seen = false;
+    // Newest-first: the stripe just touched is overwhelmingly the next one
+    // touched again, and transactions hold few distinct stripes.
+    for (std::size_t i = holds.size(); i-- > 0;) {
+      if (holds[i].lock == lock) return holds[i];
+      lap_seen = lap_seen || holds[i].group == this;
     }
-    // release_all is idempotent, so occasional duplicates are harmless;
-    // still skip the common same-stripe-again case cheaply.
-    if (touched.empty() || touched.back() != lock) touched.push_back(lock);
+    if (!lap_seen) {
+      // First stripe of this LAP this attempt: hook the two-phase release
+      // (both outcomes). One record per distinct stripe makes the walk
+      // release each held stripe exactly once.
+      tx.on_finish([this, &tx](stm::Outcome) {
+        for (stm::TxnArena::LockHold& h : tx.lock_holds()) {
+          if (h.group == this) {
+            static_cast<sync::ReentrantRwLock*>(h.lock)->release_all(
+                h.readers, h.writers);
+          }
+        }
+      });
+    }
+    holds.push_back({this, lock, 0, 0});
+    return holds.back();
   }
 
   stm::Stm* stm_;
   std::chrono::nanoseconds timeout_;
-  std::vector<std::unique_ptr<sync::ReentrantRwLock>> locks_;
+  StripeTable locks_;
 };
 
 }  // namespace proust::core

@@ -68,7 +68,8 @@ class LazyHashMap {
 
  private:
   Log& log(stm::Txn& tx) {
-    return handle_.log(tx, [this] { return Log(map_, combine_); });
+    return handle_.log(
+        tx, [this, &tx] { return Log(map_, combine_, tx.scratch()); });
   }
 
   AbstractLock<K, Lap> lock_;

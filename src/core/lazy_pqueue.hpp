@@ -71,7 +71,7 @@ class LazyPriorityQueue {
 
  private:
   Log& log(stm::Txn& tx) {
-    return handle_.log(tx, [this] { return Log(heap_); });
+    return handle_.log(tx, [this, &tx] { return Log(heap_, tx.scratch()); });
   }
 
   template <class F>

@@ -64,7 +64,8 @@ class LazyTrieMap {
 
  private:
   Log& log(stm::Txn& tx) {
-    return handle_.log(tx, [this] { return Log(map_, combine_); });
+    return handle_.log(
+        tx, [this, &tx] { return Log(map_, combine_, tx.scratch()); });
   }
 
   /// Figure 2b's readOnly: avoid initializing the log (and snapshotting)

@@ -16,16 +16,19 @@
 //                       Optionally *log-combining*: replay one synthetic
 //                       update carrying only the final state of each touched
 //                       key (the optimization at the bottom of Figure 4).
+//
+// All log state — op entries, memo tables, dirty sets — is carved from the
+// transaction's scratch arena (Txn::scratch()), whose blocks are retained
+// across attempts and transactions: in steady state the lazy path performs
+// zero heap allocations (tests/stm_alloc_test.cpp pins this). Logs are
+// transaction-locals, so their destructors run before the arena rewinds.
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <type_traits>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
-#include <vector>
 
+#include "common/arena_containers.hpp"
 #include "stm/stm.hpp"
 
 namespace proust::core {
@@ -35,8 +38,15 @@ class SnapshotReplayLog {
  public:
   using Snapshot = typename Base::Snapshot;
 
-  explicit SnapshotReplayLog(Base& base)
-      : base_(&base), snap_(base.snapshot()) {}
+  SnapshotReplayLog(Base& base, BumpArena& scratch)
+      : base_(&base), snap_(base.snapshot()), scratch_(&scratch),
+        log_(scratch) {}
+
+  ~SnapshotReplayLog() {
+    log_.for_each([](Entry& e) {
+      if (e.destroy != nullptr) e.destroy(e.obj);
+    });
+  }
 
   Snapshot& shadow() noexcept { return snap_; }
   const Snapshot& shadow() const noexcept { return snap_; }
@@ -44,10 +54,20 @@ class SnapshotReplayLog {
   /// Run `op` against the shadow copy now (producing the value the
   /// transaction observes) and queue it for replay against the base at
   /// commit. `op` must be a generic callable valid on both Snapshot& and
-  /// Base& — the wrappers' operations are, by construction.
+  /// Base& — the wrappers' operations are, by construction. The op object
+  /// is copied into the scratch arena as a tagged (apply, destroy, state)
+  /// entry; no type-erased allocation happens.
   template <class Op>
   auto execute(Op op) {
-    log_.push_back([op](Base& b) { (void)op(b); });
+    void* mem = scratch_->allocate(sizeof(Op), alignof(Op));
+    Op* stored = ::new (mem) Op(op);
+    void (*destroy)(void*) = nullptr;
+    if constexpr (!std::is_trivially_destructible_v<Op>) {
+      destroy = [](void* p) { static_cast<Op*>(p)->~Op(); };
+    }
+    log_.emplace_back(
+        Entry{[](void* p, Base& b) { (void)(*static_cast<Op*>(p))(b); },
+              destroy, stored});
     if constexpr (std::is_void_v<decltype(op(snap_))>) {
       op(snap_);
     } else {
@@ -58,15 +78,23 @@ class SnapshotReplayLog {
   /// Apply the queued operations to the shared base. Called from
   /// Txn::on_commit_locked; must not throw.
   void replay() noexcept {
-    for (auto& entry : log_) entry(*base_);
+    Base& base = *base_;
+    log_.for_each([&base](Entry& e) { e.apply(e.obj, base); });
   }
 
   std::size_t pending() const noexcept { return log_.size(); }
 
  private:
+  struct Entry {
+    void (*apply)(void*, Base&);
+    void (*destroy)(void*);  // null for trivially destructible ops
+    void* obj;
+  };
+
   Base* base_;
   Snapshot snap_;
-  std::vector<std::function<void(Base&)>> log_;
+  BumpArena* scratch_;
+  ArenaChunkList<Entry> log_;
 };
 
 /// Snapshot shadow copy specialized for map-like bases, with optional log
@@ -80,8 +108,9 @@ class SnapshotMapReplayLog {
  public:
   using Snapshot = typename Base::Snapshot;
 
-  SnapshotMapReplayLog(Base& base, bool combine)
-      : base_(&base), snap_(base.snapshot()), combine_(combine) {}
+  SnapshotMapReplayLog(Base& base, bool combine, BumpArena& scratch)
+      : base_(&base), snap_(base.snapshot()), combine_(combine),
+        dirty_(scratch), ops_(scratch) {}
 
   Snapshot& shadow() noexcept { return snap_; }
   const Snapshot& shadow() const noexcept { return snap_; }
@@ -91,33 +120,33 @@ class SnapshotMapReplayLog {
 
   std::optional<V> put(const K& key, const V& value) {
     mark_dirty(key);
-    if (!combine_) ops_.push_back(Op{key, value});
+    if (!combine_) ops_.emplace_back(Op{key, value});
     return snap_.put(key, value);
   }
 
   std::optional<V> remove(const K& key) {
     mark_dirty(key);
-    if (!combine_) ops_.push_back(Op{key, std::nullopt});
+    if (!combine_) ops_.emplace_back(Op{key, std::nullopt});
     return snap_.remove(key);
   }
 
   void replay() noexcept {
     if (combine_) {
-      for (const K& key : dirty_) {
+      dirty_.for_each([this](const K& key, const Empty&) {
         if (std::optional<V> v = snap_.get(key)) {
           base_->put(key, *v);
         } else {
           base_->remove(key);
         }
-      }
+      });
     } else {
-      for (const Op& op : ops_) {
+      ops_.for_each([this](const Op& op) {
         if (op.value) {
           base_->put(op.key, *op.value);
         } else {
           base_->remove(op.key);
         }
-      }
+      });
     }
   }
 
@@ -126,49 +155,51 @@ class SnapshotMapReplayLog {
   }
 
  private:
+  struct Empty {};
   struct Op {
     K key;
     std::optional<V> value;
   };
 
   void mark_dirty(const K& key) {
-    if (combine_) dirty_.insert(key);
+    if (!combine_) return;
+    bool inserted = false;
+    dirty_.get_or_emplace(key, inserted);
   }
 
   Base* base_;
   Snapshot snap_;
   bool combine_;
-  std::unordered_set<K> dirty_;
-  std::vector<Op> ops_;
+  ArenaFlatMap<K, Empty> dirty_;
+  ArenaChunkList<Op> ops_;
 };
 
 /// Memoizing shadow copy for map-like bases (get/put/remove on K→V).
 template <class Base, class K, class V>
 class MemoReplayLog {
  public:
-  MemoReplayLog(Base& base, bool combine) : base_(&base), combine_(combine) {}
+  MemoReplayLog(Base& base, bool combine, BumpArena& scratch)
+      : base_(&base), combine_(combine), cache_(scratch), ops_(scratch) {}
 
-  std::optional<V> get(const K& key) {
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second.value;
-    std::optional<V> v = base_->get(key);
-    cache_.emplace(key, Line{v, false});
-    return v;
-  }
+  std::optional<V> get(const K& key) { return line_for(key).value; }
 
   bool contains(const K& key) { return get(key).has_value(); }
 
   std::optional<V> put(const K& key, const V& value) {
-    std::optional<V> old = get(key);
-    cache_[key] = Line{value, true};
-    if (!combine_) ops_.push_back(Op{key, value});
+    Line& line = line_for(key);
+    std::optional<V> old = line.value;
+    line.value = value;
+    mark_dirty(line);
+    if (!combine_) ops_.emplace_back(Op{key, value});
     return old;
   }
 
   std::optional<V> remove(const K& key) {
-    std::optional<V> old = get(key);
-    cache_[key] = Line{std::nullopt, true};
-    if (!combine_) ops_.push_back(Op{key, std::nullopt});
+    Line& line = line_for(key);
+    std::optional<V> old = line.value;
+    line.value = std::nullopt;
+    mark_dirty(line);
+    if (!combine_) ops_.emplace_back(Op{key, std::nullopt});
     return old;
   }
 
@@ -177,48 +208,59 @@ class MemoReplayLog {
   /// difference is what the Figure 4 bottom block measures.
   void replay() noexcept {
     if (combine_) {
-      for (auto& [key, line] : cache_) {
-        if (!line.dirty) continue;
+      cache_.for_each([this](const K& key, Line& line) {
+        if (!line.dirty) return;
         if (line.value) {
           base_->put(key, *line.value);
         } else {
           base_->remove(key);
         }
-      }
+      });
     } else {
-      for (auto& op : ops_) {
+      ops_.for_each([this](const Op& op) {
         if (op.value) {
           base_->put(op.key, *op.value);
         } else {
           base_->remove(op.key);
         }
-      }
+      });
     }
   }
 
   std::size_t pending() const noexcept {
-    if (combine_) {
-      std::size_t n = 0;
-      for (auto& [k, line] : cache_) n += line.dirty ? 1 : 0;
-      return n;
-    }
-    return ops_.size();
+    return combine_ ? dirty_count_ : ops_.size();
   }
 
  private:
   struct Line {
-    std::optional<V> value;  // nullopt = (pending) removed
-    bool dirty;
+    std::optional<V> value;  // nullopt = absent / (pending) removed
+    bool dirty = false;
   };
   struct Op {
     K key;
     std::optional<V> value;  // nullopt = remove
   };
 
+  /// The memo line for `key`, reading the base exactly once on first touch.
+  Line& line_for(const K& key) {
+    bool inserted = false;
+    Line& line = cache_.get_or_emplace(key, inserted);
+    if (inserted) line.value = base_->get(key);
+    return line;
+  }
+
+  void mark_dirty(Line& line) noexcept {
+    if (!line.dirty) {
+      line.dirty = true;
+      ++dirty_count_;
+    }
+  }
+
   Base* base_;
   bool combine_;
-  std::unordered_map<K, Line> cache_;
-  std::vector<Op> ops_;
+  ArenaFlatMap<K, Line> cache_;
+  ArenaChunkList<Op> ops_;
+  std::size_t dirty_count_ = 0;
 };
 
 /// Per-wrapper handle managing the transaction-local lifecycle of a replay

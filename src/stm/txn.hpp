@@ -148,6 +148,21 @@ class Txn {
     return false;
   }
 
+  /// This attempt's abstract-lock hold records (pessimistic LAPs append one
+  /// per distinct stripe; the vector's capacity is retained across attempts
+  /// and transactions). Cleared after the finish hooks run.
+  std::vector<TxnArena::LockHold>& lock_holds() noexcept {
+    return arena_.lock_holds;
+  }
+
+  /// Attempt-scoped bump storage, reset (capacity retained) when the attempt
+  /// ends. Replay logs carve their op entries and shadow tables from here so
+  /// that the lazy update strategy allocates nothing in steady state. Note
+  /// the reset ordering: locals (and thus any log object living in one) are
+  /// destroyed *before* the slab is rewound, so log destructors may still
+  /// touch memory they allocated here.
+  BumpArena& scratch() noexcept { return arena_.local_slab; }
+
  private:
   friend class Stm;
 

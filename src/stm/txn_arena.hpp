@@ -81,6 +81,20 @@ struct TxnArena {
     void (*destroy)(void*);
   };
 
+  /// One abstract-lock membership owned by the running attempt: the per-owner
+  /// re-entrancy counters that used to live in the lock's shared hold map
+  /// (see sync/reentrant_rw_lock.hpp). `group` identifies the LAP instance
+  /// that took the hold — its finish hook releases only its own entries —
+  /// and `lock` is the sync::ReentrantRwLock, kept opaque at this layer.
+  /// There is exactly one record per (LAP, stripe) a transaction touches,
+  /// which is what makes release walk each held stripe exactly once.
+  struct LockHold {
+    const void* group;
+    void* lock;
+    std::uint32_t readers;
+    std::uint32_t writers;
+  };
+
   std::vector<detail::ReadEntry> reads;
   ChunkPool<detail::WriteEntry, 32> writes;  // chunked: stable LockRecord addresses
   FlatPtrMap write_table;                    // engaged past the linear-scan window
@@ -93,10 +107,12 @@ struct TxnArena {
 
   std::vector<LocalSlot> locals;
   BumpArena local_slab;
+  std::vector<LockHold> lock_holds;
 
   TxnArena() {
     reads.reserve(64);
     reader_marks.reserve(16);
+    lock_holds.reserve(8);
   }
 
   /// The calling thread's arena (lazily constructed, lives until thread exit).
@@ -118,6 +134,9 @@ struct TxnArena {
     }
     locals.clear();
     local_slab.reset();
+    // Lock holds were already released by the owning LAPs' finish hooks
+    // (which run before this reset); drop the records, keep the capacity.
+    lock_holds.clear();
   }
 };
 

@@ -1,0 +1,65 @@
+// Timed futex-style parking for the abstract-lock slow path. C++20's
+// std::atomic::wait has no deadline, but abstract-lock acquisition must be
+// bounded (timeouts are how the Proust runtime breaks abstract-lock
+// deadlock, §7), so on Linux we call the futex syscall directly — the same
+// primitive atomic::wait is built on — and elsewhere fall back to short
+// deadline-checked naps. Callers always re-check their predicate in a loop:
+// both paths may wake spuriously and neither conveys a value.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <climits>
+#include <ctime>
+#endif
+
+namespace proust::sync {
+
+/// Block while `word == expected`, until a futex_wake_all on `word`, the
+/// deadline, or a spurious wakeup. If `word` already differs, returns at
+/// once (the kernel re-checks the value under its internal lock, which is
+/// what makes the publish-then-wait protocol lossless).
+inline void futex_wait_until(std::atomic<std::uint32_t>& word,
+                             std::uint32_t expected,
+                             std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return;
+#if defined(__linux__)
+  static_assert(sizeof(std::atomic<std::uint32_t>) == sizeof(std::uint32_t));
+  const auto rel =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now);
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(rel.count() / 1000000000LL);
+  ts.tv_nsec = static_cast<long>(rel.count() % 1000000000LL);
+  // FUTEX_WAIT interprets the timeout as relative CLOCK_MONOTONIC — the
+  // clock steady_clock is specified to follow on Linux.
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+#else
+  // Portable fallback: wake latency is bounded by the nap length instead of
+  // being event-driven. Only the parked (already losing) path pays this.
+  if (word.load(std::memory_order_acquire) != expected) return;
+  const auto nap = std::chrono::microseconds(50);
+  std::this_thread::sleep_for(deadline - now < nap ? deadline - now : nap);
+#endif
+}
+
+/// Wake every thread parked in futex_wait_until on `word`.
+inline void futex_wake_all(std::atomic<std::uint32_t>& word) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+          FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+#else
+  (void)word;  // sleepers poll on their own schedule
+#endif
+}
+
+}  // namespace proust::sync

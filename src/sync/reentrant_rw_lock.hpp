@@ -10,60 +10,137 @@
 //                   commuting insert()s avoid serializing under the
 //                   pessimistic LAP.
 //
-// Holds are owned by an opaque token (the transaction), are re-entrant per
-// owner, and support read→write upgrade when no other owner blocks it.
+// The whole lock is one cache-line-aligned 64-bit state word counting the
+// *distinct owners* currently in each group, plus a parked-waiter count:
+//
+//     bits  0..20   owners holding read   (kOwnerBits = 21)
+//     bits 21..41   owners holding write
+//     bits 42..62   threads parked or about to park
+//     bit  63       unused
+//
+// Per-owner re-entrancy counts live in the owner's own Hold record (for
+// transactions: a flat array in the txn arena — see DESIGN.md §8), not in
+// any shared map, so a re-acquire of a mode already held is a thread-local
+// increment that touches nothing shared, and a first acquire is a single
+// CAS that adds this owner to the group. The slow path spins briefly, then
+// parks on a futex-backed eventcount (sync/futex.hpp); releases that leave
+// waiters behind bump the eventcount and wake everyone, because any release
+// can unblock an upgrader or a whole group and filtering wakeups precisely
+// is not worth the bookkeeping at this fan-out.
+//
 // Acquisition is bounded by a timeout; timing out is how the Proust runtime
 // recovers from (abstract-lock-level) deadlock: the transaction aborts,
 // releases everything, backs off and retries — reproducing the weak
 // contention-manager coupling §7 describes.
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
-#include <unordered_map>
 
 namespace proust::sync {
 
 enum class LockKind : std::uint8_t { kReaderWriter, kGroup };
 
-class ReentrantRwLock {
+class alignas(64) ReentrantRwLock {
  public:
+  /// One owner's membership in this lock: how many read / write holds it has
+  /// stacked. The owner stores this (the lock holds no per-owner state); it
+  /// must be zero-initialized before first use and passed to every call on
+  /// this lock by the same owner. Standalone users can use this struct
+  /// directly; transactions keep the two counters in their arena-resident
+  /// hold records and use the two-reference overloads.
+  struct Hold {
+    std::uint32_t readers = 0;
+    std::uint32_t writers = 0;
+  };
+
   explicit ReentrantRwLock(LockKind kind = LockKind::kReaderWriter) noexcept
       : kind_(kind) {}
   ReentrantRwLock(const ReentrantRwLock&) = delete;
   ReentrantRwLock& operator=(const ReentrantRwLock&) = delete;
 
-  /// Acquire a hold for `owner` (write=true for the write group). Returns
-  /// false on timeout. Re-entrant: an owner may stack any number of holds in
-  /// either mode; upgrades wait for other owners to drain.
-  bool try_acquire(const void* owner, bool write,
-                   std::chrono::nanoseconds timeout);
+  /// Acquire one hold in the given mode (write=true for the write group) on
+  /// behalf of the owner whose membership counters are `my_readers` /
+  /// `my_writers`. Returns false on timeout, leaving the counters untouched.
+  /// Re-entrant: an owner may stack any number of holds in either mode;
+  /// upgrades wait for other owners to drain (and can time out — that is
+  /// the deadlock-recovery path when two readers race to upgrade).
+  bool try_acquire(std::uint32_t& my_readers, std::uint32_t& my_writers,
+                   bool write, std::chrono::nanoseconds timeout);
 
-  /// Drop every hold owned by `owner`. No-op if it holds nothing.
-  void release_all(const void* owner);
+  bool try_acquire(Hold& h, bool write, std::chrono::nanoseconds timeout) {
+    return try_acquire(h.readers, h.writers, write, timeout);
+  }
 
-  /// True if `owner` currently holds the lock in a mode at least as strong
-  /// as requested (diagnostics/assertions).
-  bool holds(const void* owner, bool write) const;
+  /// Drop every hold recorded in the counters (both modes), zeroing them.
+  /// No-op if the owner holds nothing.
+  void release_all(std::uint32_t& my_readers, std::uint32_t& my_writers);
+
+  void release_all(Hold& h) { release_all(h.readers, h.writers); }
+
+  /// True if the hold record is at least as strong as the requested mode
+  /// (diagnostics/assertions). Purely owner-local: hold state lives with
+  /// the owner, so the lock itself is not consulted.
+  static bool holds(const Hold& h, bool write) noexcept {
+    return write ? h.writers > 0 : (h.readers > 0 || h.writers > 0);
+  }
 
   LockKind kind() const noexcept { return kind_; }
 
- private:
-  struct Holds {
-    int readers = 0;
-    int writers = 0;
-  };
+  /// Owners currently in the read / write group (diagnostics; racy by
+  /// nature, exact only when concurrent activity is externally quiesced).
+  unsigned reader_owners() const noexcept {
+    return unsigned(state_.load(std::memory_order_acquire) & kCountMask);
+  }
+  unsigned writer_owners() const noexcept {
+    return unsigned((state_.load(std::memory_order_acquire) >> kWriterShift) &
+                    kCountMask);
+  }
+  unsigned parked_waiters() const noexcept {
+    return unsigned((state_.load(std::memory_order_acquire) >> kWaiterShift) &
+                    kCountMask);
+  }
 
-  bool admissible(const void* owner, bool write) const;
+ private:
+  static constexpr unsigned kOwnerBits = 21;
+  static constexpr std::uint64_t kCountMask = (std::uint64_t{1} << kOwnerBits) - 1;
+  static constexpr unsigned kWriterShift = kOwnerBits;
+  static constexpr unsigned kWaiterShift = 2 * kOwnerBits;
+  static constexpr std::uint64_t kReaderOne = 1;
+  static constexpr std::uint64_t kWriterOne = std::uint64_t{1} << kWriterShift;
+  static constexpr std::uint64_t kWaiterOne = std::uint64_t{1} << kWaiterShift;
+
+  /// Would joining `write ? write group : read group` be admissible for an
+  /// owner whose current membership is (in_read, in_write), given state `s`?
+  /// "Other" counts subtract the owner's own membership, which is what makes
+  /// upgrades and mixed-mode re-entrancy work without a hold map.
+  bool admissible(std::uint64_t s, bool in_read, bool in_write,
+                  bool write) const noexcept {
+    const std::uint64_t other_readers = (s & kCountMask) - (in_read ? 1 : 0);
+    const std::uint64_t other_writers =
+        ((s >> kWriterShift) & kCountMask) - (in_write ? 1 : 0);
+    if (write) {
+      if (other_readers != 0) return false;
+      return kind_ == LockKind::kGroup || other_writers == 0;
+    }
+    return other_writers == 0;
+  }
+
+  /// One CAS attempt to join the requested group: fails fast if the current
+  /// state is not admissible, retries the CAS while it is.
+  bool try_join(bool in_read, bool in_write, bool write) noexcept;
+
+  /// Spin-then-park slow path; returns false only on timeout.
+  bool join_slow(bool in_read, bool in_write, bool write,
+                 std::chrono::nanoseconds timeout) noexcept;
 
   LockKind kind_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<const void*, Holds> holds_;
-  int reading_owners_ = 0;  // owners with readers > 0
-  int writing_owners_ = 0;  // owners with writers > 0
+  std::atomic<std::uint64_t> state_{0};
+  // Eventcount for parking: releasers that see waiters bump it and wake all.
+  // A separate word from state_ so wakeups are not confounded with the
+  // admissibility CAS traffic the futex value-check would otherwise race.
+  std::atomic<std::uint32_t> wake_seq_{0};
 };
 
 }  // namespace proust::sync

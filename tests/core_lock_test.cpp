@@ -114,6 +114,52 @@ TEST(PessimisticLap, TimeoutAbortsAndRetries) {
             1u);
 }
 
+TEST(PessimisticLap, ReleaseWalksEachHeldStripeExactlyOnce) {
+  // Regression for the old remember_for_release: its back()-only dedup
+  // missed re-acquires of any *earlier* stripe, so alternating acquisitions
+  // grew the release list without bound and released stripes repeatedly.
+  // The hold records keep exactly one entry per distinct stripe.
+  stm::Stm stm(stm::Mode::Lazy);
+  core::PessimisticLap<long> lap(stm, 16, std::chrono::milliseconds(5));
+  std::size_t after_first_round = 0, after_many_rounds = 0;
+  stm.atomically([&](stm::Txn& tx) {
+    for (long k = 0; k < 4; ++k) lap.acquire(tx, k, /*write=*/true);
+    after_first_round = tx.lock_holds().size();
+    for (int rep = 0; rep < 50; ++rep) {
+      for (long k = 0; k < 4; ++k) lap.acquire(tx, k, rep % 2 == 0);
+    }
+    after_many_rounds = tx.lock_holds().size();
+  });
+  EXPECT_EQ(after_many_rounds, after_first_round)
+      << "re-acquiring earlier stripes must not add release entries";
+  EXPECT_LE(after_first_round, 4u);
+  // And the walk really released everything: a fresh transaction can take
+  // every stripe in write mode immediately.
+  stm.atomically([&](stm::Txn& tx) {
+    for (long k = 0; k < 4; ++k) lap.acquire(tx, k, /*write=*/true);
+  });
+}
+
+TEST(PessimisticLap, TwoLapsReleaseOnlyTheirOwnHolds) {
+  // Hold records from different LAPs share the transaction's flat array;
+  // each LAP's finish hook must release exactly its own group.
+  stm::Stm stm(stm::Mode::Lazy);
+  core::PessimisticLap<long> lap_a(stm, 8, std::chrono::milliseconds(5));
+  core::PessimisticLap<long> lap_b(stm, 8, std::chrono::milliseconds(5));
+  stm.atomically([&](stm::Txn& tx) {
+    lap_a.acquire(tx, 1, true);
+    lap_b.acquire(tx, 1, true);
+    lap_a.acquire(tx, 2, false);
+    EXPECT_GE(tx.lock_holds().size(), 2u);
+  });
+  // Both laps fully released on commit.
+  stm.atomically([&](stm::Txn& tx) {
+    lap_a.acquire(tx, 1, true);
+    lap_a.acquire(tx, 2, true);
+    lap_b.acquire(tx, 1, true);
+  });
+}
+
 TEST(AbstractLock, EagerInverseReceivesOpResult) {
   stm::Stm stm(stm::Mode::Lazy);
   core::OptimisticLap<long> lap(stm, 16);

@@ -3,6 +3,7 @@
 // optimization (log created only on first update).
 #include <gtest/gtest.h>
 
+#include "common/bump_arena.hpp"
 #include "containers/snapshot_hamt.hpp"
 #include "containers/striped_hash_map.hpp"
 #include "core/lap.hpp"
@@ -17,7 +18,8 @@ using Base = containers::StripedHashMap<long, long>;
 TEST(MemoReplayLog, GetReadsThroughToBase) {
   Base base;
   base.put(1, 10);
-  core::MemoReplayLog<Base, long, long> log(base, false);
+  BumpArena arena;
+  core::MemoReplayLog<Base, long, long> log(base, false, arena);
   EXPECT_EQ(log.get(1), 10);
   EXPECT_EQ(log.get(2), std::nullopt);
 }
@@ -25,7 +27,8 @@ TEST(MemoReplayLog, GetReadsThroughToBase) {
 TEST(MemoReplayLog, PendingUpdatesShadowBase) {
   Base base;
   base.put(1, 10);
-  core::MemoReplayLog<Base, long, long> log(base, false);
+  BumpArena arena;
+  core::MemoReplayLog<Base, long, long> log(base, false, arena);
   EXPECT_EQ(log.put(1, 11), 10);
   EXPECT_EQ(log.get(1), 11);
   EXPECT_EQ(base.get(1), 10) << "base untouched before replay";
@@ -36,7 +39,8 @@ TEST(MemoReplayLog, PendingUpdatesShadowBase) {
 
 TEST(MemoReplayLog, ReplayAppliesOpsInOrder) {
   Base base;
-  core::MemoReplayLog<Base, long, long> log(base, false);
+  BumpArena arena;
+  core::MemoReplayLog<Base, long, long> log(base, false, arena);
   log.put(1, 1);
   log.put(1, 2);
   log.remove(1);
@@ -51,7 +55,8 @@ TEST(MemoReplayLog, ReplayAppliesOpsInOrder) {
 TEST(MemoReplayLog, CombiningReplaysOnlyFinalStates) {
   Base base;
   base.put(5, 50);
-  core::MemoReplayLog<Base, long, long> log(base, true);
+  BumpArena arena;
+  core::MemoReplayLog<Base, long, long> log(base, true, arena);
   log.put(1, 1);
   log.put(1, 2);
   log.put(1, 3);
@@ -70,8 +75,9 @@ TEST(MemoReplayLog, CombiningAndSequentialAgree) {
     base1.put(k, k);
     base2.put(k, k);
   }
-  core::MemoReplayLog<Base, long, long> seq(base1, false);
-  core::MemoReplayLog<Base, long, long> comb(base2, true);
+  BumpArena arena;
+  core::MemoReplayLog<Base, long, long> seq(base1, false, arena);
+  core::MemoReplayLog<Base, long, long> comb(base2, true, arena);
   for (int i = 0; i < 100; ++i) {
     const long k = (i * 7) % 8;
     if (i % 3 == 0) {
@@ -90,7 +96,9 @@ TEST(MemoReplayLog, CombiningAndSequentialAgree) {
 TEST(SnapshotReplayLog, ShadowSeesSpeculativeState) {
   containers::SnapshotHamt<long, long> base;
   base.put(1, 10);
-  core::SnapshotReplayLog<containers::SnapshotHamt<long, long>> log(base);
+  BumpArena arena;
+  core::SnapshotReplayLog<containers::SnapshotHamt<long, long>> log(base,
+                                                                  arena);
   auto old = log.execute([](auto& t) { return t.put(1, 11); });
   EXPECT_EQ(old, 10);
   EXPECT_EQ(log.shadow().get(1), 11);
@@ -101,7 +109,9 @@ TEST(SnapshotReplayLog, ShadowSeesSpeculativeState) {
 
 TEST(SnapshotReplayLog, ReplayOrderPreserved) {
   containers::SnapshotHamt<long, long> base;
-  core::SnapshotReplayLog<containers::SnapshotHamt<long, long>> log(base);
+  BumpArena arena;
+  core::SnapshotReplayLog<containers::SnapshotHamt<long, long>> log(base,
+                                                                  arena);
   log.execute([](auto& t) { return t.put(1, 1); });
   log.execute([](auto& t) { return t.remove(1); });
   log.execute([](auto& t) { return t.put(1, 2); });

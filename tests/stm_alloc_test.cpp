@@ -9,6 +9,9 @@
 #include <new>
 #include <vector>
 
+#include "core/lap.hpp"
+#include "core/lazy_hash_map.hpp"
+#include "core/txn_hash_map.hpp"
 #include "stm/stm.hpp"
 
 namespace {
@@ -157,5 +160,70 @@ INSTANTIATE_TEST_SUITE_P(AllModes, ZeroAllocTest,
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });
+
+// --- The Proust layer on top of the STM ------------------------------------
+// The abstract-lock fast path and the arena-backed replay logs must preserve
+// the zero-allocation invariant end to end. The loops put/get fixed existing
+// keys: replacing a present key in StripedHashMap is allocation-free, so any
+// count here comes from the Proust machinery itself.
+
+TEST(ZeroAllocProust, BoostedMapSteadyStateAllocatesNothing) {
+  // Eager map over pessimistic abstract locks (the Boosting quadrant):
+  // lock acquire/release, hold records, inverse hooks, committed size.
+  Stm stm(Mode::Lazy);
+  proust::core::PessimisticLap<long> lap(stm, 64);
+  proust::core::TxnHashMap<long, long, proust::core::PessimisticLap<long>>
+      map(lap);
+  for (long k = 0; k < 4; ++k) {
+    stm.atomically([&](Txn& tx) { map.put(tx, k, k); });
+  }
+  const std::size_t n = allocations_in_steady_state([&](int i) {
+    stm.atomically([&](Txn& tx) {
+      for (long k = 0; k < 4; ++k) {
+        map.put(tx, k, long{i});
+        map.get(tx, k);
+      }
+    });
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(ZeroAllocProust, LazyMapSteadyStateAllocatesNothing) {
+  // Lazy memoizing map over the optimistic LAP: replay-log construction,
+  // memo-table inserts and growth, op-log appends, commit-time replay.
+  Stm stm(Mode::Lazy);
+  proust::core::OptimisticLap<long> lap(stm, 64);
+  proust::core::LazyHashMap<long, long, proust::core::OptimisticLap<long>>
+      map(lap, /*combine=*/false);
+  for (long k = 0; k < 4; ++k) map.unsafe_put(k, k);
+  const std::size_t n = allocations_in_steady_state([&](int i) {
+    stm.atomically([&](Txn& tx) {
+      for (long k = 0; k < 4; ++k) {
+        map.put(tx, k, long{i});
+        map.get(tx, k);
+      }
+    });
+  });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(ZeroAllocProust, LazyPessimisticCombiningAllocatesNothing) {
+  // The sound lazy/pessimistic cell with log combining: abstract locks plus
+  // the dirty-tracking memo table in one loop.
+  Stm stm(Mode::Lazy);
+  proust::core::PessimisticLap<long> lap(stm, 64);
+  proust::core::LazyHashMap<long, long, proust::core::PessimisticLap<long>>
+      map(lap, /*combine=*/true);
+  for (long k = 0; k < 4; ++k) map.unsafe_put(k, k);
+  const std::size_t n = allocations_in_steady_state([&](int i) {
+    stm.atomically([&](Txn& tx) {
+      for (long k = 0; k < 4; ++k) {
+        map.put(tx, k, long{i});
+        map.get(tx, k);
+      }
+    });
+  });
+  EXPECT_EQ(n, 0u);
+}
 
 }  // namespace
