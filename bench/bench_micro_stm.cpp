@@ -19,6 +19,7 @@
 #include <barrier>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 #include "core/lap.hpp"
+#include "stm/chaos.hpp"
 #include "stm/stm.hpp"
 
 using namespace proust;
@@ -219,9 +221,10 @@ struct MtSpec {
 ///   mt_counter        — single shared read-modify-write counter (maximum
 ///                       data contention; scheme effects are second-order)
 bench::JsonRecord run_mt_cell(const MtSpec& spec, stm::ClockScheme scheme,
-                              int threads) {
+                              int threads, stm::ChaosPolicy* chaos) {
   stm::StmOptions opts;
   opts.clock_scheme = scheme;
+  opts.chaos = chaos;
   stm::Stm stm(spec.mode, opts);
 
   std::vector<stm::Var<long>> shared(8);
@@ -274,6 +277,20 @@ int run_trajectory(const bench::Cli& cli) {
   const std::string label = cli.get("label", "current");
   const long scale = cli.get_long("scale", 1);
 
+  // --chaos-seed=N runs the whole trajectory under deterministic fault
+  // injection (stm/chaos.hpp) and attaches the per-point injected counters
+  // to every record ("injected": {...}). Not for the tracked BENCH_STM.json
+  // numbers — for measuring the overhead envelope of a chaos config and for
+  // sanity-checking that injection counts reproduce for a given seed.
+  std::unique_ptr<stm::ChaosPolicy> chaos;
+  if (cli.has("chaos-seed")) {
+    chaos = std::make_unique<stm::ChaosPolicy>(stm::ChaosConfig::standard(
+        static_cast<std::uint64_t>(cli.get_long("chaos-seed", 1))));
+    chaos->install_lock_hook();
+  }
+  stm::StmOptions base_opts;
+  base_opts.chaos = chaos.get();
+
   struct Spec {
     const char* workload;
     long txns;
@@ -291,12 +308,13 @@ int run_trajectory(const bench::Cli& cli) {
   bench::Table table({"workload", "mode", "ops/txn", "Mops/s", "abort"});
   for (const Spec& spec : specs) {
     for (stm::Mode mode : modes) {
-      stm::Stm stm(mode);
+      stm::Stm stm(mode, base_opts);
       const Cell cell = run_cell(stm, spec.workload, spec.txns);
       bench::JsonRecord rec{"micro_stm", cell.workload, stm::to_string(mode),
                             1, cell.ops_per_txn, cell.write_fraction,
                             cell.ops_per_sec, cell.abort_ratio};
       rec.scheme = stm::to_string(stm::ClockScheme::IncOnCommit);
+      if (chaos) rec.with_stats(stm.stats().snapshot());
       json.add(std::move(rec));
       table.row({cell.workload, stm::to_string(mode),
                  std::to_string(cell.ops_per_txn),
@@ -324,7 +342,7 @@ int run_trajectory(const bench::Cli& cli) {
     for (stm::ClockScheme scheme : schemes) {
       for (long t : mt_threads) {
         bench::JsonRecord rec =
-            run_mt_cell(spec, scheme, static_cast<int>(t));
+            run_mt_cell(spec, scheme, static_cast<int>(t), chaos.get());
         mt_table.row({rec.workload, rec.mode, rec.scheme,
                       std::to_string(rec.threads),
                       bench::Table::fmt(rec.ops_per_sec / 1e6, 2),

@@ -19,6 +19,13 @@ cmake --build --preset default -j"$(nproc)"
 echo "== tier-1: ctest =="
 ctest --preset default
 
+echo "== chaos: deterministic fault-injection suites =="
+# Runs the seeded chaos differential suites (also part of tier-1; repeated
+# here with -L chaos so their seeds land in this section of the log). A
+# failure prints the reproducing seed; replay with
+#   PROUST_CHAOS_SEED=<seed> ./build/tests/chaos_test --gtest_filter=...
+ctest --test-dir build --output-on-failure -L chaos
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tsan: skipped =="
   exit 0
@@ -28,7 +35,7 @@ echo "== tsan: build concurrent suites =="
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target stm_concurrent_test core_map_concurrent_test \
-  sync_test core_lock_test sync_stress_test
+  sync_test core_lock_test sync_stress_test chaos_test
 
 echo "== tsan: run =="
 # tsan.supp masks only the STM's validated-racy core (see the file header);
@@ -41,5 +48,9 @@ TSAN_OPTIONS="$TSAN" ./build-tsan/tests/core_map_concurrent_test
 TSAN_OPTIONS="$TSAN" ./build-tsan/tests/sync_test
 TSAN_OPTIONS="$TSAN" ./build-tsan/tests/core_lock_test
 TSAN_OPTIONS="$TSAN" ./build-tsan/tests/sync_stress_test
+# Chaos under TSan: injected delays/aborts/timeouts shuffle the interleavings
+# the sanitizer observes. A subset keeps the run inside the time budget.
+TSAN_OPTIONS="$TSAN" ./build-tsan/tests/chaos_test \
+  --gtest_filter='*eager_pess*:*lazy_memo_lazystm*:ChaosDeterminismTest.*'
 
 echo "== all checks passed =="

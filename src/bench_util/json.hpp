@@ -83,6 +83,18 @@ class JsonWriter {
           first = false;
         }
         std::fprintf(f, "}");
+        if (r.stats.total_injected() > 0) {
+          std::fprintf(f, ", \"injected\": {");
+          bool ifirst = true;
+          for (std::size_t j = 0; j < r.stats.injected.size(); ++j) {
+            if (r.stats.injected[j] == 0) continue;
+            std::fprintf(f, "%s\"%s\": %llu", ifirst ? "" : ", ",
+                         stm::to_string(static_cast<stm::ChaosPoint>(j)),
+                         static_cast<unsigned long long>(r.stats.injected[j]));
+            ifirst = false;
+          }
+          std::fprintf(f, "}");
+        }
       }
       std::fprintf(f, "}");
     }

@@ -57,6 +57,17 @@ class OptimisticLap {
   void acquire(stm::Txn& tx, const Key& key, bool write) {
     stm::Var<std::uint64_t>& loc = slot(key);
     if (write) {
+      // Validated read BEFORE the blind stamp write: the wrapped operation
+      // is about to observe base state for this abstract region (a memo
+      // line's first-touch read, an eager mutation's old value), so any
+      // commit already serialized before this transaction — wv <= rv —
+      // must have finished applying. The validation enforces exactly that:
+      // a committer still inside its commit window holds this stripe's
+      // lock (ReadLocked -> abort), and one that released it has replayed.
+      // Without this, an injected delay between a peer's wv generation and
+      // its replay lets the operation read pre-commit state that the
+      // post_op read-after cannot distinguish (wv <= rv validates clean).
+      tx.read_validate(loc);
       tx.write(loc, tx.fresh_stamp());
     } else {
       tx.read_validate(loc);
@@ -98,25 +109,41 @@ class PessimisticLap {
  public:
   using Clock = std::chrono::steady_clock;
 
+  /// Passing `kDefaultTimeout` (the default) takes the acquisition timeout
+  /// from `stm.options().lap_timeout`, with optional per-thread jitter
+  /// (options().lap_timeout_jitter). An explicit timeout is used verbatim —
+  /// no jitter — so tests can pin exact timing through this path.
+  static constexpr std::chrono::nanoseconds kDefaultTimeout{-1};
+
   PessimisticLap(stm::Stm& stm, std::size_t stripes,
-                 std::chrono::nanoseconds timeout = std::chrono::milliseconds(2))
-      : stm_(&stm), timeout_(timeout),
+                 std::chrono::nanoseconds timeout = kDefaultTimeout)
+      : stm_(&stm),
         locks_(next_pow2(stripes),
-               [](std::size_t) { return sync::LockKind::kReaderWriter; }) {}
+               [](std::size_t) { return sync::LockKind::kReaderWriter; }) {
+    resolve_timeout(timeout);
+  }
 
   /// Construct with a per-stripe lock discipline chooser (index → kind).
   template <class KindFn>
+    requires std::invocable<KindFn&, std::size_t>
   PessimisticLap(stm::Stm& stm, std::size_t stripes, KindFn&& kind_of,
-                 std::chrono::nanoseconds timeout)
-      : stm_(&stm), timeout_(timeout), locks_(next_pow2(stripes), kind_of) {}
+                 std::chrono::nanoseconds timeout = kDefaultTimeout)
+      : stm_(&stm), locks_(next_pow2(stripes), kind_of) {
+    resolve_timeout(timeout);
+  }
 
   PessimisticLap(const PessimisticLap&) = delete;
   PessimisticLap& operator=(const PessimisticLap&) = delete;
 
   void acquire(stm::Txn& tx, const Key& key, bool write) {
+    // Forced-timeout injection exercises the recovery path below without
+    // waiting out a real timeout.
+    if (tx.chaos_timeout_point(stm::ChaosPoint::LapAcquire)) {
+      tx.retry(stm::AbortReason::AbstractLockTimeout);
+    }
     sync::ReentrantRwLock& lock = locks_[stripe(key)];
     stm::TxnArena::LockHold& h = hold_for(tx, &lock);
-    if (!lock.try_acquire(h.readers, h.writers, write, timeout_)) {
+    if (!lock.try_acquire(h.readers, h.writers, write, acquire_timeout())) {
       // Deadlock/timeout recovery: abort, drop all abstract locks (via the
       // finish hook), back off, retry.
       tx.retry(stm::AbortReason::AbstractLockTimeout);
@@ -165,6 +192,33 @@ class PessimisticLap {
     return Hasher{}(key) & (locks_.size() - 1);
   }
 
+  void resolve_timeout(std::chrono::nanoseconds timeout) {
+    if (timeout == kDefaultTimeout) {
+      timeout_ = stm_->options().lap_timeout;
+      jitter_ = stm_->options().lap_timeout_jitter;
+    } else {
+      timeout_ = timeout;
+      jitter_ = false;
+    }
+  }
+
+  /// The calling thread's effective acquisition timeout. With jitter on,
+  /// each registry slot gets a fixed point in [t − t/4, t + t/4]: symmetric
+  /// abstract-lock deadlocks are broken by both parties timing out, and
+  /// identical timeouts make them abort in lockstep and re-collide on the
+  /// retry, while jittered ones let one party win the second race.
+  std::chrono::nanoseconds acquire_timeout() const {
+    if (!jitter_) return timeout_;
+    std::uint64_t x = stm::ThreadRegistry::slot() + 1;
+    x *= 0x9E3779B97F4A7C15ULL;
+    x ^= x >> 32;
+    const std::int64_t t = timeout_.count();
+    const std::int64_t span = t / 2;  // jitter window width: [−t/4, +t/4]
+    if (span <= 0) return timeout_;
+    const auto off = static_cast<std::int64_t>(x % (span + 1)) - t / 4;
+    return std::chrono::nanoseconds{t + off};
+  }
+
   /// The transaction's hold record for `lock`, created (with a one-time
   /// finish hook for this LAP) on first touch of any of its stripes.
   stm::TxnArena::LockHold& hold_for(stm::Txn& tx, void* lock) {
@@ -194,7 +248,8 @@ class PessimisticLap {
   }
 
   stm::Stm* stm_;
-  std::chrono::nanoseconds timeout_;
+  std::chrono::nanoseconds timeout_{};
+  bool jitter_ = false;
   StripeTable locks_;
 };
 

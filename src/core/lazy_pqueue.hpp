@@ -71,7 +71,8 @@ class LazyPriorityQueue {
 
  private:
   Log& log(stm::Txn& tx) {
-    return handle_.log(tx, [this, &tx] { return Log(heap_, tx.scratch()); });
+    return handle_.log(
+        tx, [this, &tx] { return Log(heap_, fence_, tx.scratch()); });
   }
 
   template <class F>
@@ -83,6 +84,7 @@ class LazyPriorityQueue {
   AbstractLock<PQueueState, Lap> lock_;
   TxnLogHandle<Log> handle_;
   Base heap_;
+  stm::CommitFence fence_;  // snapshots vs concurrent commits (commit_fence.hpp)
   CommittedSize size_;
 };
 

@@ -64,8 +64,9 @@ class LazyTrieMap {
 
  private:
   Log& log(stm::Txn& tx) {
-    return handle_.log(
-        tx, [this, &tx] { return Log(map_, combine_, tx.scratch()); });
+    return handle_.log(tx, [this, &tx] {
+      return Log(map_, fence_, combine_, tx.scratch());
+    });
   }
 
   /// Figure 2b's readOnly: avoid initializing the log (and snapshotting)
@@ -80,6 +81,7 @@ class LazyTrieMap {
   TxnLogHandle<Log> handle_;
   bool combine_;
   Base map_;
+  stm::CommitFence fence_;  // snapshots vs concurrent commits (commit_fence.hpp)
   CommittedSize size_;
 };
 

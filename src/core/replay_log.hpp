@@ -22,6 +22,11 @@
 // across attempts and transactions: in steady state the lazy path performs
 // zero heap allocations (tests/stm_alloc_test.cpp pins this). Logs are
 // transaction-locals, so their destructors run before the arena rewinds.
+//
+// Snapshot logs coordinate with concurrent commits through the owning
+// wrapper's CommitFence: a snapshot must not observe a base that is missing
+// a logically-committed, not-yet-replayed commit, nor half of a replay in
+// flight (see stm/commit_fence.hpp for the hazard).
 #pragma once
 
 #include <optional>
@@ -29,6 +34,7 @@
 #include <utility>
 
 #include "common/arena_containers.hpp"
+#include "stm/commit_fence.hpp"
 #include "stm/stm.hpp"
 
 namespace proust::core {
@@ -38,9 +44,10 @@ class SnapshotReplayLog {
  public:
   using Snapshot = typename Base::Snapshot;
 
-  SnapshotReplayLog(Base& base, BumpArena& scratch)
-      : base_(&base), snap_(base.snapshot()), scratch_(&scratch),
-        log_(scratch) {}
+  SnapshotReplayLog(Base& base, stm::CommitFence& fence, BumpArena& scratch)
+      : base_(&base), fence_(&fence),
+        snap_(fence.consistent([&base] { return base.snapshot(); })),
+        scratch_(&scratch), log_(scratch) {}
 
   ~SnapshotReplayLog() {
     log_.for_each([](Entry& e) {
@@ -75,9 +82,14 @@ class SnapshotReplayLog {
     }
   }
 
+  stm::CommitFence& fence() noexcept { return *fence_; }
+
   /// Apply the queued operations to the shared base. Called from
   /// Txn::on_commit_locked; must not throw.
   void replay() noexcept {
+    // Self-bracketed for direct (non-transactional) use; inside a commit
+    // the STM's own fence bracket already encloses this (entries nest).
+    stm::CommitFence::Guard guard(*fence_);
     Base& base = *base_;
     log_.for_each([&base](Entry& e) { e.apply(e.obj, base); });
   }
@@ -92,6 +104,7 @@ class SnapshotReplayLog {
   };
 
   Base* base_;
+  stm::CommitFence* fence_;
   Snapshot snap_;
   BumpArena* scratch_;
   ArenaChunkList<Entry> log_;
@@ -108,9 +121,11 @@ class SnapshotMapReplayLog {
  public:
   using Snapshot = typename Base::Snapshot;
 
-  SnapshotMapReplayLog(Base& base, bool combine, BumpArena& scratch)
-      : base_(&base), snap_(base.snapshot()), combine_(combine),
-        dirty_(scratch), ops_(scratch) {}
+  SnapshotMapReplayLog(Base& base, stm::CommitFence& fence, bool combine,
+                       BumpArena& scratch)
+      : base_(&base), fence_(&fence),
+        snap_(fence.consistent([&base] { return base.snapshot(); })),
+        combine_(combine), dirty_(scratch), ops_(scratch) {}
 
   Snapshot& shadow() noexcept { return snap_; }
   const Snapshot& shadow() const noexcept { return snap_; }
@@ -130,7 +145,10 @@ class SnapshotMapReplayLog {
     return snap_.remove(key);
   }
 
+  stm::CommitFence& fence() noexcept { return *fence_; }
+
   void replay() noexcept {
+    stm::CommitFence::Guard guard(*fence_);
     if (combine_) {
       dirty_.for_each([this](const K& key, const Empty&) {
         if (std::optional<V> v = snap_.get(key)) {
@@ -168,6 +186,7 @@ class SnapshotMapReplayLog {
   }
 
   Base* base_;
+  stm::CommitFence* fence_;
   Snapshot snap_;
   bool combine_;
   ArenaFlatMap<K, Empty> dirty_;
@@ -283,7 +302,13 @@ class TxnLogHandle {
     }
     Log& l = tx.local<Log>(this, std::forward<Make>(make));
     if (fresh) {
-      tx.on_commit_locked([&l] { l.replay(); });
+      if constexpr (requires { l.fence(); }) {
+        // Snapshot logs: the commit path must hold the wrapper's fence from
+        // wv generation until the replay lands (commit_fence.hpp).
+        tx.on_commit_locked([&l] { l.replay(); }, l.fence());
+      } else {
+        tx.on_commit_locked([&l] { l.replay(); });
+      }
     }
     return l;
   }

@@ -16,6 +16,8 @@ inline constexpr std::size_t kCacheLine = 64;
 class Stm;
 class Txn;
 class VarBase;
+class ChaosPolicy;
+class CommitFence;
 
 /// How the STM detects conflicts — the right-hand table of the paper's
 /// Figure 1. The mode is a property of the `Stm` runtime instance.
@@ -55,6 +57,7 @@ enum class AbortReason : std::uint8_t {
   AbstractLockTimeout,  // pessimistic LAP gave up waiting for an abstract lock
   FallbackGate,      // commit yielded to an in-flight irrevocable fallback
   Explicit,          // user called Txn::abort()
+  ChaosInjected,     // spurious abort injected by the chaos policy
   kCount,
 };
 
@@ -69,6 +72,38 @@ constexpr const char* to_string(AbortReason r) noexcept {
     case AbortReason::AbstractLockTimeout: return "abstract-lock-timeout";
     case AbortReason::FallbackGate: return "fallback-gate";
     case AbortReason::Explicit: return "explicit";
+    case AbortReason::ChaosInjected: return "chaos-injected";
+    default: return "?";
+  }
+}
+
+/// Where the fault-injection layer (stm/chaos.hpp) can perturb an attempt.
+/// Every failure path Theorems 5.1/5.2 rely on sits behind one of these
+/// gates, so the chaos suite can manufacture the adversity that normally
+/// needs an unlucky scheduler.
+enum class ChaosPoint : std::uint8_t {
+  TxnRead = 0,     // transactional read / conflict-abstraction read-back
+  TxnValidate,     // read-set validation & timestamp extension
+  CommitLock,      // write-lock acquisition (commit-time or encounter-time)
+  WvPublish,       // after wv generation, before the commit point
+  LapAcquire,      // pessimistic abstract-lock acquisition (core/lap.hpp)
+  LockTransition,  // reentrant-RW-lock CAS/park transitions (sync layer)
+  ReplayApply,     // replay-log application (commit-locked hooks)
+  kCount,
+};
+
+inline constexpr std::size_t kNumChaosPoints =
+    static_cast<std::size_t>(ChaosPoint::kCount);
+
+constexpr const char* to_string(ChaosPoint p) noexcept {
+  switch (p) {
+    case ChaosPoint::TxnRead: return "txn-read";
+    case ChaosPoint::TxnValidate: return "txn-validate";
+    case ChaosPoint::CommitLock: return "commit-lock";
+    case ChaosPoint::WvPublish: return "wv-publish";
+    case ChaosPoint::LapAcquire: return "lap-acquire";
+    case ChaosPoint::LockTransition: return "lock-transition";
+    case ChaosPoint::ReplayApply: return "replay-apply";
     default: return "?";
   }
 }

@@ -4,7 +4,10 @@
 // serializing fallback that bounds retries under pathological contention.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+
+#include "stm/fwd.hpp"
 
 namespace proust::stm {
 
@@ -82,6 +85,26 @@ struct StmOptions {
   /// it holds encounter-time locks, which keeps the protocol deadlock-free.
   /// 0 disables the gate entirely (no per-commit cost).
   unsigned fallback_after = 0;
+
+  /// Abstract-lock acquisition timeout used by pessimistic LAPs constructed
+  /// without an explicit timeout. Timing out is the runtime's abstract-lock
+  /// deadlock recovery: the transaction aborts, releases everything, backs
+  /// off and retries.
+  std::chrono::nanoseconds lap_timeout = std::chrono::milliseconds(2);
+
+  /// Apply ±25% per-thread jitter to `lap_timeout` (fixed per registry
+  /// slot). Symmetric deadlocks are recovered by both parties timing out;
+  /// identical timeouts make them abort in lockstep and re-collide on the
+  /// retry, while jittered ones let one party win the second race. LAPs
+  /// constructed with an explicit timeout are exempt (tests pin exact
+  /// timeout behavior through that path).
+  bool lap_timeout_jitter = true;
+
+  /// Fault-injection policy woven into the runtime (stm/chaos.hpp);
+  /// non-owning, must outlive every transaction of this Stm. nullptr
+  /// disables injection entirely — the hot paths then cost one predictable
+  /// never-taken branch per gate and allocate nothing extra.
+  ChaosPolicy* chaos = nullptr;
 };
 
 }  // namespace proust::stm

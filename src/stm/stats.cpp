@@ -10,6 +10,12 @@ std::uint64_t StatsSnapshot::total_aborts() const noexcept {
   return t;
 }
 
+std::uint64_t StatsSnapshot::total_injected() const noexcept {
+  std::uint64_t t = 0;
+  for (auto n : injected) t += n;
+  return t;
+}
+
 double StatsSnapshot::abort_ratio() const noexcept {
   return starts == 0 ? 0.0
                      : static_cast<double>(total_aborts()) /
@@ -33,6 +39,18 @@ std::string StatsSnapshot::to_string() const {
     }
     os << "]";
   }
+  if (total_injected() > 0) {
+    os << " injected=[";
+    bool first = true;
+    for (std::size_t i = 0; i < injected.size(); ++i) {
+      if (injected[i] == 0) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << proust::stm::to_string(static_cast<ChaosPoint>(i)) << "="
+         << injected[i];
+    }
+    os << "]";
+  }
   return os.str();
 }
 
@@ -47,6 +65,9 @@ StatsSnapshot Stats::snapshot() const {
     s.writes += c.writes;
     s.extensions += c.extensions;
     for (std::size_t j = 0; j < c.aborts.size(); ++j) s.aborts[j] += c.aborts[j];
+    for (std::size_t j = 0; j < c.injected.size(); ++j) {
+      s.injected[j] += c.injected[j];
+    }
   }
   return s;
 }

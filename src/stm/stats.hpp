@@ -19,8 +19,13 @@ struct StatsSnapshot {
   std::uint64_t extensions = 0; // successful timestamp extensions
   std::array<std::uint64_t, static_cast<std::size_t>(AbortReason::kCount)>
       aborts{};
+  /// Chaos faults injected at transaction-level points (stm/chaos.hpp).
+  /// Sync-layer LockTransition injections have no transaction context and
+  /// are counted by the ChaosPolicy itself; their entry here stays zero.
+  std::array<std::uint64_t, kNumChaosPoints> injected{};
 
   std::uint64_t total_aborts() const noexcept;
+  std::uint64_t total_injected() const noexcept;
   double abort_ratio() const noexcept;  // aborts / starts
   std::string to_string() const;
 };
@@ -34,6 +39,7 @@ class Stats {
     std::uint64_t extensions = 0;
     std::array<std::uint64_t, static_cast<std::size_t>(AbortReason::kCount)>
         aborts{};
+    std::array<std::uint64_t, kNumChaosPoints> injected{};
   };
 
  public:
@@ -49,6 +55,9 @@ class Stats {
     void count_extension() noexcept { c_->extensions += 1; }
     void count_abort(AbortReason r) noexcept {
       c_->aborts[static_cast<std::size_t>(r)] += 1;
+    }
+    void count_injected(ChaosPoint p) noexcept {
+      c_->injected[static_cast<std::size_t>(p)] += 1;
     }
 
    private:
@@ -67,6 +76,9 @@ class Stats {
   void count_extension() noexcept { cell().extensions += 1; }
   void count_abort(AbortReason r) noexcept {
     cell().aborts[static_cast<std::size_t>(r)] += 1;
+  }
+  void count_injected(ChaosPoint p) noexcept {
+    cell().injected[static_cast<std::size_t>(p)] += 1;
   }
 
   StatsSnapshot snapshot() const;

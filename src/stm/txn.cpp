@@ -1,9 +1,12 @@
 #include "stm/txn.hpp"
 
 #include <atomic>
+#include <exception>
 #include <shared_mutex>
 #include <stdexcept>
 
+#include "stm/chaos.hpp"
+#include "stm/commit_fence.hpp"
 #include "stm/stm.hpp"
 
 namespace proust::stm {
@@ -22,6 +25,7 @@ TxnArena& TxnArena::of_thread() {
 Txn::Txn(Stm& stm)
     : stm_(stm),
       arena_(TxnArena::of_thread()),
+      chaos_(stm.options().chaos),
       mode_(stm.mode()),
       scheme_(stm.options().clock_scheme),
       slot_(ThreadRegistry::slot()),
@@ -112,6 +116,7 @@ void Txn::read_impl(const VarBase& var, void* dst, std::size_t size) {
   assert(active_);
   assert(size == var.size_);
   stats_.count_read();
+  chaos_point(ChaosPoint::TxnRead);
 
   if (detail::WriteEntry* e = find_write(&var)) {
     if (mode_ == Mode::Lazy) {
@@ -166,6 +171,7 @@ void Txn::read_impl(const VarBase& var, void* dst, std::size_t size) {
 void Txn::read_validate_impl(const VarBase& var) {
   assert(active_);
   stats_.count_read();
+  chaos_point(ChaosPoint::TxnRead);
 
   if (mode_ == Mode::EagerAll) {
     // Visible readers: publish the bit; a conflicting committer would have
@@ -238,6 +244,7 @@ void Txn::write_impl(VarBase& var, const void* src, std::size_t size) {
 
   // Eager modes: encounter-time lock acquisition; the requester aborts on
   // failure (abort-on-busy keeps the protocol deadlock-free).
+  chaos_point(ChaosPoint::CommitLock);
   if (!var.orec_.try_lock(&e.lock)) {
     throw ConflictAbort{AbortReason::WriteLocked};
   }
@@ -268,6 +275,7 @@ bool Txn::validate_read_set() const noexcept {
 }
 
 void Txn::extend_or_abort() {
+  chaos_point(ChaosPoint::TxnValidate);
   if (snapshot_frozen_) {
     // A pinned shadow copy forbids sliding the snapshot forward.
     throw ConflictAbort{AbortReason::ReadVersion};
@@ -325,9 +333,7 @@ void Txn::commit() {
     clear_reader_marks();
     active_ = false;
     stats_.count_commit();
-    for (auto& h : arena_.commit_hooks) h();
-    for (auto& h : arena_.finish_hooks) h(Outcome::Committed);
-    reset_attempt_state();
+    finish_attempt(Outcome::Committed, /*rethrow=*/true);
     return;
   }
 
@@ -336,6 +342,9 @@ void Txn::commit() {
     // Commit-time locking, arbitrary order, abort-on-busy (deadlock-free).
     for (std::size_t i = 0; i < nwrites; ++i) {
       detail::WriteEntry& e = arena_.writes[i];
+      // Injected aborts mid-loop leave a partially locked write set; the
+      // rollback path must release exactly the acquired prefix.
+      chaos_point(ChaosPoint::CommitLock);
       if (!e.var->orec_.try_lock(&e.lock)) {
         throw ConflictAbort{AbortReason::WriteLocked};
       }
@@ -361,19 +370,38 @@ void Txn::commit() {
   // (and a committer whose locks were taken mid-flight may adopt a tick that
   // predates our snapshot), and LazyBump never ticks at all — both must
   // always revalidate.
-  const Version wv = stm_.generate_wv(lock_floor);
-  const bool skip_validation =
-      scheme_ == ClockScheme::IncOnCommit && rv_ + 1 == wv;
-  const bool need_validation =
-      mode_ != Mode::EagerAll && !arena_.reads.empty() && !skip_validation;
-  if (need_validation && !validate_read_set()) {
-    throw ConflictAbort{AbortReason::ValidationFailed};
+  // Registered commit fences must be held from *before* the clock advance
+  // until the replay hooks finish: the moment generate_wv ticks the clock,
+  // a fresh transaction's rv covers this commit, and a snapshot shadow copy
+  // taken before the replay lands would silently miss it (commit_fence.hpp).
+  enter_commit_fences();
+  Version wv;
+  try {
+    wv = stm_.generate_wv(lock_floor);
+    // Last legal injection window: every write lock is held and wv exists,
+    // but nothing has been applied — an abort here must restore the
+    // displaced versions on release. Delays widen the all-locks-held
+    // window. (Past the commit-locked hooks there is no aborting, only
+    // delay — see run_commit_locked_hooks.)
+    chaos_point(ChaosPoint::WvPublish);
+    const bool skip_validation =
+        scheme_ == ClockScheme::IncOnCommit && rv_ + 1 == wv;
+    const bool need_validation =
+        mode_ != Mode::EagerAll && !arena_.reads.empty() && !skip_validation;
+    if (need_validation) chaos_point(ChaosPoint::TxnValidate);
+    if (need_validation && !validate_read_set()) {
+      throw ConflictAbort{AbortReason::ValidationFailed};
+    }
+  } catch (...) {
+    exit_commit_fences();
+    throw;
   }
 
   // The commit point. Replay logs are applied here, behind the STM's own
   // locks (§4: "applied atomically, behind the STM's native locking
   // mechanisms"). These hooks must not throw.
   run_commit_locked_hooks();
+  exit_commit_fences();
 
   if (mode_ == Mode::Lazy) {
     for (std::size_t i = 0; i < nwrites; ++i) {
@@ -387,13 +415,23 @@ void Txn::commit() {
   clear_reader_marks();
   active_ = false;
   stats_.count_commit();
+  finish_attempt(Outcome::Committed, /*rethrow=*/true);
+}
 
-  for (auto& h : arena_.commit_hooks) h();
-  for (auto& h : arena_.finish_hooks) h(Outcome::Committed);
-  reset_attempt_state();
+void Txn::enter_commit_fences() noexcept {
+  for (CommitFence* f : arena_.commit_fences) f->enter();
+}
+
+void Txn::exit_commit_fences() noexcept {
+  for (CommitFence* f : arena_.commit_fences) f->exit();
 }
 
 void Txn::run_commit_locked_hooks() noexcept {
+  if (chaos_ != nullptr && !arena_.commit_locked_hooks.empty()) [[unlikely]] {
+    // Past the commit point: replay application may only be delayed, never
+    // aborted (the hooks themselves must not throw either).
+    chaos_delay_only(ChaosPoint::ReplayApply);
+  }
   for (auto& h : arena_.commit_locked_hooks) h();
 }
 
@@ -402,13 +440,15 @@ void Txn::rollback(AbortReason reason) noexcept {
   stats_.count_abort(reason);
 
   // Proust inverse operations: reverse order, while this transaction's STM
-  // locks (covering its conflict-abstraction locations) are still held.
+  // locks (covering its conflict-abstraction locations) are still held. A
+  // throwing inverse cannot be propagated from this noexcept unwind path;
+  // swallow it and keep running the earlier inverses — skipping them would
+  // leave the abstract state partially rolled back, which is strictly worse.
   for (auto it = arena_.abort_hooks.rbegin(); it != arena_.abort_hooks.rend();
        ++it) {
     try {
       (*it)();
     } catch (...) {
-      assert(false && "abort hook (inverse) threw");
     }
   }
 
@@ -424,14 +464,91 @@ void Txn::rollback(AbortReason reason) noexcept {
   }
   clear_reader_marks();
   active_ = false;
-  for (auto& h : arena_.finish_hooks) {
-    try {
-      h(Outcome::Aborted);
-    } catch (...) {
-      assert(false && "finish hook threw");
+  finish_attempt(Outcome::Aborted, /*rethrow=*/false);
+}
+
+void Txn::finish_attempt(Outcome outcome, bool rethrow) {
+  // Run-all-then-rethrow: every hook runs even if an earlier one throws.
+  // A LAP's stripe-release finish hook can sit anywhere in the list, so
+  // stopping at the first exception would leak abstract locks held by
+  // hooks registered after the thrower.
+  std::exception_ptr first;
+  if (outcome == Outcome::Committed) {
+    for (auto& h : arena_.commit_hooks) {
+      try {
+        h();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
     }
   }
+  for (auto& h : arena_.finish_hooks) {
+    try {
+      h(outcome);
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (chaos_ != nullptr) [[unlikely]] verify_teardown();
   reset_attempt_state();
+  if (rethrow && first) std::rethrow_exception(first);
+}
+
+void Txn::verify_teardown() noexcept {
+  const std::size_t nwrites = arena_.writes.size();
+  for (std::size_t i = 0; i < nwrites; ++i) {
+    if (arena_.writes[i].locked) {
+      chaos_->report_leak("orec still locked after attempt finished");
+      break;
+    }
+  }
+  for (const TxnArena::LockHold& h : arena_.lock_holds) {
+    // release_all zeroes the hold counts; a nonzero count here means some
+    // LAP's finish hook never ran (or ran and failed to release).
+    if (h.readers != 0 || h.writers != 0) {
+      chaos_->report_leak("abstract-lock stripe still held after finish hooks");
+      break;
+    }
+  }
+  if (!arena_.reader_marks.empty()) {
+    chaos_->report_leak("visible-reader marks not cleared");
+  }
+}
+
+void Txn::chaos_hit(ChaosPoint p) {
+  const ChaosAction a = chaos_->decide(p);
+  if (a == ChaosAction::None) [[likely]] return;
+  stats_.count_injected(p);
+  if (a == ChaosAction::Delay) {
+    chaos_->inject_delay();
+    return;
+  }
+  // Abort — and Timeout, which has no meaning at a plain point — become a
+  // spurious conflict, exercising the same unwind as a real one.
+  throw ConflictAbort{AbortReason::ChaosInjected};
+}
+
+bool Txn::chaos_timeout_hit(ChaosPoint p) {
+  const ChaosAction a = chaos_->decide(p);
+  if (a == ChaosAction::None) [[likely]] return false;
+  stats_.count_injected(p);
+  switch (a) {
+    case ChaosAction::Delay:
+      chaos_->inject_delay();
+      return false;
+    case ChaosAction::Timeout:
+      return true;  // caller owns the timeout-recovery path
+    default:
+      throw ConflictAbort{AbortReason::ChaosInjected};
+  }
+}
+
+void Txn::chaos_delay_only(ChaosPoint p) noexcept {
+  // Every counted decision must have an effect: non-Delay draws are coerced
+  // to a delay at points where aborting is no longer legal.
+  if (chaos_->decide(p) == ChaosAction::None) return;
+  stats_.count_injected(p);
+  chaos_->inject_delay();
 }
 
 void Txn::reset_attempt_state() noexcept {

@@ -119,6 +119,14 @@ class Txn {
   void on_commit_locked(Hook fn) {
     arena_.commit_locked_hooks.push_back(std::move(fn));
   }
+  /// As above, but additionally holds `fence` across [wv generation ..
+  /// commit-locked hooks complete], so snapshot shadow copies never read a
+  /// base that is missing a logically-committed, not-yet-replayed commit
+  /// (see commit_fence.hpp).
+  void on_commit_locked(Hook fn, CommitFence& fence) {
+    arena_.commit_locked_hooks.push_back(std::move(fn));
+    arena_.commit_fences.push_back(&fence);
+  }
   void on_commit(Hook fn) { arena_.commit_hooks.push_back(std::move(fn)); }
   void on_finish(FinishHook fn) {
     arena_.finish_hooks.push_back(std::move(fn));
@@ -163,6 +171,27 @@ class Txn {
   /// touch memory they allocated here.
   BumpArena& scratch() noexcept { return arena_.local_slab; }
 
+  // --- Chaos (fault-injection) gates --------------------------------------
+  // No-ops when StmOptions::chaos is null: one predictable branch, nothing
+  // else. Wrapper layers (the LAPs) call these at their own injection
+  // points; the STM's internal paths are gated inside txn.cpp.
+
+  /// Decide at `p`: an injected delay is applied internally, an injected
+  /// abort throws ConflictAbort{ChaosInjected}.
+  void chaos_point(ChaosPoint p) {
+    if (chaos_ != nullptr) [[unlikely]] chaos_hit(p);
+  }
+
+  /// Like chaos_point, but a forced-timeout draw is returned to the caller
+  /// (true), which owns the timeout-recovery path.
+  bool chaos_timeout_point(ChaosPoint p) {
+    if (chaos_ == nullptr) [[likely]] return false;
+    return chaos_timeout_hit(p);
+  }
+
+  /// The active fault-injection policy, or nullptr.
+  ChaosPolicy* chaos() const noexcept { return chaos_; }
+
  private:
   friend class Stm;
 
@@ -191,6 +220,21 @@ class Txn {
   /// EagerWrite/Lazy timestamp extension on a too-new read.
   void extend_or_abort();
   void run_commit_locked_hooks() noexcept;
+  void enter_commit_fences() noexcept;
+  void exit_commit_fences() noexcept;
+  /// Run post-outcome hooks (on_commit on the commit path, then on_finish),
+  /// verify teardown, and reset the arena. Run-all-then-rethrow: a throwing
+  /// hook never starves the hooks after it (a LAP's stripe-release hook may
+  /// sit anywhere in the list); the first exception propagates afterwards
+  /// when `rethrow`, and is dropped on the (noexcept) abort path.
+  void finish_attempt(Outcome outcome, bool rethrow);
+  /// Chaos-mode leak check: a finished attempt must hold zero orecs, zero
+  /// abstract-lock stripes and zero reader marks. Violations are filed with
+  /// the policy (ChaosPolicy::report_leak) so the suite can assert on them.
+  void verify_teardown() noexcept;
+  void chaos_hit(ChaosPoint p);
+  bool chaos_timeout_hit(ChaosPoint p);
+  void chaos_delay_only(ChaosPoint p) noexcept;
   void mark_reader(VarBase& var);
   void clear_reader_marks() noexcept;
   void release_locks(Version version) noexcept;
@@ -210,6 +254,7 @@ class Txn {
 
   Stm& stm_;
   TxnArena& arena_;
+  ChaosPolicy* chaos_;  // from StmOptions; nullptr = injection disabled
   Mode mode_;
   ClockScheme scheme_;
   unsigned slot_;

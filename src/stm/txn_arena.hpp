@@ -13,6 +13,7 @@
 // Stm instances coexist.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -104,6 +105,10 @@ struct TxnArena {
   std::vector<SmallFunc<void()>> commit_locked_hooks;
   std::vector<SmallFunc<void()>> commit_hooks;
   std::vector<SmallFunc<void(Outcome)>> finish_hooks;
+  // Fences the commit path must hold across [wv generation .. commit-locked
+  // hooks complete] (see commit_fence.hpp). Registered alongside replay
+  // hooks via on_commit_locked(hook, fence).
+  std::vector<CommitFence*> commit_fences;
 
   std::vector<LocalSlot> locals;
   BumpArena local_slab;
@@ -121,6 +126,20 @@ struct TxnArena {
   /// Rewind every container to logically empty while retaining capacity.
   /// Locals are destroyed in reverse creation order; their storage is kept.
   void reset_attempt() noexcept {
+#ifndef NDEBUG
+    // A finished attempt holds nothing: no orec locks, no abstract-lock
+    // stripes, no visible-reader marks. Chaos builds also check this at
+    // runtime (Txn::verify_teardown); these asserts catch the same leaks in
+    // any debug build, chaos or not.
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+      assert(!writes[i].locked && "orec lock leaked past attempt end");
+    }
+    for (const LockHold& h : lock_holds) {
+      assert(h.readers == 0 && h.writers == 0 &&
+             "abstract-lock stripe leaked past finish hooks");
+    }
+    assert(reader_marks.empty() && "visible-reader marks leaked");
+#endif
     reads.clear();
     writes.reset();
     write_table.clear();
@@ -129,6 +148,7 @@ struct TxnArena {
     commit_locked_hooks.clear();
     commit_hooks.clear();
     finish_hooks.clear();
+    commit_fences.clear();
     for (auto it = locals.rbegin(); it != locals.rend(); ++it) {
       it->destroy(it->obj);
     }

@@ -1,0 +1,50 @@
+// Optional process-wide fault-injection hook for the sync layer. The
+// reentrant RW lock calls into it at its three interesting transitions —
+// the group-join CAS, slow-path entry (where a forced timeout can be
+// injected) and futex parking — so a chaos policy living above this layer
+// (stm/chaos.hpp implements the interface) can widen race windows and
+// exercise the timeout-abort recovery path deterministically.
+//
+// The hook is a single global pointer checked with one relaxed load per
+// first-acquire; when no hook is installed (the default) the cost is a
+// never-taken predictable branch. Install/remove only while the locks are
+// quiesced (no acquires in flight) — the chaos harness installs before
+// spawning its worker threads and removes after joining them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace proust::sync {
+
+enum class LockTransition : std::uint8_t {
+  kJoinCas,       // about to attempt a first-acquire group-join CAS
+  kSlowPath,      // entered the spin/park slow path; `true` forces a timeout
+  kPark,          // about to park on the futex eventcount
+};
+
+class ChaosLockHook {
+ public:
+  /// Called at each transition. The return value is consulted only for
+  /// kSlowPath: `true` makes the acquisition fail as if it had timed out
+  /// (the caller then runs its normal deadlock-recovery path). The hook may
+  /// delay/yield internally but must not throw or re-enter the lock.
+  virtual bool on_lock_transition(LockTransition t) noexcept = 0;
+
+ protected:
+  ~ChaosLockHook() = default;
+};
+
+namespace detail {
+inline std::atomic<ChaosLockHook*> g_lock_hook{nullptr};
+}  // namespace detail
+
+inline void set_chaos_lock_hook(ChaosLockHook* hook) noexcept {
+  detail::g_lock_hook.store(hook, std::memory_order_release);
+}
+
+inline ChaosLockHook* chaos_lock_hook() noexcept {
+  return detail::g_lock_hook.load(std::memory_order_relaxed);
+}
+
+}  // namespace proust::sync

@@ -1,5 +1,6 @@
 #include "sync/reentrant_rw_lock.hpp"
 
+#include "sync/chaos_hook.hpp"
 #include "sync/futex.hpp"
 
 namespace proust::sync {
@@ -48,6 +49,11 @@ bool ReentrantRwLock::try_acquire(std::uint32_t& my_readers,
   }
   const bool in_read = my_readers > 0;
   const bool in_write = my_writers > 0;
+  if (ChaosLockHook* hook = chaos_lock_hook(); hook != nullptr) [[unlikely]] {
+    // Injected delay before the join CAS widens the window between the
+    // admissibility check and the RMW, manufacturing CAS races on demand.
+    hook->on_lock_transition(LockTransition::kJoinCas);
+  }
   if (try_join(in_read, in_write, write) ||
       join_slow(in_read, in_write, write, timeout)) {
     mine = 1;
@@ -58,6 +64,12 @@ bool ReentrantRwLock::try_acquire(std::uint32_t& my_readers,
 
 bool ReentrantRwLock::join_slow(bool in_read, bool in_write, bool write,
                                 std::chrono::nanoseconds timeout) noexcept {
+  if (ChaosLockHook* hook = chaos_lock_hook(); hook != nullptr) [[unlikely]] {
+    // A forced timeout here fails the contended acquisition immediately —
+    // exactly the state a real deadlock would end in after the full wait —
+    // so the caller's timeout-recovery path runs without burning wall time.
+    if (hook->on_lock_transition(LockTransition::kSlowPath)) return false;
+  }
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (int i = 0; i < kSpinBound; ++i) {
     cpu_relax();
@@ -88,6 +100,9 @@ bool ReentrantRwLock::join_slow(bool in_read, bool in_write, bool write,
     s = state_.load(std::memory_order_acquire);
     if (admissible(s, in_read, in_write, write)) continue;
     if (std::chrono::steady_clock::now() >= deadline) break;
+    if (ChaosLockHook* hook = chaos_lock_hook(); hook != nullptr) [[unlikely]] {
+      hook->on_lock_transition(LockTransition::kPark);
+    }
     futex_wait_until(wake_seq_, seq, deadline);
     s = state_.load(std::memory_order_acquire);
   }

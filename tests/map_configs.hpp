@@ -36,6 +36,11 @@ class MapUnderTest {
  public:
   virtual ~MapUnderTest() = default;
   virtual void atomically(const std::function<void(MapView&)>& body) = 0;
+  /// Like atomically, but the body also sees the transaction — for tests
+  /// that register hooks (differential reference application, injected
+  /// aborts) alongside map operations.
+  virtual void atomically_tx(
+      const std::function<void(MapView&, stm::Txn&)>& body) = 0;
   virtual long committed_size() const = 0;  // -1 if unsupported
   virtual stm::StatsSnapshot stats() = 0;
   virtual stm::Stm& stm() = 0;
@@ -83,13 +88,21 @@ template <class Lap, class Map>
 class ProustMapHandle final : public MapUnderTest {
  public:
   template <class MakeLap, class MakeMap>
-  ProustMapHandle(stm::Mode mode, MakeLap&& make_lap, MakeMap&& make_map)
-      : stm_(mode), lap_(make_lap(stm_)), map_(make_map(*lap_)) {}
+  ProustMapHandle(stm::Mode mode, const stm::StmOptions& opts,
+                  MakeLap&& make_lap, MakeMap&& make_map)
+      : stm_(mode, opts), lap_(make_lap(stm_)), map_(make_map(*lap_)) {}
 
   void atomically(const std::function<void(MapView&)>& body) override {
     stm_.atomically([&](stm::Txn& tx) {
       ViewImpl<Map> v(*map_, tx);
       body(v);
+    });
+  }
+  void atomically_tx(
+      const std::function<void(MapView&, stm::Txn&)>& body) override {
+    stm_.atomically([&](stm::Txn& tx) {
+      ViewImpl<Map> v(*map_, tx);
+      body(v, tx);
     });
   }
   long committed_size() const override { return map_->size(); }
@@ -106,13 +119,21 @@ template <class Map>
 class BaselineMapHandle final : public MapUnderTest {
  public:
   template <class MakeMap>
-  BaselineMapHandle(stm::Mode mode, MakeMap&& make_map)
-      : stm_(mode), map_(make_map(stm_)) {}
+  BaselineMapHandle(stm::Mode mode, const stm::StmOptions& opts,
+                    MakeMap&& make_map)
+      : stm_(mode, opts), map_(make_map(stm_)) {}
 
   void atomically(const std::function<void(MapView&)>& body) override {
     stm_.atomically([&](stm::Txn& tx) {
       ViewImpl<Map> v(*map_, tx);
       body(v);
+    });
+  }
+  void atomically_tx(
+      const std::function<void(MapView&, stm::Txn&)>& body) override {
+    stm_.atomically([&](stm::Txn& tx) {
+      ViewImpl<Map> v(*map_, tx);
+      body(v, tx);
     });
   }
   long committed_size() const override { return -1; }
@@ -128,13 +149,18 @@ class BaselineMapHandle final : public MapUnderTest {
 
 struct MapConfig {
   std::string name;
-  std::function<std::unique_ptr<MapUnderTest>()> make;
+  /// Build the configuration on an Stm constructed with the given options
+  /// (chaos policy, LAP timeouts, clock scheme, fallback threshold...).
+  std::function<std::unique_ptr<MapUnderTest>(const stm::StmOptions&)>
+      make_with;
   /// False for the eager/optimistic quadrant on STMs that detect some
   /// conflicts lazily: per Figure 1 (and footnote 3), that combination does
   /// not satisfy opacity — concurrent invariant tests would legitimately
   /// fail, exactly as the paper warns. tests/opacity_test.cpp demonstrates
   /// the mechanism deliberately.
   bool opaque = true;
+
+  std::unique_ptr<MapUnderTest> make() const { return make_with({}); }
 };
 
 inline std::vector<MapConfig> all_map_configs() {
@@ -154,9 +180,9 @@ inline std::vector<MapConfig> all_map_configs() {
     using Map = core::TxnHashMap<long, long, OptLap>;
     configs.push_back(
         {"eager_opt_" + tag,
-         [mode, opt_lap] {
+         [mode, opt_lap](const stm::StmOptions& o) {
            return std::make_unique<detail::ProustMapHandle<OptLap, Map>>(
-               mode, opt_lap,
+               mode, o, opt_lap,
                [](OptLap& l) { return std::make_unique<Map>(l); });
          },
          opaque});
@@ -170,9 +196,9 @@ inline std::vector<MapConfig> all_map_configs() {
   {
     using Map = core::TxnHashMap<long, long, PessLap>;
     configs.push_back(
-        {"eager_pess", [pess_lap] {
+        {"eager_pess", [pess_lap](const stm::StmOptions& o) {
            return std::make_unique<detail::ProustMapHandle<PessLap, Map>>(
-               stm::Mode::Lazy, pess_lap,
+               stm::Mode::Lazy, o, pess_lap,
                [](PessLap& l) { return std::make_unique<Map>(l); });
          }});
   }
@@ -181,9 +207,10 @@ inline std::vector<MapConfig> all_map_configs() {
                             bool combine) {
     using Map = core::LazyHashMap<long, long, OptLap>;
     configs.push_back(
-        {"lazy_memo_" + tag, [mode, combine, opt_lap] {
+        {"lazy_memo_" + tag,
+         [mode, combine, opt_lap](const stm::StmOptions& o) {
            return std::make_unique<detail::ProustMapHandle<OptLap, Map>>(
-               mode, opt_lap, [combine](OptLap& l) {
+               mode, o, opt_lap, [combine](OptLap& l) {
                  return std::make_unique<Map>(l, combine);
                });
          }});
@@ -196,9 +223,10 @@ inline std::vector<MapConfig> all_map_configs() {
                             bool combine) {
     using Map = core::LazyTrieMap<long, long, OptLap>;
     configs.push_back(
-        {"lazy_snap_" + tag, [mode, combine, opt_lap] {
+        {"lazy_snap_" + tag,
+         [mode, combine, opt_lap](const stm::StmOptions& o) {
            return std::make_unique<detail::ProustMapHandle<OptLap, Map>>(
-               mode, opt_lap, [combine](OptLap& l) {
+               mode, o, opt_lap, [combine](OptLap& l) {
                  return std::make_unique<Map>(l, combine);
                });
          }});
@@ -212,9 +240,9 @@ inline std::vector<MapConfig> all_map_configs() {
   {
     using Map = core::TxnHashMap<long, long, OptLap>;
     configs.push_back(
-        {"eager_undo_combining", [opt_lap] {
+        {"eager_undo_combining", [opt_lap](const stm::StmOptions& o) {
            return std::make_unique<detail::ProustMapHandle<OptLap, Map>>(
-               stm::Mode::EagerAll, opt_lap, [](OptLap& l) {
+               stm::Mode::EagerAll, o, opt_lap, [](OptLap& l) {
                  return std::make_unique<Map>(l, 64, /*combine_undo=*/true);
                });
          }});
@@ -231,9 +259,9 @@ inline std::vector<MapConfig> all_map_configs() {
     using Map = core::LazyTrieMap<long, long, PessLap>;
     configs.push_back(
         {"lazy_snap_pess",
-         [pess_lap] {
+         [pess_lap](const stm::StmOptions& o) {
            return std::make_unique<detail::ProustMapHandle<PessLap, Map>>(
-               stm::Mode::Lazy, pess_lap,
+               stm::Mode::Lazy, o, pess_lap,
                [](PessLap& l) { return std::make_unique<Map>(l); });
          },
          /*opaque=*/false});
@@ -245,25 +273,25 @@ inline std::vector<MapConfig> all_map_configs() {
   {
     using Map = core::LazyHashMap<long, long, PessLap>;
     configs.push_back(
-        {"lazy_memo_pess", [pess_lap] {
+        {"lazy_memo_pess", [pess_lap](const stm::StmOptions& o) {
            return std::make_unique<detail::ProustMapHandle<PessLap, Map>>(
-               stm::Mode::Lazy, pess_lap, [](PessLap& l) {
+               stm::Mode::Lazy, o, pess_lap, [](PessLap& l) {
                  return std::make_unique<Map>(l, /*combine=*/false);
                });
          }});
   }
 
-  configs.push_back({"baseline_pure_stm", [] {
+  configs.push_back({"baseline_pure_stm", [](const stm::StmOptions& o) {
                        using Map = baselines::PureStmMap<long, long>;
                        return std::make_unique<detail::BaselineMapHandle<Map>>(
-                           stm::Mode::Lazy, [](stm::Stm& s) {
+                           stm::Mode::Lazy, o, [](stm::Stm& s) {
                              return std::make_unique<Map>(s, 4096);
                            });
                      }});
-  configs.push_back({"baseline_predication", [] {
+  configs.push_back({"baseline_predication", [](const stm::StmOptions& o) {
                        using Map = baselines::PredicationMap<long, long>;
                        return std::make_unique<detail::BaselineMapHandle<Map>>(
-                           stm::Mode::Lazy, [](stm::Stm& s) {
+                           stm::Mode::Lazy, o, [](stm::Stm& s) {
                              return std::make_unique<Map>(s);
                            });
                      }});

@@ -97,8 +97,9 @@ TEST(SnapshotReplayLog, ShadowSeesSpeculativeState) {
   containers::SnapshotHamt<long, long> base;
   base.put(1, 10);
   BumpArena arena;
-  core::SnapshotReplayLog<containers::SnapshotHamt<long, long>> log(base,
-                                                                  arena);
+  stm::CommitFence fence;
+  core::SnapshotReplayLog<containers::SnapshotHamt<long, long>> log(
+      base, fence, arena);
   auto old = log.execute([](auto& t) { return t.put(1, 11); });
   EXPECT_EQ(old, 10);
   EXPECT_EQ(log.shadow().get(1), 11);
@@ -110,8 +111,9 @@ TEST(SnapshotReplayLog, ShadowSeesSpeculativeState) {
 TEST(SnapshotReplayLog, ReplayOrderPreserved) {
   containers::SnapshotHamt<long, long> base;
   BumpArena arena;
-  core::SnapshotReplayLog<containers::SnapshotHamt<long, long>> log(base,
-                                                                  arena);
+  stm::CommitFence fence;
+  core::SnapshotReplayLog<containers::SnapshotHamt<long, long>> log(
+      base, fence, arena);
   log.execute([](auto& t) { return t.put(1, 1); });
   log.execute([](auto& t) { return t.remove(1); });
   log.execute([](auto& t) { return t.put(1, 2); });

@@ -1,0 +1,140 @@
+// Exception safety of the hook vectors (run-all-then-rethrow): a throwing
+// on_commit / on_finish / on_abort hook must never starve the hooks after it
+// — a pessimistic LAP's stripe-release finish hook can sit anywhere in the
+// list, so stopping at the first exception would leak abstract locks. The
+// first exception still propagates to the caller on the commit path and is
+// swallowed on the (noexcept) abort path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "core/lap.hpp"
+#include "stm/stm.hpp"
+#include "stm/var.hpp"
+
+using namespace proust;
+
+namespace {
+
+struct HookError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+struct BodyError {};
+
+}  // namespace
+
+TEST(StmHookSafetyTest, ThrowingCommitHookRunsRemainingHooks) {
+  stm::Stm stm(stm::Mode::Lazy);
+  stm::Var<long> var(0);
+  std::vector<int> ran;
+
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 tx.write(var, 42L);
+                 tx.on_commit([&] { ran.push_back(1); });
+                 tx.on_commit([&]() -> void { throw HookError("commit hook"); });
+                 tx.on_commit([&] { ran.push_back(3); });
+                 tx.on_finish([&](stm::Outcome o) {
+                   EXPECT_EQ(o, stm::Outcome::Committed);
+                   ran.push_back(4);
+                 });
+               }),
+               HookError);
+
+  // All surviving hooks ran, in order, and the commit itself stood.
+  EXPECT_EQ(ran, (std::vector<int>{1, 3, 4}));
+  long v = -1;
+  stm.atomically([&](stm::Txn& tx) { v = tx.read(var); });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(StmHookSafetyTest, ThrowingFinishHookRunsRemainingFinishHooks) {
+  stm::Stm stm(stm::Mode::Lazy);
+  stm::Var<long> var(0);
+  std::vector<int> ran;
+
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 tx.write(var, 7L);
+                 tx.on_finish([&](stm::Outcome) { ran.push_back(1); });
+                 tx.on_finish(
+                     [&](stm::Outcome) -> void { throw HookError("finish"); });
+                 tx.on_finish([&](stm::Outcome) { ran.push_back(3); });
+               }),
+               HookError);
+
+  EXPECT_EQ(ran, (std::vector<int>{1, 3}));
+  long v = -1;
+  stm.atomically([&](stm::Txn& tx) { v = tx.read(var); });
+  EXPECT_EQ(v, 7);
+}
+
+TEST(StmHookSafetyTest, ThrowingAbortHookRunsRemainingInverses) {
+  // Inverses run in reverse registration order; the middle one throwing must
+  // not skip the earlier ones (the abstract state would stay half rolled
+  // back), and the user's own exception — not the hook's — propagates.
+  stm::Stm stm(stm::Mode::Lazy);
+  stm::Var<long> var(5);
+  std::vector<int> ran;
+
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 tx.write(var, 99L);
+                 tx.on_abort([&] { ran.push_back(1); });
+                 tx.on_abort([&]() -> void { throw HookError("inverse"); });
+                 tx.on_abort([&] { ran.push_back(3); });
+                 tx.on_finish([&](stm::Outcome o) {
+                   EXPECT_EQ(o, stm::Outcome::Aborted);
+                   ran.push_back(4);
+                 });
+                 throw BodyError{};
+               }),
+               BodyError);
+
+  EXPECT_EQ(ran, (std::vector<int>{3, 1, 4}));
+  long v = -1;
+  stm.atomically([&](stm::Txn& tx) { v = tx.read(var); });
+  EXPECT_EQ(v, 5) << "aborted write leaked";
+}
+
+TEST(StmHookSafetyTest, ThrowingFinishHookOnAbortDoesNotEscape) {
+  // The abort unwind is noexcept: a throwing finish hook there is swallowed
+  // (propagating would terminate), and the body's exception is what the
+  // caller sees.
+  stm::Stm stm(stm::Mode::Lazy);
+  bool later_ran = false;
+
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 tx.on_finish(
+                     [&](stm::Outcome) -> void { throw HookError("finish"); });
+                 tx.on_finish([&](stm::Outcome) { later_ran = true; });
+                 throw BodyError{};
+               }),
+               BodyError);
+  EXPECT_TRUE(later_ran);
+}
+
+TEST(StmHookSafetyTest, ThrowingFinishHookDoesNotLeakAbstractLocks) {
+  // Regression for the pre-fix leak: a user finish hook registered before
+  // the LAP's first acquire sits before the LAP's stripe-release hook in the
+  // vector; if its exception stopped the walk, the stripe would stay held
+  // and the probe below would time out.
+  stm::Stm stm(stm::Mode::Lazy);
+  core::PessimisticLap<long> lap(stm, 4, std::chrono::milliseconds(5));
+  stm::Var<long> var(0);
+
+  EXPECT_THROW(stm.atomically([&](stm::Txn& tx) {
+                 tx.on_finish(
+                     [&](stm::Outcome) -> void { throw HookError("finish"); });
+                 lap.acquire(tx, 1L, /*write=*/true);
+                 tx.write(var, 1L);
+               }),
+               HookError);
+
+  bool acquired = false;
+  stm.atomically([&](stm::Txn& tx) {
+    if (tx.attempt() > 5) return;  // leaked stripe: fail instead of hanging
+    lap.acquire(tx, 1L, /*write=*/true);
+    acquired = true;
+  });
+  EXPECT_TRUE(acquired);
+}
