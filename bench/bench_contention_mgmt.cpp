@@ -1,12 +1,25 @@
-// Ablation: contention-management policy × fallback threshold under a
-// high-contention map workload. §7 attributes the pessimistic livelock to
-// the weak CM coupling; this bench quantifies how much the CM policy alone
-// moves throughput and abort rates for the optimistic configurations.
+// Contention-management sweep: CM policy (trivial backoff/yield/none vs. the
+// priority policies Karma and TimestampAging, each ± adaptive admission
+// control) × thread count, on a deliberately vicious workload — every
+// transaction writes, all keys hot. §7 attributes the design space's
+// livelock pathologies to the missing CM coupling; this bench quantifies
+// what the coupling buys: the throughput column shows the cost/benefit at
+// each concurrency level, and the attempts{p50,p99,max} columns show the
+// starvation story (the priority policies bound the tail; the trivial ones
+// only bound it if the irrevocable fallback gate is armed).
+//
+// --json=<path> emits machine-readable records (bench_util/json.hpp) with
+// the full abort-reason breakdown, the attempt-histogram percentiles and
+// the backoff/cm/throttle wait totals; BENCH_STM.json tracks a merged
+// "pr5-contention" entry produced by this driver.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util/adapters.hpp"
 #include "bench_util/cli.hpp"
 #include "bench_util/harness.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/table.hpp"
 
 using namespace proust;
@@ -35,6 +48,12 @@ struct OptionedMap {
   void reset_stats() { stm.stats().reset(); }
 };
 
+struct PolicyVariant {
+  const char* tag;  // table/json name
+  stm::CmPolicy policy;
+  bool admission;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -42,45 +61,77 @@ int main(int argc, char** argv) {
   RunConfig cfg;
   cfg.total_ops = cli.get_long("ops", 40000);
   cfg.key_range = cli.get_long("key-range", 32);  // hot keys
-  cfg.write_fraction = cli.get_double("u", 0.75);
-  cfg.threads = static_cast<int>(cli.get_long("threads", 8));
+  cfg.write_fraction = cli.get_double("u", 1.0);  // every op mutates
   cfg.ops_per_txn = static_cast<int>(cli.get_long("o", 8));
   cfg.warmup_runs = 1;
   cfg.timed_runs = 2;
+  const auto threads = cli.get_longs("threads", {1, 2, 4, 8, 16});
+  // 0 keeps the gate out of the comparison: the CM is then the only
+  // mechanism bounding the retry tail. Set e.g. --fallback=8 to measure the
+  // gate's serialization cost instead.
+  const auto fallback = static_cast<unsigned>(cli.get_long("fallback", 0));
 
-  std::printf("# Contention-management ablation: policy x fallback "
-              "(u=%.2f, o=%d, t=%d, keys=%ld)\n",
-              cfg.write_fraction, cfg.ops_per_txn, cfg.threads, cfg.key_range);
-  Table table({"cm-policy", "fallback", "stm-mode", "ms", "abort%",
-               "gate-aborts"});
+  const PolicyVariant variants[] = {
+      {"backoff", stm::CmPolicy::ExponentialBackoff, false},
+      {"yield", stm::CmPolicy::Yield, false},
+      {"none", stm::CmPolicy::None, false},
+      {"karma", stm::CmPolicy::Karma, false},
+      {"aging", stm::CmPolicy::TimestampAging, false},
+      {"karma+adm", stm::CmPolicy::Karma, true},
+      {"aging+adm", stm::CmPolicy::TimestampAging, true},
+  };
 
-  const stm::CmPolicy policies[] = {stm::CmPolicy::ExponentialBackoff,
-                                    stm::CmPolicy::Yield, stm::CmPolicy::None};
-  const unsigned fallbacks[] = {0, 8};
-  const stm::Mode modes[] = {stm::Mode::Lazy, stm::Mode::EagerAll};
+  std::printf("# Contention management under saturation: policy x threads "
+              "(u=%.2f, o=%d, keys=%ld, fallback=%u)\n",
+              cfg.write_fraction, cfg.ops_per_txn, cfg.key_range, fallback);
+  Table table({"cm-policy", "t", "ms", "Kops/s", "abort%", "p50", "p99",
+               "max", "cm-killed", "throttled"});
+  JsonWriter json(cli.get("label", "pr5-contention"));
 
-  for (stm::Mode mode : modes) {
-    for (stm::CmPolicy policy : policies) {
-      for (unsigned fb : fallbacks) {
-        stm::StmOptions opts;
-        opts.cm_policy = policy;
-        opts.fallback_after = fb;
-        OptionedMap m(mode, opts, 1024);
-        prefill_half(m, cfg.key_range);
-        const RunResult r = run_map_throughput(m, cfg);
-        const auto s = m.stats();
-        const double abort_pct =
-            r.starts ? 100.0 * static_cast<double>(r.aborts) /
-                           static_cast<double>(r.starts)
-                     : 0;
-        table.row({stm::to_string(policy), std::to_string(fb),
-                   stm::to_string(mode), Table::fmt(r.mean_ms, 1),
-                   Table::fmt(abort_pct, 1),
-                   std::to_string(s.aborts[static_cast<std::size_t>(
-                       stm::AbortReason::FallbackGate)])});
-      }
+  for (long t : threads) {
+    for (const PolicyVariant& v : variants) {
+      stm::StmOptions opts;
+      opts.cm_policy = v.policy;
+      opts.fallback_after = fallback;
+      opts.admission_control = v.admission;
+      OptionedMap m(stm::Mode::Lazy, opts, 1024);
+      prefill_half(m, cfg.key_range);
+      cfg.threads = static_cast<int>(t);
+      const RunResult r = run_map_throughput(m, cfg);
+      const stm::StatsSnapshot& s = r.stats;
+
+      table.row(
+          {std::string(v.tag), std::to_string(t), Table::fmt(r.mean_ms, 1),
+           Table::fmt(r.ops_per_sec(cfg.total_ops) / 1e3, 0),
+           Table::fmt(100.0 * r.abort_ratio(), 1),
+           std::to_string(s.attempts_percentile(0.50)),
+           std::to_string(s.attempts_percentile(0.99)),
+           std::to_string(s.max_attempts),
+           std::to_string(
+               s.aborts[static_cast<std::size_t>(stm::AbortReason::CmKilled)]),
+           std::to_string(s.throttle_waits)});
+
+      JsonRecord rec{"contention_mgmt",
+                     v.tag,
+                     stm::to_string(stm::Mode::Lazy),
+                     static_cast<int>(t),
+                     cfg.ops_per_txn,
+                     cfg.write_fraction,
+                     r.ops_per_sec(cfg.total_ops),
+                     r.abort_ratio()};
+      rec.with_stats(s);
+      json.add(std::move(rec));
     }
     std::printf("\n");
+  }
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "BENCH_CM.json");
+    if (!json.write(path)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }

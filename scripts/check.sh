@@ -26,6 +26,11 @@ echo "== chaos: deterministic fault-injection suites =="
 #   PROUST_CHAOS_SEED=<seed> ./build/tests/chaos_test --gtest_filter=...
 ctest --test-dir build --output-on-failure -L chaos
 
+echo "== cm: contention-management suites =="
+# Policy algebra, elder starvation recovery, admission control, watchdog,
+# and the CM x clock-scheme chaos matrix (same seed-replay contract).
+ctest --test-dir build --output-on-failure -L cm
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tsan: skipped =="
   exit 0
@@ -35,7 +40,8 @@ echo "== tsan: build concurrent suites =="
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target stm_concurrent_test core_map_concurrent_test \
-  sync_test core_lock_test sync_stress_test chaos_test
+  sync_test core_lock_test sync_stress_test chaos_test \
+  cm_test cm_chaos_test
 
 echo "== tsan: run =="
 # tsan.supp masks only the STM's validated-racy core (see the file header);
@@ -52,5 +58,9 @@ TSAN_OPTIONS="$TSAN" ./build-tsan/tests/sync_stress_test
 # the sanitizer observes. A subset keeps the run inside the time budget.
 TSAN_OPTIONS="$TSAN" ./build-tsan/tests/chaos_test \
   --gtest_filter='*eager_pess*:*lazy_memo_lazystm*:ChaosDeterminismTest.*'
+# Contention management under TSan: the doom/priority/elder protocol and the
+# admission controller are lock-free cross-thread state; the cm label runs
+# the whole surface (unit + chaos matrix) with the race detector watching.
+TSAN_OPTIONS="$TSAN" ctest --test-dir build-tsan --output-on-failure -L cm
 
 echo "== all checks passed =="

@@ -83,6 +83,32 @@ class JsonWriter {
           first = false;
         }
         std::fprintf(f, "}");
+        if (r.stats.total_calls() > 0) {
+          std::fprintf(
+              f, ", \"attempts\": {\"p50\": %llu, \"p99\": %llu, \"max\": %llu}",
+              static_cast<unsigned long long>(r.stats.attempts_percentile(0.5)),
+              static_cast<unsigned long long>(
+                  r.stats.attempts_percentile(0.99)),
+              static_cast<unsigned long long>(r.stats.max_attempts));
+        }
+        if (r.stats.backoff_ns + r.stats.cm_wait_ns + r.stats.throttle_ns >
+            0) {
+          std::fprintf(f,
+                       ", \"wait_ns\": {\"backoff\": %llu, \"cm\": %llu, "
+                       "\"throttle\": %llu}, \"throttle_waits\": %llu",
+                       static_cast<unsigned long long>(r.stats.backoff_ns),
+                       static_cast<unsigned long long>(r.stats.cm_wait_ns),
+                       static_cast<unsigned long long>(r.stats.throttle_ns),
+                       static_cast<unsigned long long>(r.stats.throttle_waits));
+        }
+        if (r.stats.gate_holds > 0) {
+          std::fprintf(f,
+                       ", \"gate\": {\"holds\": %llu, \"total_ns\": %llu, "
+                       "\"max_ns\": %llu}",
+                       static_cast<unsigned long long>(r.stats.gate_holds),
+                       static_cast<unsigned long long>(r.stats.gate_ns),
+                       static_cast<unsigned long long>(r.stats.gate_max_ns));
+        }
         if (r.stats.total_injected() > 0) {
           std::fprintf(f, ", \"injected\": {");
           bool ifirst = true;

@@ -13,10 +13,15 @@ namespace proust {
 
 class Backoff {
  public:
+  /// `yield_after` is the spin-vs-nap split: once the randomized window
+  /// reaches it, every pause also surrenders the processor (spinning past
+  /// that point starves the opponent on oversubscribed machines). The STM
+  /// exposes all three parameters through StmOptions.
   explicit Backoff(std::uint64_t seed = 1, std::uint32_t min_spins = 32,
-                   std::uint32_t max_spins = 1u << 16) noexcept
+                   std::uint32_t max_spins = 1u << 16,
+                   std::uint32_t yield_after = 4096) noexcept
       : rng_(seed), limit_(min_spins), min_spins_(min_spins),
-        max_spins_(max_spins) {}
+        max_spins_(max_spins), yield_after_(yield_after) {}
 
   /// Spin (and eventually yield) for a randomized, exponentially growing
   /// duration. Caps at max_spins to avoid unbounded delay.
@@ -25,9 +30,7 @@ class Backoff {
     for (std::uint64_t i = 0; i < spins; ++i) {
       cpu_relax();
     }
-    if (limit_ >= 4096) {
-      // On oversubscribed machines spinning starves the lock holder; give
-      // the scheduler a chance once the backoff window grows.
+    if (limit_ >= yield_after_) {
       std::this_thread::yield();
     }
     if (limit_ < max_spins_) limit_ *= 2;
@@ -52,6 +55,7 @@ class Backoff {
   std::uint32_t limit_;
   std::uint32_t min_spins_;
   std::uint32_t max_spins_;
+  std::uint32_t yield_after_;
 };
 
 }  // namespace proust

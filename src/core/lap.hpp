@@ -136,6 +136,11 @@ class PessimisticLap {
   PessimisticLap& operator=(const PessimisticLap&) = delete;
 
   void acquire(stm::Txn& tx, const Key& key, bool write) {
+    // Honor a pending contention-manager abort request before joining a
+    // stripe's wait queue — dying here (holding nothing new) is cheaper
+    // than dying after a futex wait, and it is how a doomed transaction
+    // stuck behind abstract locks stays responsive to the CM.
+    tx.cm_poll();
     // Forced-timeout injection exercises the recovery path below without
     // waiting out a real timeout.
     if (tx.chaos_timeout_point(stm::ChaosPoint::LapAcquire)) {
@@ -145,9 +150,13 @@ class PessimisticLap {
     stm::TxnArena::LockHold& h = hold_for(tx, &lock);
     if (!lock.try_acquire(h.readers, h.writers, write, acquire_timeout())) {
       // Deadlock/timeout recovery: abort, drop all abstract locks (via the
-      // finish hook), back off, retry.
+      // finish hook), back off, retry. The contention manager's lock
+      // arbiter (sync/cm_hook.hpp) can force this same path early while a
+      // starving elder is published.
       tx.retry(stm::AbortReason::AbstractLockTimeout);
     }
+    // Watchdog diagnostics: how many distinct stripes this attempt holds.
+    tx.cm_note_stripes(static_cast<std::uint32_t>(tx.lock_holds().size()));
   }
 
   void post_op(stm::Txn&, const Key&, bool) {}  // locks are held to finish

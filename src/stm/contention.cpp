@@ -1,0 +1,197 @@
+#include "stm/contention.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace proust::stm {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Backoff / Yield / None: the trivial inter-attempt policies. They never
+/// arbitrate (requester-aborts, the pre-CM behavior) and track per-slot
+/// state only when the watchdog asks for it (cm_progress_tracking).
+class TrivialCm final : public ContentionManager {
+ public:
+  TrivialCm(CmState& state, CmPolicy policy, bool tracking) noexcept
+      : ContentionManager(state, tracking), policy_(policy) {}
+
+  const char* name() const noexcept override { return to_string(policy_); }
+
+  void pause(Backoff& backoff) override {
+    switch (policy_) {
+      case CmPolicy::ExponentialBackoff: backoff.pause(); break;
+      case CmPolicy::Yield: std::this_thread::yield(); break;
+      default: break;  // None: retry immediately
+    }
+  }
+
+ private:
+  CmPolicy policy_;
+};
+
+/// Work-weighted priority: karma is the reads + writes a call performed
+/// across its aborted attempts, so the side that would waste more work by
+/// aborting wins the conflict. The mapping keeps `priority` strictly below
+/// kCmIdlePriority so an active zero-karma transaction is distinguishable
+/// from an idle slot.
+class KarmaCm final : public ContentionManager {
+ public:
+  explicit KarmaCm(CmState& state) noexcept
+      : ContentionManager(state, /*tracking=*/true) {}
+
+  const char* name() const noexcept override { return "karma"; }
+
+  std::uint64_t priority(std::uint64_t /*birth*/,
+                         std::uint64_t karma) const noexcept override {
+    return karma >= kCmIdlePriority - 1 ? 0 : kCmIdlePriority - 1 - karma;
+  }
+
+  CmDecision arbitrate(std::uint64_t self_pri,
+                       std::uint64_t opp_pri) const noexcept override {
+    if (self_pri < opp_pri) return CmDecision::kAbortOther;
+    if (self_pri > opp_pri) return CmDecision::kAbortSelf;
+    return CmDecision::kWait;  // equal karma: bounded wait, then yield
+  }
+
+  void pause(Backoff& backoff) override { backoff.pause(); }
+};
+
+/// Oldest-transaction-wins: priority is the call's birth stamp, which
+/// totally orders every pair of calls — a starving transaction eventually
+/// outranks all newcomers, and two distinct calls can never tie.
+class TimestampAgingCm final : public ContentionManager {
+ public:
+  explicit TimestampAgingCm(CmState& state) noexcept
+      : ContentionManager(state, /*tracking=*/true) {}
+
+  const char* name() const noexcept override { return "aging"; }
+
+  std::uint64_t priority(std::uint64_t birth,
+                         std::uint64_t /*karma*/) const noexcept override {
+    return birth;
+  }
+
+  CmDecision arbitrate(std::uint64_t self_pri,
+                       std::uint64_t opp_pri) const noexcept override {
+    if (self_pri < opp_pri) return CmDecision::kAbortOther;
+    if (self_pri > opp_pri) return CmDecision::kAbortSelf;
+    return CmDecision::kWait;  // only vs. boosted (pri 0) peers
+  }
+
+  void pause(Backoff& backoff) override { backoff.pause(); }
+};
+
+}  // namespace
+
+ContentionManager::~ContentionManager() { remove_lock_arbiter(); }
+
+std::uint64_t ContentionManager::priority(std::uint64_t /*birth*/,
+                                          std::uint64_t /*karma*/)
+    const noexcept {
+  // Non-priority policies publish the weakest active priority: they never
+  // doom anyone, and everyone outranks them.
+  return kCmIdlePriority - 1;
+}
+
+CmDecision ContentionManager::arbitrate(std::uint64_t /*self_pri*/,
+                                        std::uint64_t /*opp_pri*/)
+    const noexcept {
+  return CmDecision::kAbortSelf;  // classic requester-aborts
+}
+
+sync::CmWaitVerdict ContentionManager::on_contended_park(
+    const void* /*lock*/, bool /*write*/, unsigned round) noexcept {
+  const unsigned elder = state_->elder();
+  if (elder == 0) return sync::CmWaitVerdict::kKeepWaiting;
+  if (elder == ThreadRegistry::slot() + 1) {
+    return sync::CmWaitVerdict::kKeepWaiting;  // the elder itself never sheds
+  }
+  // A starving elder is published: shed this wait queue after one park so
+  // the locks the elder needs drain instead of growing new waiters. The
+  // give-up surfaces as an acquisition timeout — abort, release, retry —
+  // which is exactly the recovery the elder window needs from everyone else.
+  return round >= 1 ? sync::CmWaitVerdict::kGiveUp
+                    : sync::CmWaitVerdict::kKeepWaiting;
+}
+
+std::unique_ptr<ContentionManager> make_contention_manager(
+    const StmOptions& options, CmState& state) {
+  switch (options.cm_policy) {
+    case CmPolicy::Karma:
+      return std::make_unique<KarmaCm>(state);
+    case CmPolicy::TimestampAging:
+      return std::make_unique<TimestampAgingCm>(state);
+    default:
+      return std::make_unique<TrivialCm>(state, options.cm_policy,
+                                         options.cm_progress_tracking);
+  }
+}
+
+std::uint64_t AdmissionController::admit() noexcept {
+  if (!enabled_) return 0;
+  std::uint32_t a = active_.load(std::memory_order_relaxed);
+  while (a < limit_.load(std::memory_order_relaxed)) {
+    if (active_.compare_exchange_weak(a, a + 1, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return 0;
+    }
+  }
+  // Throttled: wait for a token off to the side. Nothing transactional is
+  // held here (admission precedes the first attempt), so sleeping is safe;
+  // short naps rather than spinning so the admitted transactions — the ones
+  // we are shedding load for — get the cycles.
+  const std::uint64_t t0 = now_ns();
+  unsigned spins = 0;
+  for (;;) {
+    a = active_.load(std::memory_order_relaxed);
+    if (a < limit_.load(std::memory_order_relaxed) &&
+        active_.compare_exchange_weak(a, a + 1, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return now_ns() - t0;
+    }
+    if (++spins < 16) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void AdmissionController::note_outcome(bool committed) noexcept {
+  if (!enabled_) return;
+  (committed ? window_commits_ : window_aborts_)
+      .fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seen =
+      window_commits_.load(std::memory_order_relaxed) +
+      window_aborts_.load(std::memory_order_relaxed);
+  if (seen < window_) return;
+  if (adapting_.exchange(true, std::memory_order_acq_rel)) return;
+  // One adapter at a time; the exchanges race with concurrent counting, so
+  // a boundary is approximate — fine, the window is a smoothing device.
+  const std::uint64_t commits =
+      window_commits_.exchange(0, std::memory_order_acq_rel);
+  const std::uint64_t aborts =
+      window_aborts_.exchange(0, std::memory_order_acq_rel);
+  const std::uint64_t total = commits + aborts;
+  if (total > 0) {
+    const double ratio =
+        static_cast<double>(aborts) / static_cast<double>(total);
+    std::uint32_t lim = limit_.load(std::memory_order_relaxed);
+    if (ratio > high_) {
+      lim = lim / 2 < min_tokens_ ? min_tokens_ : lim / 2;  // MD
+    } else if (ratio < low_ && lim < max_tokens_) {
+      lim += 1;  // AI
+    }
+    limit_.store(lim, std::memory_order_relaxed);
+  }
+  adapting_.store(false, std::memory_order_release);
+}
+
+}  // namespace proust::stm

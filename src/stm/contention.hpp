@@ -1,0 +1,258 @@
+// Pluggable contention management (§7): the policy layer that decides what a
+// transaction does between attempts AND what it does the moment it detects a
+// conflict — the coupling the paper's §7 laments is usually missing.
+//
+// Three cooperating pieces:
+//
+//   ContentionManager — the policy interface. Backoff/Yield/None are the
+//     trivial inter-attempt policies (requester-aborts at conflicts, exactly
+//     the pre-existing behavior); Karma weighs priority by work performed
+//     (reads + writes across the call's aborted attempts); TimestampAging is
+//     oldest-transaction-wins. A policy that `tracks()` publishes per-slot
+//     state in the CmState priority table so opponents can consult it.
+//
+//   CmState — a per-Stm, per-thread-slot, cache-line-padded priority table
+//     plus the "elder" word. Each active call publishes {token, priority,
+//     birth, attempts, held stripes}; a conflicting transaction reads its
+//     opponent's cell and the arbitration decides wait vs. abort-self vs.
+//     request-abort (a `doom` flag the victim polls at its next read/write/
+//     commit gate — never past its commit point). A call whose eligible
+//     attempt count passes StmOptions::cm_elder_after publishes itself as
+//     the elder: committers defer briefly (bounded by cm_elder_yield) and
+//     lock waiters shed (sync/cm_hook.hpp), giving the starving transaction
+//     a clean window — a per-transaction starvation bound with NO
+//     stop-the-world gate.
+//
+//   AdmissionController — graceful degradation under overload: a sliding
+//     window of commit/abort outcomes adapts a token count (AIMD: halve on
+//     abort ratio > admission_high, +1 on ratio < admission_low); new
+//     top-level transactions wait for a token, shedding effective
+//     parallelism instead of livelocking.
+//
+// Every decision here is a pure function of published priorities — no
+// randomness — so chaos runs stay deterministic (the CM consumes nothing
+// from the chaos decision streams).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/backoff.hpp"
+#include "stm/fwd.hpp"
+#include "stm/options.hpp"
+#include "stm/thread_registry.hpp"
+#include "sync/cm_hook.hpp"
+
+namespace proust::stm {
+
+/// Weakest possible priority (idle slots park here; lower = stronger).
+inline constexpr std::uint64_t kCmIdlePriority = ~std::uint64_t{0};
+
+/// One registry slot's published contention state. Written by the slot's
+/// running transaction at attempt boundaries (its own cache line — cheap),
+/// read by opponents at conflicts and by the watchdog; `doom` is the one
+/// field foreign transactions write.
+struct alignas(kCacheLine) CmSlot {
+  /// Unique id of the slot's current atomically() call; 0 = inactive.
+  std::atomic<std::uint64_t> token{0};
+  /// Priority key of the current attempt; lower = stronger.
+  std::atomic<std::uint64_t> priority{kCmIdlePriority};
+  /// Abort request: a stronger transaction stores the victim call's token
+  /// here; the victim polls it (doom == my token → abort CmKilled) at its
+  /// read/write/commit gates, never past its commit point.
+  std::atomic<std::uint64_t> doom{0};
+  /// First-attempt stamp of the current call (age; watchdog picks the
+  /// oldest active transaction to boost by the smallest birth).
+  std::atomic<std::uint64_t> birth{0};
+  /// Diagnostics for the watchdog's stall report.
+  std::atomic<std::uint32_t> attempts{0};
+  std::atomic<std::uint32_t> stripes{0};  // abstract-lock stripes held
+};
+
+/// The per-Stm priority table plus the elder word.
+class CmState {
+ public:
+  CmSlot& slot(unsigned i) noexcept { return slots_[i]; }
+  const CmSlot& slot(unsigned i) const noexcept { return slots_[i]; }
+
+  /// Slot + 1 of the published elder, 0 = none.
+  unsigned elder() const noexcept {
+    return elder_.load(std::memory_order_acquire);
+  }
+
+  /// Publish `s` as the elder. An incumbent keeps the word unless the
+  /// challenger's published priority is strictly stronger, so at most one
+  /// starving transaction at a time is granted the recovery window.
+  void publish_elder(unsigned s) noexcept {
+    std::uint32_t cur = elder_.load(std::memory_order_acquire);
+    const std::uint64_t mine =
+        slots_[s].priority.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur == s + 1) return;
+      if (cur != 0 &&
+          slots_[cur - 1].priority.load(std::memory_order_relaxed) <= mine) {
+        return;  // incumbent at least as strong
+      }
+      if (elder_.compare_exchange_weak(cur, s + 1, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  /// Drop the elder claim if `s` holds it (called when the call finishes,
+  /// either outcome).
+  void clear_elder(unsigned s) noexcept {
+    std::uint32_t expect = s + 1;
+    elder_.compare_exchange_strong(expect, 0, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed);
+  }
+
+  /// Watchdog escalation: unconditionally crown `s`. Only the watchdog uses
+  /// this (a stalled epoch means nobody is committing, so racing a normal
+  /// publish is harmless — commits clear the word again).
+  void force_elder(unsigned s) noexcept {
+    elder_.store(s + 1, std::memory_order_release);
+  }
+
+  /// Call-unique birth stamp (monotone, nonzero): doubles as the doom token
+  /// and as the age key for TimestampAging. One shared fetch_add per
+  /// atomically() call, only under a tracking policy.
+  std::uint64_t next_birth() noexcept {
+    return births_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+ private:
+  std::array<CmSlot, ThreadRegistry::kMaxSlots> slots_{};
+  alignas(kCacheLine) std::atomic<std::uint32_t> elder_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> births_{0};
+};
+
+/// What the arbitration tells the transaction that detected the conflict.
+enum class CmDecision : std::uint8_t {
+  kAbortSelf,   // yield to the opponent (classic requester-aborts)
+  kWait,        // sit out a bounded wait, retry, abort self if it persists
+  kAbortOther,  // doom the opponent, then wait (bounded) for it to release
+};
+
+/// The contention-manager interface. One instance per Stm, created from
+/// StmOptions; also implements the sync-layer wait arbiter so the abstract
+/// locks' park loops can consult the elder protocol (install explicitly —
+/// the hook is process-global, like the chaos lock hook).
+class ContentionManager : public sync::CmLockArbiter {
+ public:
+  ~ContentionManager() override;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Whether transactions of this policy publish CmSlot state (and poll
+  /// doom flags). False keeps the pre-CM hot path untouched.
+  bool tracking() const noexcept { return tracking_; }
+
+  /// Priority key for an attempt (lower = stronger). `birth` is the call's
+  /// first-attempt stamp, `karma` the work accumulated across its aborted
+  /// attempts.
+  virtual std::uint64_t priority(std::uint64_t birth,
+                                 std::uint64_t karma) const noexcept;
+
+  /// Arbitrate a detected conflict: self vs. the opposing lock holder's
+  /// published priority.
+  virtual CmDecision arbitrate(std::uint64_t self_pri,
+                               std::uint64_t opp_pri) const noexcept;
+
+  /// Inter-attempt pause after an aborted attempt.
+  virtual void pause(Backoff& backoff) = 0;
+
+  /// Install/remove this manager as the process-wide abstract-lock wait
+  /// arbiter (sync/cm_hook.hpp): parked waiters shed while an elder is
+  /// published so its abstract locks drain. One arbiter at a time; install
+  /// before spawning workers, remove (or destroy the Stm) after joining.
+  void install_lock_arbiter() noexcept {
+    arbiter_installed_ = true;
+    sync::set_cm_lock_arbiter(this);
+  }
+  void remove_lock_arbiter() noexcept {
+    if (arbiter_installed_) {
+      sync::set_cm_lock_arbiter(nullptr);
+      arbiter_installed_ = false;
+    }
+  }
+
+  sync::CmWaitVerdict on_contended_park(const void* lock, bool write,
+                                        unsigned round) noexcept override;
+
+ protected:
+  ContentionManager(CmState& state, bool tracking) noexcept
+      : state_(&state), tracking_(tracking) {}
+
+  CmState* state_;
+  bool tracking_;
+  bool arbiter_installed_ = false;
+};
+
+/// Build the manager for `options.cm_policy` over `state`. Never null; the
+/// trivial policies return a non-tracking manager unless
+/// `options.cm_progress_tracking` asks for watchdog-grade diagnostics.
+std::unique_ptr<ContentionManager> make_contention_manager(
+    const StmOptions& options, CmState& state);
+
+/// Adaptive admission control (see file comment). All methods are
+/// thread-safe; admit()/release() bracket one top-level atomically() call.
+class AdmissionController {
+ public:
+  void configure(const StmOptions& o) noexcept {
+    enabled_ = o.admission_control;
+    if (!enabled_) return;
+    window_ = o.admission_window == 0 ? 1 : o.admission_window;
+    high_ = o.admission_high;
+    low_ = o.admission_low;
+    min_tokens_ = o.admission_min_tokens == 0 ? 1 : o.admission_min_tokens;
+    max_tokens_ = o.admission_max_tokens == 0 ? ThreadRegistry::kMaxSlots
+                                              : o.admission_max_tokens;
+    if (min_tokens_ > max_tokens_) min_tokens_ = max_tokens_;
+    limit_.store(max_tokens_, std::memory_order_relaxed);
+  }
+
+  bool enabled() const noexcept { return enabled_; }
+  std::uint32_t limit() const noexcept {
+    return limit_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Block until a token is free. Returns the nanoseconds spent throttled
+  /// (0 = admitted on the fast path). Callers hold no STM resources here —
+  /// admission happens before the first attempt begins — so waiting cannot
+  /// deadlock; the token floor (min_tokens >= 1) guarantees progress.
+  std::uint64_t admit() noexcept;
+
+  /// Return the token taken by admit().
+  void release() noexcept {
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Feed one attempt outcome into the sliding window; at each window
+  /// boundary one caller recomputes the token count (AIMD).
+  void note_outcome(bool committed) noexcept;
+
+ private:
+  bool enabled_ = false;
+  unsigned window_ = 512;
+  double high_ = 0.55;
+  double low_ = 0.25;
+  std::uint32_t min_tokens_ = 2;
+  std::uint32_t max_tokens_ = ThreadRegistry::kMaxSlots;
+
+  alignas(kCacheLine) std::atomic<std::uint32_t> active_{0};
+  alignas(kCacheLine) std::atomic<std::uint32_t> limit_{
+      ThreadRegistry::kMaxSlots};
+  alignas(kCacheLine) std::atomic<std::uint64_t> window_commits_{0};
+  std::atomic<std::uint64_t> window_aborts_{0};
+  std::atomic<bool> adapting_{false};
+};
+
+}  // namespace proust::stm

@@ -18,6 +18,10 @@ class Txn;
 class VarBase;
 class ChaosPolicy;
 class CommitFence;
+class ContentionManager;
+struct CmSlot;
+class CmState;
+struct StallReport;
 
 /// How the STM detects conflicts — the right-hand table of the paper's
 /// Figure 1. The mode is a property of the `Stm` runtime instance.
@@ -58,6 +62,7 @@ enum class AbortReason : std::uint8_t {
   FallbackGate,      // commit yielded to an in-flight irrevocable fallback
   Explicit,          // user called Txn::abort()
   ChaosInjected,     // spurious abort injected by the chaos policy
+  CmKilled,          // aborted on request of a higher-priority transaction
   kCount,
 };
 
@@ -73,6 +78,7 @@ constexpr const char* to_string(AbortReason r) noexcept {
     case AbortReason::FallbackGate: return "fallback-gate";
     case AbortReason::Explicit: return "explicit";
     case AbortReason::ChaosInjected: return "chaos-injected";
+    case AbortReason::CmKilled: return "cm-killed";
     default: return "?";
   }
 }

@@ -1,5 +1,6 @@
 #include "stm/stats.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace proust::stm {
@@ -22,11 +23,51 @@ double StatsSnapshot::abort_ratio() const noexcept {
                            static_cast<double>(starts);
 }
 
+std::uint64_t StatsSnapshot::total_calls() const noexcept {
+  std::uint64_t t = 0;
+  for (auto n : attempts_hist) t += n;
+  return t;
+}
+
+std::uint64_t StatsSnapshot::attempts_percentile(double p) const noexcept {
+  const std::uint64_t calls = total_calls();
+  if (calls == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the percentile call (1-based, ceil), then walk the buckets.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     p * static_cast<double>(calls) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < attempts_hist.size(); ++b) {
+    seen += attempts_hist[b];
+    if (seen >= rank) {
+      const std::uint64_t bound = attempt_bucket_bound(b);
+      // The top occupied bucket cannot report beyond the observed worst.
+      return bound > max_attempts ? max_attempts : bound;
+    }
+  }
+  return max_attempts;
+}
+
 std::string StatsSnapshot::to_string() const {
   std::ostringstream os;
   os << "starts=" << starts << " commits=" << commits
      << " aborts=" << total_aborts() << " reads=" << reads
      << " writes=" << writes << " extensions=" << extensions;
+  if (total_calls() > 0) {
+    os << " attempts{p50=" << attempts_percentile(0.50)
+       << " p99=" << attempts_percentile(0.99) << " max=" << max_attempts
+       << "}";
+  }
+  if (backoff_ns + cm_wait_ns + throttle_ns > 0) {
+    os << " wait{backoff=" << backoff_ns << "ns cm=" << cm_wait_ns
+       << "ns throttle=" << throttle_ns << "ns}";
+  }
+  if (gate_holds > 0) {
+    os << " gate{holds=" << gate_holds << " total=" << gate_ns
+       << "ns max=" << gate_max_ns << "ns}";
+  }
   if (total_aborts() > 0) {
     os << " [";
     bool first = true;
@@ -57,23 +98,58 @@ std::string StatsSnapshot::to_string() const {
 StatsSnapshot Stats::snapshot() const {
   StatsSnapshot s;
   const unsigned n = ThreadRegistry::high_water();
+  // Relaxed per-field loads (see the Cell accessor comment in stats.hpp):
+  // the watchdog snapshots concurrently with running workers, so a snapshot
+  // is a consistent-enough monotone view, not an atomic cut across cells.
   for (unsigned i = 0; i < n && i < cells_.size(); ++i) {
     const Cell& c = cells_[i];
-    s.starts += c.starts;
-    s.commits += c.commits;
-    s.reads += c.reads;
-    s.writes += c.writes;
-    s.extensions += c.extensions;
-    for (std::size_t j = 0; j < c.aborts.size(); ++j) s.aborts[j] += c.aborts[j];
-    for (std::size_t j = 0; j < c.injected.size(); ++j) {
-      s.injected[j] += c.injected[j];
+    s.starts += ld(c.starts);
+    s.commits += ld(c.commits);
+    s.reads += ld(c.reads);
+    s.writes += ld(c.writes);
+    s.extensions += ld(c.extensions);
+    for (std::size_t j = 0; j < c.aborts.size(); ++j) {
+      s.aborts[j] += ld(c.aborts[j]);
     }
+    for (std::size_t j = 0; j < c.injected.size(); ++j) {
+      s.injected[j] += ld(c.injected[j]);
+    }
+    for (std::size_t j = 0; j < c.attempts_hist.size(); ++j) {
+      s.attempts_hist[j] += ld(c.attempts_hist[j]);
+    }
+    s.max_attempts = std::max(s.max_attempts, ld(c.max_attempts));
+    s.backoff_ns += ld(c.backoff_ns);
+    s.cm_wait_ns += ld(c.cm_wait_ns);
+    s.throttle_ns += ld(c.throttle_ns);
+    s.throttle_waits += ld(c.throttle_waits);
+    s.gate_holds += ld(c.gate_holds);
+    s.gate_ns += ld(c.gate_ns);
+    s.gate_max_ns = std::max(s.gate_max_ns, ld(c.gate_max_ns));
   }
   return s;
 }
 
 void Stats::reset() {
-  for (auto& c : cells_) c = Cell{};
+  // Field-wise relaxed stores rather than `c = Cell{}`: a watchdog may still
+  // be snapshotting when a harness resets between runs.
+  for (auto& c : cells_) {
+    st(c.starts, 0);
+    st(c.commits, 0);
+    st(c.reads, 0);
+    st(c.writes, 0);
+    st(c.extensions, 0);
+    for (auto& a : c.aborts) st(a, 0);
+    for (auto& n2 : c.injected) st(n2, 0);
+    for (auto& h : c.attempts_hist) st(h, 0);
+    st(c.max_attempts, 0);
+    st(c.backoff_ns, 0);
+    st(c.cm_wait_ns, 0);
+    st(c.throttle_ns, 0);
+    st(c.throttle_waits, 0);
+    st(c.gate_holds, 0);
+    st(c.gate_ns, 0);
+    st(c.gate_max_ns, 0);
+  }
 }
 
 }  // namespace proust::stm

@@ -11,6 +11,8 @@
 #include <array>
 #include <atomic>
 #include <cassert>
+#include <chrono>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <stdexcept>
@@ -19,6 +21,7 @@
 #include <utility>
 
 #include "common/backoff.hpp"
+#include "stm/contention.hpp"
 #include "stm/fwd.hpp"
 #include "stm/options.hpp"
 #include "stm/stats.hpp"
@@ -29,14 +32,32 @@ namespace proust::stm {
 
 class Stm {
  public:
-  explicit Stm(Mode mode = Mode::Lazy, StmOptions options = {}) noexcept
-      : mode_(mode), options_(options) {}
+  explicit Stm(Mode mode = Mode::Lazy, StmOptions options = {})
+      : mode_(mode), options_(options),
+        cm_(make_contention_manager(options_, cm_state_)) {
+    admission_.configure(options_);
+  }
   Stm(const Stm&) = delete;
   Stm& operator=(const Stm&) = delete;
 
   Mode mode() const noexcept { return mode_; }
   const StmOptions& options() const noexcept { return options_; }
   Stats& stats() noexcept { return stats_; }
+
+  /// The contention-management subsystem (stm/contention.hpp): the policy
+  /// object, the per-slot priority table, and the admission controller.
+  ContentionManager& cm() noexcept { return *cm_; }
+  CmState& cm_state() noexcept { return cm_state_; }
+  AdmissionController& admission() noexcept { return admission_; }
+
+  /// In-flight irrevocable-fallback hold, for the watchdog: entry time in
+  /// steady-clock nanoseconds (0 = gate not held) and the holder's slot.
+  std::uint64_t gate_entered_ns() const noexcept {
+    return gate_entered_ns_.load(std::memory_order_acquire);
+  }
+  unsigned gate_holder() const noexcept {
+    return gate_holder_.load(std::memory_order_relaxed);
+  }
 
   Version clock_now() const noexcept {
     return clock_.load(std::memory_order_acquire);
@@ -124,10 +145,12 @@ class Stm {
     return ++c.next;
   }
 
-  /// Run `body(Txn&)` atomically, retrying on conflict with randomized
-  /// exponential backoff. Re-entrant calls on the same thread join the
+  /// Run `body(Txn&)` atomically, retrying on conflict under the configured
+  /// contention manager. Re-entrant calls on the same thread join the
   /// enclosing transaction (flat nesting). User exceptions abort the
-  /// transaction (inverses/finish hooks run) and propagate.
+  /// transaction (inverses/finish hooks run) and propagate. When admission
+  /// control is enabled, new top-level calls may be throttled here before
+  /// their first attempt.
   template <class F>
   auto atomically(F&& body) -> std::invoke_result_t<F&, Txn&> {
     using R = std::invoke_result_t<F&, Txn&>;
@@ -139,44 +162,76 @@ class Stm {
       return body(*cur);
     }
     Txn tx(*this);
+    if (admission_.enabled()) {
+      // Throttle before the first attempt: nothing transactional is held
+      // yet, so blocking here sheds load without any deadlock exposure.
+      const std::uint64_t waited = admission_.admit();
+      if (waited != 0) stats_.counters(tx.slot()).count_throttle_ns(waited);
+    }
+    // Per-call bookkeeping that must run on every exit path, including a
+    // propagating user exception: the attempts histogram and the admission
+    // token.
+    struct CallGuard {
+      Stm* stm;
+      Txn* tx;
+      ~CallGuard() {
+        stm->stats_.counters(tx->slot()).count_call(tx->attempt());
+        if (stm->admission_.enabled()) stm->admission_.release();
+      }
+    } call_guard{this, &tx};
     // Seed from the thread slot as well as the stack address: stacks are
     // allocated at stride-aligned addresses, so address bits alone give
     // sibling threads correlated backoff sequences.
     Backoff backoff(0x7265747279ULL ^
-                    (reinterpret_cast<std::uintptr_t>(&tx) >> 4) ^
-                    (std::uint64_t{tx.slot()} * 0x9E3779B97F4A7C15ULL));
+                        (reinterpret_cast<std::uintptr_t>(&tx) >> 4) ^
+                        (std::uint64_t{tx.slot()} * 0x9E3779B97F4A7C15ULL),
+                    options_.backoff_min_spins, options_.backoff_max_spins,
+                    options_.backoff_yield_after);
     for (;;) {
-      // Irrevocable fallback: past the threshold, hold the commit gate
+      // Irrevocable fallback: past the threshold of *eligible* attempts
+      // (injected chaos aborts do not count), hold the commit gate
       // exclusively for the whole attempt — no other transaction can commit
       // under us, so our snapshot stays valid and the attempt succeeds.
       std::unique_lock<std::shared_mutex> exclusive_gate;
+      std::uint64_t gate_t0 = 0;
       if (options_.fallback_after != 0 &&
-          tx.attempt() + 1 > options_.fallback_after) {
+          tx.eligible_attempts() + 1 > options_.fallback_after) {
         exclusive_gate = std::unique_lock<std::shared_mutex>(gate_);
         tx.set_gate_exempt(true);
+        gate_t0 = steady_now_ns();
+        gate_holder_.store(tx.slot(), std::memory_order_relaxed);
+        gate_entered_ns_.store(gate_t0, std::memory_order_release);
       }
       try {
         tx.begin();
         if constexpr (std::is_void_v<R>) {
           body(tx);
           tx.commit();
+          if (gate_t0 != 0) finish_gate_hold(tx.slot(), gate_t0);
+          if (admission_.enabled()) admission_.note_outcome(true);
           return;
         } else {
           R result = body(tx);
           tx.commit();
+          if (gate_t0 != 0) finish_gate_hold(tx.slot(), gate_t0);
+          if (admission_.enabled()) admission_.note_outcome(true);
           return result;
         }
       } catch (const ConflictAbort& a) {
         tx.rollback(a.reason);
         if (exclusive_gate.owns_lock()) exclusive_gate.unlock();
+        if (gate_t0 != 0) finish_gate_hold(tx.slot(), gate_t0);
         tx.set_gate_exempt(false);
-        pause_between_attempts(backoff);
+        if (admission_.enabled()) admission_.note_outcome(false);
+        pause_between_attempts(tx.slot(), backoff);
       } catch (...) {
         tx.rollback(AbortReason::Explicit);
+        if (gate_t0 != 0) finish_gate_hold(tx.slot(), gate_t0);
         // Reset gate exemption before propagating: a Txn (or arena) reused
         // after a user exception must not inherit stale fallback state. The
         // exclusive gate itself is released by exclusive_gate's destructor.
         tx.set_gate_exempt(false);
+        if (admission_.enabled()) admission_.note_outcome(false);
         throw;
       }
     }
@@ -191,11 +246,35 @@ class Stm {
  private:
   friend class Txn;
 
-  void pause_between_attempts(Backoff& backoff) {
-    switch (options_.cm_policy) {
-      case CmPolicy::ExponentialBackoff: backoff.pause(); break;
-      case CmPolicy::Yield: std::this_thread::yield(); break;
-      case CmPolicy::None: break;
+  static std::uint64_t steady_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Inter-attempt pause, delegated to the contention manager. Timed into
+  /// stats except under CmPolicy::None, whose whole point is a zero-cost
+  /// immediate retry.
+  void pause_between_attempts(unsigned slot, Backoff& backoff) {
+    if (options_.cm_policy == CmPolicy::None) return;
+    const std::uint64_t t0 = steady_now_ns();
+    cm_->pause(backoff);
+    stats_.counters(slot).count_backoff_ns(steady_now_ns() - t0);
+  }
+
+  /// Close out one irrevocable-fallback hold: record the duration, clear
+  /// the watchdog-visible publication, and (optionally, debug builds only)
+  /// die on a budget overrun.
+  void finish_gate_hold(unsigned slot, std::uint64_t t0) noexcept {
+    const std::uint64_t held = steady_now_ns() - t0;
+    gate_entered_ns_.store(0, std::memory_order_release);
+    gate_holder_.store(~0u, std::memory_order_relaxed);
+    stats_.counters(slot).count_gate_hold_ns(held);
+    if (options_.fallback_budget.count() > 0 && options_.fallback_budget_fatal) {
+      assert(held <= static_cast<std::uint64_t>(
+                         options_.fallback_budget.count()) &&
+             "irrevocable fallback attempt exceeded its configured budget");
     }
   }
 
@@ -215,6 +294,11 @@ class Stm {
   StmOptions options_;
   Stats stats_;
   std::shared_mutex gate_;
+  CmState cm_state_;
+  std::unique_ptr<ContentionManager> cm_;
+  AdmissionController admission_;
+  std::atomic<std::uint64_t> gate_entered_ns_{0};
+  std::atomic<std::uint32_t> gate_holder_{~0u};
 };
 
 }  // namespace proust::stm

@@ -1,0 +1,54 @@
+// Optional process-wide contention-management hook for the sync layer —
+// the same single-global-pointer idiom as sync/chaos_hook.hpp, but pointed
+// the other way: where the chaos hook injects adversity, this one injects
+// *policy*. The reentrant RW lock consults it from the contended slow path
+// (each wait round, before parking) so a contention manager living above
+// this layer (stm/contention.hpp implements the interface) can tell a
+// waiter to give up early — e.g. while a starving "elder" transaction is
+// published and the locks it needs must drain rather than grow new queues.
+//
+// Giving up surfaces to the caller as an acquisition timeout, which is the
+// sync layer's one failure verb; above it, the pessimistic LAP already
+// turns that into abort-release-backoff-retry, so no new unwinding path is
+// needed. When no arbiter is installed (the default) the cost is one
+// relaxed load and a never-taken branch per contended wait round — the
+// uncontended fast path never gets here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace proust::sync {
+
+enum class CmWaitVerdict : std::uint8_t {
+  kKeepWaiting,  // park as usual
+  kGiveUp,       // fail the acquisition now (reported as timeout)
+};
+
+class CmLockArbiter {
+ public:
+  /// Consulted once per slow-path wait round for `lock` (opaque identity),
+  /// before parking. `round` counts wait rounds within this acquisition,
+  /// starting at 0. Must not throw, block, or re-enter any lock.
+  virtual CmWaitVerdict on_contended_park(const void* lock, bool write,
+                                          unsigned round) noexcept = 0;
+
+  virtual ~CmLockArbiter() = default;
+};
+
+namespace detail {
+inline std::atomic<CmLockArbiter*> g_cm_arbiter{nullptr};
+}  // namespace detail
+
+/// Install/remove the process-wide arbiter. Like the chaos hook, swap only
+/// while contended acquisitions are quiesced (install before spawning
+/// workers, remove after joining them).
+inline void set_cm_lock_arbiter(CmLockArbiter* a) noexcept {
+  detail::g_cm_arbiter.store(a, std::memory_order_release);
+}
+
+inline CmLockArbiter* cm_lock_arbiter() noexcept {
+  return detail::g_cm_arbiter.load(std::memory_order_relaxed);
+}
+
+}  // namespace proust::sync
