@@ -31,6 +31,11 @@ echo "== cm: contention-management suites =="
 # and the CM x clock-scheme chaos matrix (same seed-replay contract).
 ctest --test-dir build --output-on-failure -L cm
 
+echo "== mvcc: snapshot reads + epoch reclamation =="
+# MVCC snapshot semantics (never-abort readers, truncation horizons,
+# auto-detection) and the EBR grace-period protocol + skip-list churn.
+ctest --test-dir build --output-on-failure -L mvcc
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tsan: skipped =="
   exit 0
@@ -41,7 +46,7 @@ cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target stm_concurrent_test core_map_concurrent_test \
   sync_test core_lock_test sync_stress_test chaos_test \
-  cm_test cm_chaos_test
+  cm_test cm_chaos_test mvcc_test ebr_test
 
 echo "== tsan: run =="
 # tsan.supp masks only the STM's validated-racy core (see the file header);
@@ -62,5 +67,9 @@ TSAN_OPTIONS="$TSAN" ./build-tsan/tests/chaos_test \
 # admission controller are lock-free cross-thread state; the cm label runs
 # the whole surface (unit + chaos matrix) with the race detector watching.
 TSAN_OPTIONS="$TSAN" ctest --test-dir build-tsan --output-on-failure -L cm
+# MVCC + EBR under TSan: snapshot readers traverse version chains that
+# writers concurrently push and truncate, and the EBR epoch protocol's
+# release sequences are exactly the sort of ordering TSan verifies.
+TSAN_OPTIONS="$TSAN" ctest --test-dir build-tsan --output-on-failure -L mvcc
 
 echo "== all checks passed =="

@@ -109,6 +109,16 @@ class JsonWriter {
                        static_cast<unsigned long long>(r.stats.gate_ns),
                        static_cast<unsigned long long>(r.stats.gate_max_ns));
         }
+        if (r.stats.ro_commits + r.stats.mvcc_pushed > 0) {
+          std::fprintf(
+              f,
+              ", \"mvcc\": {\"ro_commits\": %llu, \"pushed\": %llu, "
+              "\"reclaimed\": %llu, \"chain_max\": %llu}",
+              static_cast<unsigned long long>(r.stats.ro_commits),
+              static_cast<unsigned long long>(r.stats.mvcc_pushed),
+              static_cast<unsigned long long>(r.stats.mvcc_reclaimed),
+              static_cast<unsigned long long>(r.stats.mvcc_chain_max));
+        }
         if (r.stats.total_injected() > 0) {
           std::fprintf(f, ", \"injected\": {");
           bool ifirst = true;

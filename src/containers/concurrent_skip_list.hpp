@@ -11,9 +11,11 @@
 // the Proustian wrapper's conflict abstraction supplies the transactional
 // consistency on top.
 //
-// Memory reclamation: removed nodes are retired to a per-list pool and only
-// freed on list destruction (epoch-free design, bounded by the number of
-// removals; fine for the workloads at hand and race-free by construction).
+// Memory reclamation: epoch-based (common/ebr.hpp). Every operation pins the
+// list's EBR domain for its duration; remove() unlinks while pinned and
+// retires the victim, which is deleted after three grace periods — so memory
+// is bounded by churn-in-flight rather than by total removals (the previous
+// scheme leaked every removed node until list destruction).
 #pragma once
 
 #include <atomic>
@@ -25,7 +27,9 @@
 #include <optional>
 #include <thread>
 
+#include "common/ebr.hpp"
 #include "common/rng.hpp"
+#include "stm/thread_registry.hpp"
 
 namespace proust::containers {
 
@@ -43,6 +47,7 @@ class ConcurrentSkipList {
       for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
     }
 
+    ebr::Retired hook;  // first member: Retired* == Node* for reclaim
     K key;
     V value;  // guarded by mu
     const int top_level;
@@ -66,13 +71,8 @@ class ConcurrentSkipList {
       delete n;
       n = next;
     }
-    // Retired (removed) nodes.
-    Node* r = retired_.load(std::memory_order_relaxed);
-    while (r) {
-      Node* next = r->next[kMaxLevel - 1].load(std::memory_order_relaxed);
-      delete r;
-      r = next;
-    }
+    // Retired-but-unreclaimed nodes are drained (and deleted) by ebr_'s
+    // destructor; they were unlinked, so the walk above never saw them.
   }
 
   ConcurrentSkipList(const ConcurrentSkipList&) = delete;
@@ -80,6 +80,7 @@ class ConcurrentSkipList {
 
   /// Insert or update; returns the previous value if the key was present.
   std::optional<V> put(const K& key, const V& value) {
+    const ebr::EbrDomain::Guard guard(ebr_, stm::ThreadRegistry::slot());
     const int top = random_level();
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
@@ -129,6 +130,7 @@ class ConcurrentSkipList {
   }
 
   std::optional<V> get(const K& key) const {
+    const ebr::EbrDomain::Guard guard(ebr_, stm::ThreadRegistry::slot());
     Node* preds[kMaxLevel];
     Node* succs[kMaxLevel];
     const int found =
@@ -148,6 +150,9 @@ class ConcurrentSkipList {
 
   /// Remove; returns the removed value if present.
   std::optional<V> remove(const K& key) {
+    // The guard both protects our own traversal and satisfies the EBR
+    // contract that the physical unlink below is performed while pinned.
+    const ebr::EbrDomain::Guard guard(ebr_, stm::ThreadRegistry::slot());
     Node* victim = nullptr;
     bool is_marked = false;
     int top_level = -1;
@@ -209,6 +214,7 @@ class ConcurrentSkipList {
   /// wrapper's job.
   template <class F>
   void range_for_each(const K& lo, const K& hi, F&& f) const {
+    const ebr::EbrDomain::Guard guard(ebr_, stm::ThreadRegistry::slot());
     Compare less{};
     const Node* node = head_->next[0].load(std::memory_order_acquire);
     while (node) {
@@ -230,6 +236,7 @@ class ConcurrentSkipList {
 
   /// Smallest key >= lo, if any (weakly consistent).
   std::optional<K> ceiling_key(const K& lo) const {
+    const ebr::EbrDomain::Guard guard(ebr_, stm::ThreadRegistry::slot());
     Compare less{};
     const Node* node = head_->next[0].load(std::memory_order_acquire);
     while (node) {
@@ -245,6 +252,20 @@ class ConcurrentSkipList {
 
   std::size_t size() const { return size_.load(std::memory_order_acquire); }
   bool empty() const { return size() == 0; }
+
+  /// Reclamation observability (tests/monitoring): nodes retired by
+  /// remove(), nodes already freed, and the difference still in limbo.
+  std::uint64_t reclaim_retired() const noexcept {
+    return ebr_.retired_count();
+  }
+  std::uint64_t reclaim_freed() const noexcept {
+    return ebr_.reclaimed_count();
+  }
+  std::uint64_t reclaim_pending() const noexcept { return ebr_.pending(); }
+
+  /// Drain all deferred frees. Caller promises no concurrent operations
+  /// (a quiescent point). Returns the number of nodes freed.
+  std::size_t quiesce() noexcept { return ebr_.quiesce(); }
 
  private:
   /// Standard lazy-skip-list find: fills preds/succs at every level and
@@ -273,29 +294,29 @@ class ConcurrentSkipList {
     thread_local Xoshiro256 rng(rng_seed_ ^
                                 std::hash<std::thread::id>{}(
                                     std::this_thread::get_id()));
-    // Cap below kMaxLevel: the top slot is reserved as the retired-stack
-    // link (see retire()), so live towers must never occupy it.
+    // Cap below kMaxLevel for determinism with the pre-EBR layout (the top
+    // slot used to carry the retired-stack link; keeping the cap preserves
+    // tower-height distributions across seeds).
     int level = 1;
     while (level < kMaxLevel - 1 && (rng() & 3) == 0) ++level;  // p = 1/4
     return level;
   }
 
-  /// Push onto the retired stack (reusing the node's top next pointer as the
-  /// stack link — the node is unreachable from the list at all levels it
-  /// ever occupied below kMaxLevel-1 only if its tower was shorter; use the
-  /// last slot, which towers never use because top_level < kMaxLevel).
+  /// Defer the victim's free by three grace periods. Caller holds the
+  /// operation guard (the unlink above happened under that pin).
   void retire(Node* node) {
-    Node* head = retired_.load(std::memory_order_relaxed);
-    do {
-      node->next[kMaxLevel - 1].store(head, std::memory_order_relaxed);
-    } while (!retired_.compare_exchange_weak(head, node,
-                                             std::memory_order_acq_rel,
-                                             std::memory_order_relaxed));
+    ebr_.retire(stm::ThreadRegistry::slot(), &node->hook,
+                &ConcurrentSkipList::reclaim_node, nullptr);
+  }
+
+  static void reclaim_node(ebr::Retired* r, void* /*ctx*/) {
+    delete reinterpret_cast<Node*>(r);  // hook is Node's first member
   }
 
   Node* head_;
   std::atomic<std::size_t> size_{0};
-  std::atomic<Node*> retired_{nullptr};
+  // mutable: read-only operations pin the domain too (const interface).
+  mutable ebr::EbrDomain ebr_{stm::ThreadRegistry::kMaxSlots};
   std::uint64_t rng_seed_;
 };
 

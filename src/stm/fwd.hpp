@@ -21,6 +21,7 @@ class CommitFence;
 class ContentionManager;
 struct CmSlot;
 class CmState;
+class MvccState;
 struct StallReport;
 
 /// How the STM detects conflicts — the right-hand table of the paper's
@@ -63,6 +64,7 @@ enum class AbortReason : std::uint8_t {
   Explicit,          // user called Txn::abort()
   ChaosInjected,     // spurious abort injected by the chaos policy
   CmKilled,          // aborted on request of a higher-priority transaction
+  MvccPromote,       // snapshot-mode attempt wrote after reading; retry as writer
   kCount,
 };
 
@@ -79,6 +81,7 @@ constexpr const char* to_string(AbortReason r) noexcept {
     case AbortReason::Explicit: return "explicit";
     case AbortReason::ChaosInjected: return "chaos-injected";
     case AbortReason::CmKilled: return "cm-killed";
+    case AbortReason::MvccPromote: return "mvcc-promote";
     default: return "?";
   }
 }

@@ -93,6 +93,23 @@ struct StmOptions {
   /// Global-clock scheme used by writing commits (see ClockScheme).
   ClockScheme clock_scheme = ClockScheme::IncOnCommit;
 
+  // --- Multi-version snapshot reads (DESIGN.md §11) ------------------------
+  /// Keep a short per-Var version chain at every writing commit so that
+  /// read-only transactions (declared via Stm::atomically_ro, or detected —
+  /// see mvcc_auto_readonly) read a consistent start-timestamp snapshot with
+  /// no read set, no validation and no aborts, regardless of concurrent
+  /// writers. Writers pay one pool node push per overwritten var plus chain
+  /// truncation against the minimum active snapshot; chains are reclaimed
+  /// through epoch-based reclamation (common/ebr.hpp). Off by default —
+  /// non-MVCC configs take one never-taken branch on the read path and pay
+  /// nothing at commit.
+  bool mvcc = false;
+  /// With mvcc on: when an attempt aborts without having buffered any write,
+  /// the retry runs in snapshot mode automatically (callers do not have to
+  /// declare read-only intent to benefit). A snapshot attempt that turns out
+  /// to write is demoted/retried as a writer — see AbortReason::MvccPromote.
+  bool mvcc_auto_readonly = true;
+
   /// If nonzero, an atomically() call whose *eligible* attempt count reaches
   /// this threshold re-runs under the STM's exclusive commit gate: no other
   /// transaction can commit while it executes, so its reads cannot be

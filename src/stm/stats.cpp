@@ -68,6 +68,11 @@ std::string StatsSnapshot::to_string() const {
     os << " gate{holds=" << gate_holds << " total=" << gate_ns
        << "ns max=" << gate_max_ns << "ns}";
   }
+  if (ro_commits + mvcc_pushed > 0) {
+    os << " mvcc{ro_commits=" << ro_commits << " pushed=" << mvcc_pushed
+       << " reclaimed=" << mvcc_reclaimed << " chain_max=" << mvcc_chain_max
+       << "}";
+  }
   if (total_aborts() > 0) {
     os << " [";
     bool first = true;
@@ -125,6 +130,10 @@ StatsSnapshot Stats::snapshot() const {
     s.gate_holds += ld(c.gate_holds);
     s.gate_ns += ld(c.gate_ns);
     s.gate_max_ns = std::max(s.gate_max_ns, ld(c.gate_max_ns));
+    s.ro_commits += ld(c.ro_commits);
+    s.mvcc_pushed += ld(c.mvcc_pushed);
+    s.mvcc_reclaimed += ld(c.mvcc_reclaimed);
+    s.mvcc_chain_max = std::max(s.mvcc_chain_max, ld(c.mvcc_chain_max));
   }
   return s;
 }
@@ -149,6 +158,10 @@ void Stats::reset() {
     st(c.gate_holds, 0);
     st(c.gate_ns, 0);
     st(c.gate_max_ns, 0);
+    st(c.ro_commits, 0);
+    st(c.mvcc_pushed, 0);
+    st(c.mvcc_reclaimed, 0);
+    st(c.mvcc_chain_max, 0);
   }
 }
 

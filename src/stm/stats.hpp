@@ -63,6 +63,15 @@ struct StatsSnapshot {
   std::uint64_t gate_ns = 0;
   std::uint64_t gate_max_ns = 0;
 
+  /// MVCC mode: commits that took the snapshot read-only path (no read set,
+  /// no validation, cannot abort), version-chain entries pushed by writers,
+  /// entries reclaimed through EBR, and the longest chain ever observed by a
+  /// pushing writer.
+  std::uint64_t ro_commits = 0;
+  std::uint64_t mvcc_pushed = 0;
+  std::uint64_t mvcc_reclaimed = 0;
+  std::uint64_t mvcc_chain_max = 0;
+
   std::uint64_t total_aborts() const noexcept;
   std::uint64_t total_injected() const noexcept;
   double abort_ratio() const noexcept;  // aborts / starts
@@ -93,6 +102,10 @@ class Stats {
     std::uint64_t gate_holds = 0;
     std::uint64_t gate_ns = 0;
     std::uint64_t gate_max_ns = 0;
+    std::uint64_t ro_commits = 0;
+    std::uint64_t mvcc_pushed = 0;
+    std::uint64_t mvcc_reclaimed = 0;
+    std::uint64_t mvcc_chain_max = 0;
   };
 
   // Each cell has exactly one writer (its owning slot's thread), but the
@@ -147,6 +160,16 @@ class Stats {
       bump(c_->gate_holds);
       bump(c_->gate_ns, ns);
       if (ns > ld(c_->gate_max_ns)) st(c_->gate_max_ns, ns);
+    }
+    void count_ro_commit() noexcept { bump(c_->ro_commits); }
+    /// `n` chain entries pushed this commit; `chain_len` the longest chain
+    /// the writer left behind.
+    void count_mvcc_push(std::uint64_t n, std::uint64_t chain_len) noexcept {
+      bump(c_->mvcc_pushed, n);
+      if (chain_len > ld(c_->mvcc_chain_max)) st(c_->mvcc_chain_max, chain_len);
+    }
+    void count_mvcc_reclaim(std::uint64_t n) noexcept {
+      bump(c_->mvcc_reclaimed, n);
     }
 
    private:

@@ -23,6 +23,7 @@
 #include "common/backoff.hpp"
 #include "stm/contention.hpp"
 #include "stm/fwd.hpp"
+#include "stm/mvcc.hpp"
 #include "stm/options.hpp"
 #include "stm/stats.hpp"
 #include "stm/thread_registry.hpp"
@@ -36,6 +37,9 @@ class Stm {
       : mode_(mode), options_(options),
         cm_(make_contention_manager(options_, cm_state_)) {
     admission_.configure(options_);
+    if (options_.mvcc) {
+      mvcc_ = std::make_unique<MvccState>(ThreadRegistry::kMaxSlots);
+    }
   }
   Stm(const Stm&) = delete;
   Stm& operator=(const Stm&) = delete;
@@ -49,6 +53,10 @@ class Stm {
   ContentionManager& cm() noexcept { return *cm_; }
   CmState& cm_state() noexcept { return cm_state_; }
   AdmissionController& admission() noexcept { return admission_; }
+
+  /// Multi-version snapshot state, or nullptr when StmOptions::mvcc is off
+  /// (the Txn hot paths branch on this pointer exactly once).
+  MvccState* mvcc_state() noexcept { return mvcc_.get(); }
 
   /// In-flight irrevocable-fallback hold, for the watchdog: entry time in
   /// steady-clock nanoseconds (0 = gate not held) and the holder's slot.
@@ -153,6 +161,27 @@ class Stm {
   /// their first attempt.
   template <class F>
   auto atomically(F&& body) -> std::invoke_result_t<F&, Txn&> {
+    return atomically_impl(std::forward<F>(body), /*declared_ro=*/false);
+  }
+
+  /// Like `atomically`, but the caller promises the body performs no writes,
+  /// no validated (`read_validate`) reads, and no commit-locked hooks. Under
+  /// StmOptions::mvcc every attempt runs as a snapshot reader: it pins a
+  /// start timestamp, reads historical versions, and commits without taking
+  /// locks or validating — such a call can never abort on conflict. A write
+  /// inside the body is a contract violation and throws std::logic_error.
+  /// Without mvcc this is identical to `atomically`. Nested calls join the
+  /// enclosing transaction unchanged (a read-only body is safe inside any
+  /// transaction; the promise only constrains this body, not the parent).
+  template <class F>
+  auto atomically_ro(F&& body) -> std::invoke_result_t<F&, Txn&> {
+    return atomically_impl(std::forward<F>(body), /*declared_ro=*/true);
+  }
+
+ private:
+  template <class F>
+  auto atomically_impl(F&& body, bool declared_ro)
+      -> std::invoke_result_t<F&, Txn&> {
     using R = std::invoke_result_t<F&, Txn&>;
     if (Txn* cur = Txn::current()) {
       if (&cur->stm() != this) {
@@ -162,6 +191,7 @@ class Stm {
       return body(*cur);
     }
     Txn tx(*this);
+    if (declared_ro && mvcc_ != nullptr) tx.mvcc_declared_ = true;
     if (admission_.enabled()) {
       // Throttle before the first attempt: nothing transactional is held
       // yet, so blocking here sheds load without any deadlock exposure.
@@ -237,6 +267,7 @@ class Stm {
     }
   }
 
+ public:
   /// Shared-side commit gate used when the fallback is enabled. Ordinary
   /// commits try-lock it; failure means a fallback transaction is running
   /// and the committer must abort (never block while holding STM locks).
@@ -297,6 +328,7 @@ class Stm {
   CmState cm_state_;
   std::unique_ptr<ContentionManager> cm_;
   AdmissionController admission_;
+  std::unique_ptr<MvccState> mvcc_;
   std::atomic<std::uint64_t> gate_entered_ns_{0};
   std::atomic<std::uint32_t> gate_holder_{~0u};
 };
