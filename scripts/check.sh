@@ -36,6 +36,12 @@ echo "== mvcc: snapshot reads + epoch reclamation =="
 # auto-detection) and the EBR grace-period protocol + skip-list churn.
 ctest --test-dir build --output-on-failure -L mvcc
 
+echo "== fastpath: lock-free optimistic read fast path =="
+# Differential races of sequence-validated unlocked readers against mutators
+# across the map-config matrix, plus the chaos column that forces every
+# admission to fall back to the locked path (DESIGN.md §12).
+ctest --test-dir build --output-on-failure -L fastpath
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tsan: skipped =="
   exit 0
@@ -46,7 +52,7 @@ cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target stm_concurrent_test core_map_concurrent_test \
   sync_test core_lock_test sync_stress_test chaos_test \
-  cm_test cm_chaos_test mvcc_test ebr_test
+  cm_test cm_chaos_test mvcc_test ebr_test read_fast_path_test
 
 echo "== tsan: run =="
 # tsan.supp masks only the STM's validated-racy core (see the file header);
@@ -71,5 +77,10 @@ TSAN_OPTIONS="$TSAN" ctest --test-dir build-tsan --output-on-failure -L cm
 # writers concurrently push and truncate, and the EBR epoch protocol's
 # release sequences are exactly the sort of ordering TSan verifies.
 TSAN_OPTIONS="$TSAN" ctest --test-dir build-tsan --output-on-failure -L mvcc
+# Fast path under TSan: unlocked readers traverse bases that mutators change
+# in place; the seqlock acquire fences and the per-stripe sequence words are
+# the only thing standing between that and a data race, so this is the suite
+# TSan earns its keep on.
+TSAN_OPTIONS="$TSAN" ctest --test-dir build-tsan --output-on-failure -L fastpath
 
 echo "== all checks passed =="

@@ -116,7 +116,10 @@ class PessimisticAdapter
  public:
   PessimisticAdapter(stm::Mode mode, std::size_t stripes,
                      stm::StmOptions opts = {})
-      : StmAdapterBase(mode, opts), lap_(stm_, stripes), map_(lap_) {}
+      // The map's shard count (= its sequence-word granularity) tracks the
+      // LAP striping, so `--ca-slots` governs both conflict abstractions.
+      : StmAdapterBase(mode, opts), lap_(stm_, stripes),
+        map_(lap_, stripes) {}
   static std::string name() { return "proust-pess"; }
   Map& map() noexcept { return map_; }
   void prefill(long k, long v) { map_.unsafe_put(k, v); }

@@ -56,6 +56,24 @@ struct Retired {
   void* ctx = nullptr;
 };
 
+#ifndef NDEBUG
+/// Debug-only census of live Guards on this thread, across every domain.
+/// Transactions assert it is zero at attempt boundaries (stm/txn.cpp): an
+/// optimistic fast-path read must never leak an epoch pin past the read
+/// that took it — a leaked pin silently stalls reclamation for every
+/// container the thread ever touches. Deliberately excludes raw
+/// enter()/exit() pins, which legitimately outlive a single read: the MVCC
+/// reader pin spans an attempt, and the wrappers' attempt-long reader pin
+/// (reader_pin/reader_unpin) is released by a finish hook.
+inline int& debug_guard_depth_ref() noexcept {
+  thread_local int depth = 0;
+  return depth;
+}
+inline int debug_guard_depth() noexcept { return debug_guard_depth_ref(); }
+#else
+constexpr int debug_guard_depth() noexcept { return 0; }
+#endif
+
 class EbrDomain {
   static constexpr std::size_t kCacheLine = 64;
   static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
@@ -106,18 +124,34 @@ class EbrDomain {
     return slots_[slot].epoch.load(std::memory_order_relaxed) != kIdle;
   }
 
+  /// Reentrant: a Guard built while its slot is already pinned is a no-op —
+  /// the slot is owner-thread-only, so an observed pin is *our* pin and
+  /// outlives this nested scope. This is what lets a wrapper hold one
+  /// attempt-long pin (the fast-read amortization, DESIGN.md §12) while
+  /// inner container calls construct Guards as usual: only the outermost
+  /// pin pays the announce fence.
   class Guard {
    public:
-    Guard(EbrDomain& d, unsigned slot) noexcept : d_(d), slot_(slot) {
-      d_.enter(slot_);
+    Guard(EbrDomain& d, unsigned slot) noexcept
+        : d_(d), slot_(slot), nested_(d.pinned(slot)) {
+#ifndef NDEBUG
+      ++debug_guard_depth_ref();
+#endif
+      if (!nested_) d_.enter(slot_);
     }
-    ~Guard() { d_.exit(slot_); }
+    ~Guard() {
+      if (!nested_) d_.exit(slot_);
+#ifndef NDEBUG
+      --debug_guard_depth_ref();
+#endif
+    }
     Guard(const Guard&) = delete;
     Guard& operator=(const Guard&) = delete;
 
    private:
     EbrDomain& d_;
     unsigned slot_;
+    bool nested_;
   };
 
   /// Defer reclamation of `r` until three grace periods have passed. The

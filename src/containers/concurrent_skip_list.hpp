@@ -78,6 +78,18 @@ class ConcurrentSkipList {
   ConcurrentSkipList(const ConcurrentSkipList&) = delete;
   ConcurrentSkipList& operator=(const ConcurrentSkipList&) = delete;
 
+  /// Attempt-long reader pin (DESIGN.md §12): mirrors
+  /// StripedHashMap::reader_pin — pin once per transaction attempt so the
+  /// per-operation Guards below become nested no-ops. Returns false if the
+  /// slot was already pinned (the slot is owner-thread-only, so an observed
+  /// pin is the caller's own).
+  bool reader_pin(unsigned slot) const {
+    if (ebr_.pinned(slot)) return false;
+    ebr_.enter(slot);
+    return true;
+  }
+  void reader_unpin(unsigned slot) const { ebr_.exit(slot); }
+
   /// Insert or update; returns the previous value if the key was present.
   std::optional<V> put(const K& key, const V& value) {
     const ebr::EbrDomain::Guard guard(ebr_, stm::ThreadRegistry::slot());

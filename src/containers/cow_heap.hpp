@@ -4,8 +4,12 @@
 // supported efficient snapshots, so one was designed).
 //
 // Representation: a persistent leftist heap (path-copying merge, O(log n)
-// amortized per update), published through an atomic shared_ptr root and
-// updated with a CAS loop, like SnapshotHamt.
+// amortized per update), published — like SnapshotHamt — through a raw
+// pointer to an EBR-retired RootBox and updated with a CAS loop. The box
+// holds the owning shared_ptr; readers pin the epoch domain instead of
+// bumping a contended refcount (or taking libstdc++'s atomic<shared_ptr>
+// lock) on every peek, which matters because the optimistic read fast path
+// (DESIGN.md §12) funnels every transactional min() through peek_min.
 #pragma once
 
 #include <atomic>
@@ -15,6 +19,9 @@
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "common/ebr.hpp"
+#include "stm/thread_registry.hpp"
 
 namespace proust::containers {
 
@@ -31,53 +38,75 @@ class CowHeap {
   };
 
  public:
-  CowHeap() : root_(nullptr), size_(0) {}
+  CowHeap()
+      : ebr_(stm::ThreadRegistry::kMaxSlots),
+        root_(new RootBox{{}, nullptr}), size_(0) {}
   CowHeap(const CowHeap&) = delete;
   CowHeap& operator=(const CowHeap&) = delete;
+
+  ~CowHeap() { delete root_.load(std::memory_order_relaxed); }
 
   void insert(T value) {
     NodePtr single = std::make_shared<const Node>(
         Node{std::move(value), 1, nullptr, nullptr});
-    NodePtr old_root = root_.load(std::memory_order_acquire);
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
     for (;;) {
-      NodePtr merged = merge(old_root, single);
-      if (root_.compare_exchange_weak(old_root, merged,
+      RootBox* old_box = root_.load(std::memory_order_acquire);
+      RootBox* box = new RootBox{{}, merge(old_box->root, single)};
+      if (root_.compare_exchange_weak(old_box, box,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+        retire_box(slot, old_box);
         size_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
+      delete box;  // lost the race; re-merge against the new root
     }
   }
 
   std::optional<T> peek_min() const {
-    NodePtr r = root_.load(std::memory_order_acquire);
-    if (!r) return std::nullopt;
-    return r->value;
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
+    const RootBox* box = root_.load(std::memory_order_acquire);
+    if (!box->root) return std::nullopt;
+    return box->root->value;
   }
 
   std::optional<T> remove_min() {
-    NodePtr old_root = root_.load(std::memory_order_acquire);
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
     for (;;) {
-      if (!old_root) return std::nullopt;
-      NodePtr rest = merge(old_root->left, old_root->right);
-      if (root_.compare_exchange_weak(old_root, rest,
+      RootBox* old_box = root_.load(std::memory_order_acquire);
+      if (!old_box->root) return std::nullopt;
+      RootBox* box =
+          new RootBox{{}, merge(old_box->root->left, old_box->root->right)};
+      if (root_.compare_exchange_weak(old_box, box,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+        std::optional<T> ret = old_box->root->value;
+        retire_box(slot, old_box);
         size_.fetch_sub(1, std::memory_order_relaxed);
-        return old_root->value;
+        return ret;
       }
+      delete box;
     }
   }
 
   /// Linear membership scan (priority queues are not search structures; the
   /// paper's contains() on a PQueue is likewise O(n) over the multiset).
   bool contains(const T& value) const {
-    return find(root_.load(std::memory_order_acquire), value);
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
+    return find(root_.load(std::memory_order_acquire)->root, value);
   }
 
   std::size_t size() const { return size_.load(std::memory_order_acquire); }
-  bool empty() const { return root_.load(std::memory_order_acquire) == nullptr; }
+  bool empty() const {
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
+    return root_.load(std::memory_order_acquire)->root == nullptr;
+  }
 
   /// O(1) consistent snapshot with local (single-owner) mutation — the
   /// shadow-copy interface for LazyPriorityQueue.
@@ -117,16 +146,37 @@ class CowHeap {
   };
 
   Snapshot snapshot() const {
-    NodePtr r = root_.load(std::memory_order_acquire);
-    return Snapshot(std::move(r), size_.load(std::memory_order_acquire));
+    // The NodePtr copy — the read side's only refcount bump — happens under
+    // the pin, so the box cannot be reclaimed mid-copy.
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
+    const RootBox* box = root_.load(std::memory_order_acquire);
+    return Snapshot(box->root, size_.load(std::memory_order_acquire));
   }
 
   template <class F>
   void for_each(F&& f) const {
-    walk(root_.load(std::memory_order_acquire), f);
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
+    const RootBox* box = root_.load(std::memory_order_acquire);
+    walk(box->root, f);
   }
 
  private:
+  /// The published root: EBR hook first (retire/reclaim recover the box from
+  /// the hook pointer), then the owning reference to the heap.
+  struct RootBox {
+    ebr::Retired hook;
+    NodePtr root;
+  };
+
+  void retire_box(unsigned slot, RootBox* box) {
+    ebr_.retire(
+        slot, &box->hook,
+        [](ebr::Retired* r, void*) { delete reinterpret_cast<RootBox*>(r); },
+        nullptr);
+  }
+
   static int rank_of(const NodePtr& n) noexcept { return n ? n->rank : 0; }
 
   static NodePtr merge(const NodePtr& a, const NodePtr& b) {
@@ -173,7 +223,8 @@ class CowHeap {
     }
   }
 
-  std::atomic<NodePtr> root_;
+  mutable ebr::EbrDomain ebr_;  // reclaims displaced RootBoxes
+  std::atomic<RootBox*> root_;
   std::atomic<std::size_t> size_;
 };
 

@@ -9,9 +9,16 @@
 // is exactly the shadow-copy contract the replay log needs.
 //
 // Concurrency: gets are wait-free on a consistent root; updates are
-// lock-free in the obstruction-free sense (CAS-retry). Memory reclamation
-// falls out of shared_ptr reference counting — no hazard pointers needed
-// because we never dereference a node that a live shared_ptr doesn't pin.
+// lock-free in the obstruction-free sense (CAS-retry). Interior nodes are
+// reclaimed by shared_ptr reference counting (traversals pass them by
+// reference, so no per-node count traffic), but the *published root* is a
+// raw pointer to an EBR-retired RootBox: `std::atomic<shared_ptr>` loads
+// take a library-internal lock plus a contended count bump on every read,
+// which the optimistic read fast path (DESIGN.md §12) would serialize on.
+// Readers pin the domain, load the box, and traverse; writers CAS the box
+// pointer and retire the old box, whose owning NodePtr keeps the displaced
+// tree alive until the grace period ends. Snapshots copy the NodePtr out
+// under the pin — one count bump per snapshot, not per read.
 #pragma once
 
 #include <atomic>
@@ -22,7 +29,9 @@
 #include <variant>
 #include <vector>
 
+#include "common/ebr.hpp"
 #include "common/hashing.hpp"
+#include "stm/thread_registry.hpp"
 
 namespace proust::containers {
 
@@ -47,45 +56,65 @@ class SnapshotHamt {
   };
 
  public:
-  SnapshotHamt() : root_(std::make_shared<const Node>()), size_(0) {}
+  SnapshotHamt()
+      : ebr_(stm::ThreadRegistry::kMaxSlots),
+        root_(new RootBox{{}, std::make_shared<const Node>()}), size_(0) {}
   SnapshotHamt(const SnapshotHamt&) = delete;
   SnapshotHamt& operator=(const SnapshotHamt&) = delete;
 
+  ~SnapshotHamt() {
+    // Destruction implies quiescence; retired boxes drain with the domain.
+    delete root_.load(std::memory_order_relaxed);
+  }
+
   std::optional<V> get(const K& key) const {
-    return find(root_.load(std::memory_order_acquire), Hasher{}(key), 0, key);
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
+    const RootBox* box = root_.load(std::memory_order_acquire);
+    return find(box->root, Hasher{}(key), 0, key);
   }
 
   bool contains(const K& key) const { return get(key).has_value(); }
 
   /// Insert or replace; returns the previous mapping if any. Lock-free CAS
-  /// loop on the root.
+  /// loop on the root box.
   std::optional<V> put(const K& key, V value) {
     const std::size_t h = Hasher{}(key);
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
     for (;;) {
-      NodePtr old_root = root_.load(std::memory_order_acquire);
-      auto [new_root, old] = insert(old_root, h, 0, key, value);
-      if (root_.compare_exchange_weak(old_root, new_root,
+      RootBox* old_box = root_.load(std::memory_order_acquire);
+      auto [new_root, old] = insert(old_box->root, h, 0, key, value);
+      RootBox* box = new RootBox{{}, std::move(new_root)};
+      if (root_.compare_exchange_weak(old_box, box,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+        retire_box(slot, old_box);
         if (!old) size_.fetch_add(1, std::memory_order_relaxed);
         return old;
       }
+      delete box;  // lost the race; rebuild against the new root
     }
   }
 
   /// Remove; returns the removed mapping if any.
   std::optional<V> remove(const K& key) {
     const std::size_t h = Hasher{}(key);
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
     for (;;) {
-      NodePtr old_root = root_.load(std::memory_order_acquire);
-      auto [new_root, old] = erase(old_root, h, 0, key);
+      RootBox* old_box = root_.load(std::memory_order_acquire);
+      auto [new_root, old] = erase(old_box->root, h, 0, key);
       if (!old) return std::nullopt;  // absent: nothing to CAS
-      if (root_.compare_exchange_weak(old_root, new_root,
+      RootBox* box = new RootBox{{}, std::move(new_root)};
+      if (root_.compare_exchange_weak(old_box, box,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+        retire_box(slot, old_box);
         size_.fetch_sub(1, std::memory_order_relaxed);
         return old;
       }
+      delete box;
     }
   }
 
@@ -94,7 +123,10 @@ class SnapshotHamt {
 
   template <class F>
   void for_each(F&& f) const {
-    walk(root_.load(std::memory_order_acquire), f);
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
+    const RootBox* box = root_.load(std::memory_order_acquire);
+    walk(box->root, f);
   }
 
   /// An O(1), fully consistent snapshot supporting local mutation. Not
@@ -142,12 +174,29 @@ class SnapshotHamt {
     // size_ is read after root_: the count may be momentarily off relative
     // to the frozen root under concurrent updates; callers that need an
     // exact count use Snapshot::for_each. (The Proustian wrappers reify
-    // size separately, so this does not affect them.)
-    NodePtr r = root_.load(std::memory_order_acquire);
-    return Snapshot(std::move(r), size_.load(std::memory_order_acquire));
+    // size separately, so this does not affect them.) The NodePtr copy —
+    // the only refcount bump on the read side — happens under the pin, so
+    // the box cannot be reclaimed out from under it.
+    const unsigned slot = stm::ThreadRegistry::slot();
+    ebr::EbrDomain::Guard g(ebr_, slot);
+    const RootBox* box = root_.load(std::memory_order_acquire);
+    return Snapshot(box->root, size_.load(std::memory_order_acquire));
   }
 
  private:
+  /// The published root: EBR hook first (retire/reclaim recover the box
+  /// from the hook pointer), then the owning reference to the tree.
+  struct RootBox {
+    ebr::Retired hook;
+    NodePtr root;
+  };
+
+  void retire_box(unsigned slot, RootBox* box) {
+    ebr_.retire(
+        slot, &box->hook,
+        [](ebr::Retired* r, void*) { delete reinterpret_cast<RootBox*>(r); },
+        nullptr);
+  }
   static unsigned index_at(std::size_t hash, unsigned depth) noexcept {
     return static_cast<unsigned>((hash >> (kBits * depth)) & 63u);
   }
@@ -286,7 +335,8 @@ class SnapshotHamt {
     }
   }
 
-  std::atomic<NodePtr> root_;
+  mutable ebr::EbrDomain ebr_;  // reclaims displaced RootBoxes
+  std::atomic<RootBox*> root_;
   std::atomic<std::size_t> size_;
 };
 

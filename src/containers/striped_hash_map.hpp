@@ -4,15 +4,43 @@
 // (sequentially consistent only when quiescent, as with CHM — the Proustian
 // wrappers reify size out of the abstract state precisely because of this,
 // see Listing 2).
+//
+// Writers serialize per stripe on a mutex; readers are LOCK-FREE. Each
+// stripe is a fixed set of bucket chains of immutable nodes linked through
+// atomic pointers: a get pins the map's EBR domain, loads the bucket head
+// (acquire) and walks the chain without ever blocking. Mutators publish
+// with release stores and EBR-retire unlinked nodes, so a concurrent
+// reader either sees a node's fully-constructed contents or does not see
+// the node at all, and never touches freed memory (DESIGN.md §12 — this is
+// what makes the wrappers' unlocked read fast path a real win rather than
+// "skip one lock, take another").
+//
+// The bucket arrays never rehash: chains simply grow past the intended
+// load factor. This keeps node addresses stable for the lifetime of an
+// entry (get_or_create_ref relies on it) and keeps readers coherent
+// without a table-pointer indirection; size the stripe count for the
+// expected key range.
+//
+// Values small enough for a lock-free std::atomic<V> are updated in place
+// (replace allocates nothing — the steady-state zero-alloc invariant the
+// stm_alloc suite pins); larger values are published by swapping in a
+// fresh node and retiring the old one.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
 #include <functional>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/ebr.hpp"
 #include "common/hashing.hpp"
+#include "stm/thread_registry.hpp"
 
 namespace proust::containers {
 
@@ -20,87 +48,235 @@ template <class K, class V, class Hasher = proust::Hash<K>>
 class StripedHashMap {
  public:
   explicit StripedHashMap(std::size_t stripes = 64)
-      : stripes_(next_pow2(stripes)), shards_(stripes_) {}
+      : ebr_(stm::ThreadRegistry::kMaxSlots), stripes_(next_pow2(stripes)),
+        stripe_bits_(static_cast<unsigned>(std::countr_zero(stripes_))),
+        shards_(stripes_) {}
 
   StripedHashMap(const StripedHashMap&) = delete;
   StripedHashMap& operator=(const StripedHashMap&) = delete;
 
-  /// Insert or replace; returns the previous mapping if any.
+  ~StripedHashMap() {
+    // No concurrent access by contract; the EBR domain's destructor drains
+    // whatever retire() deferred.
+    for (Shard& s : shards_) {
+      for (std::atomic<Node*>& b : s.buckets) {
+        Node* n = b.load(std::memory_order_relaxed);
+        while (n != nullptr) {
+          Node* next = n->next.load(std::memory_order_relaxed);
+          delete n;
+          n = next;
+        }
+      }
+    }
+  }
+
+  /// Insert or replace; returns the previous mapping if any. A replace
+  /// publishes a fresh node before unlinking the old one, so concurrent
+  /// readers always find the key present (old value or new, never absent).
   std::optional<V> put(const K& key, V value) {
-    Shard& s = shard(key);
+    const std::size_t h = Hasher{}(key);
+    Shard& s = shards_[h & (stripes_ - 1)];
+    const unsigned slot = stm::ThreadRegistry::slot();
+    const ebr::EbrDomain::Guard guard(ebr_, slot);
     std::lock_guard<std::mutex> g(s.mu);
-    auto [it, inserted] = s.map.try_emplace(key, std::move(value));
-    if (inserted) return std::nullopt;
-    std::optional<V> old = std::move(it->second);
-    it->second = std::move(value);
-    return old;
+    std::atomic<Node*>& head = s.buckets[bucket_of(h)];
+    Node* prev = nullptr;
+    Node* n = head.load(std::memory_order_relaxed);
+    while (n != nullptr && !(n->key == key)) {
+      prev = n;
+      n = n->next.load(std::memory_order_relaxed);
+    }
+    if (n == nullptr) {
+      head.store(new Node(key, std::move(value),
+                          head.load(std::memory_order_relaxed)),
+                 std::memory_order_release);
+      ++s.count;
+      return std::nullopt;
+    }
+    if constexpr (kAtomicValues) {
+      std::optional<V> old = n->value.load(std::memory_order_relaxed);
+      n->value.store(std::move(value), std::memory_order_release);
+      return old;
+    } else {
+      std::optional<V> old = n->value;
+      // The fresh head skips n when n *is* the head; otherwise it keeps the
+      // whole old chain and n is unlinked in place afterwards.
+      Node* fresh =
+          new Node(key, std::move(value),
+                   prev == nullptr ? n->next.load(std::memory_order_relaxed)
+                                   : head.load(std::memory_order_relaxed));
+      head.store(fresh, std::memory_order_release);
+      if (prev != nullptr) {
+        prev->next.store(n->next.load(std::memory_order_relaxed),
+                         std::memory_order_release);
+      }
+      retire(slot, n);
+      return old;
+    }
   }
 
   /// Insert only if absent; returns the existing mapping if present.
   std::optional<V> put_if_absent(const K& key, V value) {
-    Shard& s = shard(key);
+    const std::size_t h = Hasher{}(key);
+    Shard& s = shards_[h & (stripes_ - 1)];
     std::lock_guard<std::mutex> g(s.mu);
-    auto [it, inserted] = s.map.try_emplace(key, std::move(value));
-    if (inserted) return std::nullopt;
-    return it->second;
+    std::atomic<Node*>& head = s.buckets[bucket_of(h)];
+    for (Node* n = head.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->key == key) return read_value(n);
+    }
+    head.store(new Node(key, std::move(value),
+                        head.load(std::memory_order_relaxed)),
+               std::memory_order_release);
+    ++s.count;
+    return std::nullopt;
   }
 
   std::optional<V> get(const K& key) const {
-    const Shard& s = shard(key);
-    std::lock_guard<std::mutex> g(s.mu);
-    auto it = s.map.find(key);
-    if (it == s.map.end()) return std::nullopt;
-    return it->second;
+    return get_hashed(Hasher{}(key), key);
   }
 
   bool contains(const K& key) const {
-    const Shard& s = shard(key);
-    std::lock_guard<std::mutex> g(s.mu);
-    return s.map.count(key) != 0;
+    return contains_hashed(Hasher{}(key), key);
+  }
+
+  /// Attempt-long reader pin (DESIGN.md §12): a transactional wrapper pins
+  /// its thread's slot once on the first fast-path read of an attempt and
+  /// unpins at finish, so the per-read Guards inside get/contains become
+  /// nested no-ops — one announce fence per attempt instead of one per
+  /// lookup. Returns false if the slot was already pinned (the slot is
+  /// owner-thread-only, so an observed pin is the caller's own).
+  bool reader_pin(unsigned slot) const {
+    if (ebr_.pinned(slot)) return false;
+    ebr_.enter(slot);
+    return true;
+  }
+  void reader_unpin(unsigned slot) const { ebr_.exit(slot); }
+
+  /// Hash once, use everywhere: wrappers on the optimistic read fast path
+  /// compute `hash_of` a single time per operation and feed it to both the
+  /// sequence-word stripe and the lookup itself.
+  std::size_t hash_of(const K& key) const noexcept { return Hasher{}(key); }
+
+  /// Start the bucket head's cache line toward this core. A transactional
+  /// wrapper knows the hash several branches before it issues the chain
+  /// walk (eligibility checks, sequence-word load); prefetching here
+  /// overlaps that work with the line fill, which matters on the unlocked
+  /// fast path where no lock RMW hides the memory latency.
+  void prefetch_bucket(std::size_t h) const noexcept {
+    __builtin_prefetch(&shards_[h & (stripes_ - 1)].buckets[bucket_of(h)]);
+  }
+  std::size_t stripe_of_hash(std::size_t h) const noexcept {
+    return h & (stripes_ - 1);
+  }
+
+  std::optional<V> get_hashed(std::size_t h, const K& key) const {
+    const Shard& s = shards_[h & (stripes_ - 1)];
+    const ebr::EbrDomain::Guard guard(ebr_, stm::ThreadRegistry::slot());
+    for (const Node* n =
+             s.buckets[bucket_of(h)].load(std::memory_order_acquire);
+         n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+      if (n->key == key) return read_value(n);
+    }
+    return std::nullopt;
+  }
+
+  bool contains_hashed(std::size_t h, const K& key) const {
+    const Shard& s = shards_[h & (stripes_ - 1)];
+    const ebr::EbrDomain::Guard guard(ebr_, stm::ThreadRegistry::slot());
+    for (const Node* n =
+             s.buckets[bucket_of(h)].load(std::memory_order_acquire);
+         n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+      if (n->key == key) return true;
+    }
+    return false;
   }
 
   /// Remove; returns the removed mapping if any.
   std::optional<V> remove(const K& key) {
-    Shard& s = shard(key);
+    const std::size_t h = Hasher{}(key);
+    Shard& s = shards_[h & (stripes_ - 1)];
+    const unsigned slot = stm::ThreadRegistry::slot();
+    const ebr::EbrDomain::Guard guard(ebr_, slot);
     std::lock_guard<std::mutex> g(s.mu);
-    auto it = s.map.find(key);
-    if (it == s.map.end()) return std::nullopt;
-    std::optional<V> old = std::move(it->second);
-    s.map.erase(it);
+    std::atomic<Node*>& head = s.buckets[bucket_of(h)];
+    Node* prev = nullptr;
+    Node* n = head.load(std::memory_order_relaxed);
+    while (n != nullptr && !(n->key == key)) {
+      prev = n;
+      n = n->next.load(std::memory_order_relaxed);
+    }
+    if (n == nullptr) return std::nullopt;
+    std::optional<V> old = read_value(n);
+    Node* next = n->next.load(std::memory_order_relaxed);
+    if (prev != nullptr) {
+      prev->next.store(next, std::memory_order_release);
+    } else {
+      head.store(next, std::memory_order_release);
+    }
+    --s.count;
+    retire(slot, n);
     return old;
   }
 
-  /// Apply f(key, value) under the key's stripe lock; creates the entry from
-  /// `make()` if absent. Used by the predication baseline to allocate
-  /// per-key predicates exactly once.
+  /// Apply under the key's stripe lock; creates the entry from `make()` if
+  /// absent. Used by the predication baseline to allocate per-key
+  /// predicates exactly once.
   template <class Make>
   V get_or_create(const K& key, Make&& make) {
-    Shard& s = shard(key);
+    const std::size_t h = Hasher{}(key);
+    Shard& s = shards_[h & (stripes_ - 1)];
     std::lock_guard<std::mutex> g(s.mu);
-    auto it = s.map.find(key);
-    if (it == s.map.end()) it = s.map.emplace(key, make()).first;
-    return it->second;
+    std::atomic<Node*>& head = s.buckets[bucket_of(h)];
+    for (Node* n = head.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->key == key) return read_value(n);
+    }
+    Node* fresh = new Node(key, make(), head.load(std::memory_order_relaxed));
+    head.store(fresh, std::memory_order_release);
+    ++s.count;
+    return read_value(fresh);
   }
 
-  /// Like get_or_create but returns a reference to the mapped value.
-  /// std::unordered_map references are stable across inserts, so this is
-  /// safe as long as the entry is never removed — which is exactly the
+  /// Like get_or_create but returns a reference to the mapped value. Node
+  /// addresses are stable (no rehashing), so the reference stays valid as
+  /// long as the entry is never removed or replaced — which is exactly the
   /// predication use (predicates are allocated once and never collected,
-  /// matching the paper's §7 methodology note).
+  /// matching the paper's §7 methodology note). Mutating through the
+  /// reference is the caller's synchronization problem; the lock-free read
+  /// path must not be used for entries mutated this way.
   template <class Make>
   V& get_or_create_ref(const K& key, Make&& make) {
-    Shard& s = shard(key);
+    static_assert(!kAtomicValues,
+                  "in-place atomic values have no stable V&; use "
+                  "get_or_create for small trivially-copyable V");
+    const std::size_t h = Hasher{}(key);
+    Shard& s = shards_[h & (stripes_ - 1)];
     std::lock_guard<std::mutex> g(s.mu);
-    auto it = s.map.find(key);
-    if (it == s.map.end()) it = s.map.emplace(key, make()).first;
-    return it->second;
+    std::atomic<Node*>& head = s.buckets[bucket_of(h)];
+    for (Node* n = head.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->key == key) return n->value;
+    }
+    Node* fresh =
+        new Node(key, make(), head.load(std::memory_order_relaxed));
+    head.store(fresh, std::memory_order_release);
+    ++s.count;
+    return fresh->value;
   }
+
+  /// Stripe index of `key`, exposed so a wrapper's ReadSeqTable (optimistic
+  /// read fast path) can bracket exactly this key's shard.
+  std::size_t stripe_index(const K& key) const noexcept {
+    return Hasher{}(key) & (stripes_ - 1);
+  }
+  std::size_t stripe_count() const noexcept { return stripes_; }
 
   std::size_t size() const {
     std::size_t n = 0;
     for (const Shard& s : shards_) {
       std::lock_guard<std::mutex> g(s.mu);
-      n += s.map.size();
+      n += s.count;
     }
     return n;
   }
@@ -108,9 +284,20 @@ class StripedHashMap {
   bool empty() const { return size() == 0; }
 
   void clear() {
+    const unsigned slot = stm::ThreadRegistry::slot();
+    const ebr::EbrDomain::Guard guard(ebr_, slot);
     for (Shard& s : shards_) {
       std::lock_guard<std::mutex> g(s.mu);
-      s.map.clear();
+      for (std::atomic<Node*>& b : s.buckets) {
+        Node* n = b.load(std::memory_order_relaxed);
+        b.store(nullptr, std::memory_order_release);
+        while (n != nullptr) {
+          Node* next = n->next.load(std::memory_order_relaxed);
+          retire(slot, n);
+          n = next;
+        }
+      }
+      s.count = 0;
     }
   }
 
@@ -120,24 +307,70 @@ class StripedHashMap {
   void for_each(F&& f) const {
     for (const Shard& s : shards_) {
       std::lock_guard<std::mutex> g(s.mu);
-      for (const auto& [k, v] : s.map) f(k, v);
+      for (const std::atomic<Node*>& b : s.buckets) {
+        for (const Node* n = b.load(std::memory_order_relaxed); n != nullptr;
+             n = n->next.load(std::memory_order_relaxed)) {
+          const V v = read_value(n);
+          f(n->key, v);
+        }
+      }
     }
   }
 
  private:
-  struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<K, V, Hasher> map;
+  // Chains per stripe; with the intended load the chain a reader walks is
+  // one or two nodes. Past it, lookups degrade to linear scans of longer
+  // chains — still correct, just slower.
+  static constexpr std::size_t kBucketsPerShard = 16;
+
+  // Small trivially-copyable values live in a lock-free atomic and are
+  // replaced in place; everything else is immutable once published and a
+  // replace swaps whole nodes.
+  static constexpr bool kAtomicValues =
+      std::is_trivially_copyable_v<V> && sizeof(V) <= sizeof(void*) &&
+      alignof(V) <= alignof(void*);
+  using ValueSlot = std::conditional_t<kAtomicValues, std::atomic<V>, V>;
+
+  struct Node {
+    // `hook` first, so a Retired* retires back into `delete (Node*)`.
+    ebr::Retired hook;
+    const K key;
+    ValueSlot value;
+    std::atomic<Node*> next;
+    Node(const K& k, V v, Node* nx)
+        : hook{}, key(k), value(std::move(v)), next(nx) {}
   };
 
-  Shard& shard(const K& key) {
-    return shards_[Hasher{}(key) & (stripes_ - 1)];
-  }
-  const Shard& shard(const K& key) const {
-    return shards_[Hasher{}(key) & (stripes_ - 1)];
+  static V read_value(const Node* n) {
+    if constexpr (kAtomicValues) {
+      return n->value.load(std::memory_order_acquire);
+    } else {
+      return n->value;
+    }
   }
 
+  struct Shard {
+    mutable std::mutex mu;  // writers only; readers never take it
+    std::array<std::atomic<Node*>, kBucketsPerShard> buckets{};
+    std::size_t count = 0;  // guarded by mu
+  };
+
+  // Stripe selection eats the low hash bits; bucket selection uses the
+  // next ones so co-striped keys still spread across chains.
+  std::size_t bucket_of(std::size_t h) const noexcept {
+    return (h >> stripe_bits_) & (kBucketsPerShard - 1);
+  }
+
+  void retire(unsigned slot, Node* n) {
+    ebr_.retire(
+        slot, &n->hook,
+        [](ebr::Retired* r, void*) { delete reinterpret_cast<Node*>(r); },
+        nullptr);
+  }
+
+  mutable ebr::EbrDomain ebr_;
   std::size_t stripes_;
+  unsigned stripe_bits_;
   mutable std::vector<Shard> shards_;
 };
 

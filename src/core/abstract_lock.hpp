@@ -13,12 +13,16 @@
 // LockAllocatorPolicy passed at construction, exactly as in the paper.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <initializer_list>
+#include <optional>
 #include <type_traits>
 #include <utility>
 
 #include "core/lap.hpp"
 #include "core/update_strategy.hpp"
+#include "stm/commit_fence.hpp"
 #include "stm/stm.hpp"
 
 namespace proust::core {
@@ -65,6 +69,99 @@ class AbstractLock {
       read_after(tx, locks);
       return result;
     }
+  }
+
+  /// Single-lock apply, key by const reference. The initializer-list form
+  /// copies the key into a LockFor<Key> per call, which heap-allocates for
+  /// heavyweight keys (std::string past SSO); the wrappers' single-key hot
+  /// paths use this overload instead.
+  template <class F>
+  auto apply(stm::Txn& tx, const Key& key, bool write, F&& op) {
+    return apply(tx, key, write, std::forward<F>(op), NoInverse{});
+  }
+
+  template <class F, class Inv>
+  auto apply(stm::Txn& tx, const Key& key, bool write, F&& op, Inv&& inverse) {
+    lap_->acquire(tx, key, write);
+
+    using R = std::invoke_result_t<F&>;
+    if constexpr (std::is_void_v<R>) {
+      op();
+      if constexpr (!std::is_same_v<std::decay_t<Inv>, NoInverse>) {
+        tx.on_abort([inv = std::forward<Inv>(inverse)]() { inv(); });
+      }
+      if (strategy_ == UpdateStrategy::Lazy && write) {
+        lap_->post_op(tx, key, write);
+      }
+    } else {
+      R result = op();
+      if constexpr (!std::is_same_v<std::decay_t<Inv>, NoInverse>) {
+        tx.on_abort(
+            [inv = std::forward<Inv>(inverse), result]() { inv(result); });
+      }
+      if (strategy_ == UpdateStrategy::Lazy && write) {
+        lap_->post_op(tx, key, write);
+      }
+      return result;
+    }
+  }
+
+  // --- Optimistic read fast path (DESIGN.md §12) --------------------------
+  // Run a read-only operation against the base with NO abstract lock: load
+  // the bracketing word, require it stable, run `op` (which must rely only
+  // on the base's internal synchronization), then hand the observed word to
+  // the transaction for admission. Engaged optional = the result is as good
+  // as a locked read (the admission recorded it for commit revalidation);
+  // nullopt = discard the result and take the locked slow path. Aborts
+  // propagate (a previously admitted read failed revalidation).
+
+  /// Eager wrappers: bracketed by a ReadSeqTable stripe word that mutators
+  /// pin odd across mutation + rollback.
+  template <class F>
+  auto try_read_unlocked(stm::Txn& tx,
+                         const std::atomic<std::uint64_t>* word, F&& op)
+      -> std::optional<std::invoke_result_t<F&>> {
+    if (!tx.fast_read_eligible()) return std::nullopt;
+    if (tx.chaos_fastpath_fallback()) [[unlikely]] {
+      tx.note_fastpath_fallback();
+      return std::nullopt;
+    }
+    const std::uint64_t s0 = word->load(std::memory_order_acquire);
+    if ((s0 & 1) != 0) {  // a mutator is pinned on this stripe
+      tx.note_fastpath_fallback();
+      return std::nullopt;
+    }
+    auto result = op();
+    if (!tx.admit_unlocked_read(word, s0)) {
+      tx.note_fastpath_fallback();
+      return std::nullopt;
+    }
+    return result;
+  }
+
+  /// Lazy wrappers: the base only changes inside commit-fence brackets
+  /// (replay application), so a quiescent-and-unmoved fence word brackets
+  /// the read. Callers must additionally hold no engaged replay log for
+  /// this structure (read-your-writes goes through the log).
+  template <class F>
+  auto try_read_unlocked(stm::Txn& tx, const stm::CommitFence& fence, F&& op)
+      -> std::optional<std::invoke_result_t<F&>> {
+    if (!tx.fast_read_eligible()) return std::nullopt;
+    if (tx.chaos_fastpath_fallback()) [[unlikely]] {
+      tx.note_fastpath_fallback();
+      return std::nullopt;
+    }
+    const std::uint64_t s0 = fence.word();
+    if (!stm::CommitFence::quiescent(s0)) {
+      tx.note_fastpath_fallback();
+      return std::nullopt;
+    }
+    auto result = op();
+    if (!tx.admit_unlocked_fence_read(&fence, s0)) {
+      tx.note_fastpath_fallback();
+      return std::nullopt;
+    }
+    return result;
   }
 
  private:

@@ -29,7 +29,7 @@ class LazyHashMap {
         map_(stripes) {}
 
   std::optional<V> put(stm::Txn& tx, const K& key, const V& value) {
-    return lock_.apply(tx, {Write(key)}, [&] {
+    return lock_.apply(tx, key, /*write=*/true, [&] {
       std::optional<V> ret = log(tx).put(key, value);
       if (!ret) size_.bump(tx, +1);
       return ret;
@@ -37,7 +37,17 @@ class LazyHashMap {
   }
 
   std::optional<V> get(stm::Txn& tx, const K& key) {
-    return lock_.apply(tx, {Read(key)}, [&]() -> std::optional<V> {
+    // Optimistic fast path (DESIGN.md §12): with no log engaged, the base
+    // only changes inside replay fence brackets, so a quiescent-and-unmoved
+    // fence word brackets an unlocked read. An engaged log means pending
+    // writes (read-your-writes must go through the shadow) — locked path.
+    if (!handle_.engaged(tx)) {
+      if (auto fast = lock_.try_read_unlocked(
+              tx, fence_, [&] { return map_.get(key); })) {
+        return *fast;
+      }
+    }
+    return lock_.apply(tx, key, /*write=*/false, [&]() -> std::optional<V> {
       // readOnly optimization: no log yet means the backing map is still
       // this transaction's consistent view.
       if (!handle_.engaged(tx)) return map_.get(key);
@@ -46,14 +56,20 @@ class LazyHashMap {
   }
 
   bool contains(stm::Txn& tx, const K& key) {
-    return lock_.apply(tx, {Read(key)}, [&] {
+    if (!handle_.engaged(tx)) {
+      if (auto fast = lock_.try_read_unlocked(
+              tx, fence_, [&] { return map_.contains(key); })) {
+        return *fast;
+      }
+    }
+    return lock_.apply(tx, key, /*write=*/false, [&] {
       if (!handle_.engaged(tx)) return map_.contains(key);
       return log(tx).contains(key);
     });
   }
 
   std::optional<V> remove(stm::Txn& tx, const K& key) {
-    return lock_.apply(tx, {Write(key)}, [&] {
+    return lock_.apply(tx, key, /*write=*/true, [&] {
       std::optional<V> ret = log(tx).remove(key);
       if (ret) size_.bump(tx, -1);
       return ret;
@@ -69,13 +85,14 @@ class LazyHashMap {
  private:
   Log& log(stm::Txn& tx) {
     return handle_.log(
-        tx, [this, &tx] { return Log(map_, combine_, tx.scratch()); });
+        tx, [this, &tx] { return Log(map_, fence_, combine_, tx.scratch()); });
   }
 
   AbstractLock<K, Lap> lock_;
   TxnLogHandle<Log> handle_;
   bool combine_;
   Base map_;
+  stm::CommitFence fence_;  // brackets replays; fast-path read validation
   CommittedSize size_;
 };
 

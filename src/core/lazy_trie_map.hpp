@@ -29,7 +29,7 @@ class LazyTrieMap {
       : lock_(lap, UpdateStrategy::Lazy), combine_(combine_log) {}
 
   std::optional<V> put(stm::Txn& tx, const K& key, const V& value) {
-    return lock_.apply(tx, {Write(key)}, [&] {
+    return lock_.apply(tx, key, /*write=*/true, [&] {
       std::optional<V> ret = log(tx).put(key, value);
       if (!ret) size_.bump(tx, +1);
       return ret;
@@ -37,19 +37,34 @@ class LazyTrieMap {
   }
 
   std::optional<V> get(stm::Txn& tx, const K& key) {
-    return lock_.apply(tx, {Read(key)}, [&] {
+    // Optimistic fast path (DESIGN.md §12): the trie only changes inside
+    // replay fence brackets, so with no log engaged a quiescent-and-unmoved
+    // fence word brackets an unlocked point read of the shared trie.
+    if (!handle_.engaged(tx)) {
+      if (auto fast = lock_.try_read_unlocked(
+              tx, fence_, [&] { return map_.get(key); })) {
+        return *fast;
+      }
+    }
+    return lock_.apply(tx, key, /*write=*/false, [&] {
       return read_only(tx, [&](const auto& t) { return t.get(key); });
     });
   }
 
   bool contains(stm::Txn& tx, const K& key) {
-    return lock_.apply(tx, {Read(key)}, [&] {
+    if (!handle_.engaged(tx)) {
+      if (auto fast = lock_.try_read_unlocked(
+              tx, fence_, [&] { return map_.contains(key); })) {
+        return *fast;
+      }
+    }
+    return lock_.apply(tx, key, /*write=*/false, [&] {
       return read_only(tx, [&](const auto& t) { return t.contains(key); });
     });
   }
 
   std::optional<V> remove(stm::Txn& tx, const K& key) {
-    return lock_.apply(tx, {Write(key)}, [&] {
+    return lock_.apply(tx, key, /*write=*/true, [&] {
       std::optional<V> ret = log(tx).remove(key);
       if (ret) size_.bump(tx, -1);
       return ret;

@@ -197,8 +197,10 @@ class SnapshotMapReplayLog {
 template <class Base, class K, class V>
 class MemoReplayLog {
  public:
-  MemoReplayLog(Base& base, bool combine, BumpArena& scratch)
-      : base_(&base), combine_(combine), cache_(scratch), ops_(scratch) {}
+  MemoReplayLog(Base& base, stm::CommitFence& fence, bool combine,
+                BumpArena& scratch)
+      : base_(&base), fence_(&fence), combine_(combine), cache_(scratch),
+        ops_(scratch) {}
 
   std::optional<V> get(const K& key) { return line_for(key).value; }
 
@@ -222,10 +224,16 @@ class MemoReplayLog {
     return old;
   }
 
+  stm::CommitFence& fence() noexcept { return *fence_; }
+
   /// Commit-time application. With combining, one synthetic update per dirty
   /// key (final state only); without, the full operation sequence — the cost
   /// difference is what the Figure 4 bottom block measures.
   void replay() noexcept {
+    // Bracketed like the snapshot logs': memo replays also land after the
+    // logical commit, and the optimistic read fast path (DESIGN.md §12)
+    // detects in-flight or completed replays through this fence word.
+    stm::CommitFence::Guard guard(*fence_);
     if (combine_) {
       cache_.for_each([this](const K& key, Line& line) {
         if (!line.dirty) return;
@@ -276,6 +284,7 @@ class MemoReplayLog {
   }
 
   Base* base_;
+  stm::CommitFence* fence_;
   bool combine_;
   ArenaFlatMap<K, Line> cache_;
   ArenaChunkList<Op> ops_;

@@ -10,7 +10,9 @@
 
 #include "containers/striped_hash_map.hpp"
 #include "core/abstract_lock.hpp"
+#include "stm/thread_registry.hpp"
 #include "core/committed_size.hpp"
+#include "core/read_seq.hpp"
 #include "core/update_strategy.hpp"
 #include "stm/stm.hpp"
 
@@ -26,12 +28,13 @@ class TxnHashMap {
   explicit TxnHashMap(Lap& lap, std::size_t stripes = 64,
                       bool combine_undo = false)
       : lock_(lap, UpdateStrategy::Eager), map_(stripes),
-        combine_undo_(combine_undo) {}
+        seqs_(map_.stripe_count()), combine_undo_(combine_undo) {}
 
   /// Insert or replace. Returns the previous mapping, as Figure 2a's put.
   std::optional<V> put(stm::Txn& tx, const K& key, const V& value) {
     if (combine_undo_) {
-      return lock_.apply(tx, {Write(key)}, [&] {
+      return lock_.apply(tx, key, /*write=*/true, [&] {
+        seqs_.writer_pin(tx, map_.stripe_index(key));
         std::optional<V> ret = map_.put(key, value);
         if (!ret) size_.bump(tx, +1);
         remember_original(tx, key, ret);
@@ -39,8 +42,9 @@ class TxnHashMap {
       });
     }
     return lock_.apply(
-        tx, {Write(key)},
+        tx, key, /*write=*/true,
         [&] {
+          seqs_.writer_pin(tx, map_.stripe_index(key));
           std::optional<V> ret = map_.put(key, value);
           if (!ret) size_.bump(tx, +1);
           return ret;
@@ -55,16 +59,42 @@ class TxnHashMap {
   }
 
   std::optional<V> get(stm::Txn& tx, const K& key) {
-    return lock_.apply(tx, {Read(key)}, [&] { return map_.get(key); });
+    // Optimistic fast path (DESIGN.md §12): read the shard with no abstract
+    // lock, bracketed by its sequence word; mutators (and their rollback
+    // inverses) hold the word odd. Falls back to the locked read on any
+    // overlap. Reading our own prior write is covered either way — an eager
+    // write already landed in the base, and its stripe pin is ours.
+    const std::size_t h = map_.hash_of(key);
+    map_.prefetch_bucket(h);
+    if (auto fast = lock_.try_read_unlocked(
+            tx, seqs_.word(map_.stripe_of_hash(h)), [&] {
+              pin_for_attempt(tx);
+              return map_.get_hashed(h, key);
+            })) {
+      return *fast;
+    }
+    return lock_.apply(tx, key, /*write=*/false,
+                       [&] { return map_.get_hashed(h, key); });
   }
 
   bool contains(stm::Txn& tx, const K& key) {
-    return lock_.apply(tx, {Read(key)}, [&] { return map_.contains(key); });
+    const std::size_t h = map_.hash_of(key);
+    map_.prefetch_bucket(h);
+    if (auto fast = lock_.try_read_unlocked(
+            tx, seqs_.word(map_.stripe_of_hash(h)), [&] {
+              pin_for_attempt(tx);
+              return map_.contains_hashed(h, key);
+            })) {
+      return *fast;
+    }
+    return lock_.apply(tx, key, /*write=*/false,
+                       [&] { return map_.contains_hashed(h, key); });
   }
 
   std::optional<V> remove(stm::Txn& tx, const K& key) {
     if (combine_undo_) {
-      return lock_.apply(tx, {Write(key)}, [&] {
+      return lock_.apply(tx, key, /*write=*/true, [&] {
+        seqs_.writer_pin(tx, map_.stripe_index(key));
         std::optional<V> ret = map_.remove(key);
         if (ret) size_.bump(tx, -1);
         remember_original(tx, key, ret);
@@ -72,8 +102,9 @@ class TxnHashMap {
       });
     }
     return lock_.apply(
-        tx, {Write(key)},
+        tx, key, /*write=*/true,
         [&] {
+          seqs_.writer_pin(tx, map_.stripe_index(key));
           std::optional<V> ret = map_.remove(key);
           if (ret) size_.bump(tx, -1);
           return ret;
@@ -93,6 +124,20 @@ class TxnHashMap {
 
  private:
   using Originals = std::unordered_map<K, std::optional<V>>;
+
+  /// Amortize the EBR announce fence across the attempt: the first fast-path
+  /// read pins this thread's reader slot in the map's domain and schedules
+  /// the unpin at finish (after the abort hooks — their inverses retire
+  /// nodes under this same pin). Later reads, and any writer Guards nested
+  /// inside the attempt, find the slot pinned and skip the fence. The pin
+  /// bounds reclamation stall by attempt length, which the watchdog already
+  /// bounds.
+  void pin_for_attempt(stm::Txn& tx) {
+    const unsigned slot = stm::ThreadRegistry::slot();
+    if (!map_.reader_pin(slot)) return;  // already ours for this attempt
+    tx.on_finish(
+        [this, slot](stm::Outcome) { map_.reader_unpin(slot); });
+  }
 
   /// Record `old` as key's pre-transaction value unless one is already
   /// recorded; the single abort hook restores every touched key once.
@@ -117,6 +162,7 @@ class TxnHashMap {
 
   AbstractLock<K, Lap> lock_;
   containers::StripedHashMap<K, V> map_;
+  ReadSeqTable seqs_;  // one word per base shard (fast read path)
   CommittedSize size_;
   bool combine_undo_ = false;
 };

@@ -21,8 +21,10 @@
 #include "containers/concurrent_skip_list.hpp"
 #include "core/abstract_lock.hpp"
 #include "core/committed_size.hpp"
+#include "core/read_seq.hpp"
 #include "core/update_strategy.hpp"
 #include "stm/stm.hpp"
+#include "stm/thread_registry.hpp"
 
 namespace proust::core {
 
@@ -41,13 +43,15 @@ class TxnOrderedMap {
   /// interval-CA granularity M. Keys outside the bounds clamp to the edge
   /// stripes (correct, just coarser there).
   TxnOrderedMap(Lap& lap, K key_min, K key_max, std::size_t stripes)
-      : lock_(lap, UpdateStrategy::Eager), key_min_(key_min),
+      : lock_(lap, UpdateStrategy::Eager), seqs_(stripes), key_min_(key_min),
         key_max_(key_max), stripes_(stripes) {}
 
   std::optional<V> put(stm::Txn& tx, K key, const V& value) {
+    const std::size_t s = stripe_of(key);
     return lock_.apply(
-        tx, {Write(stripe_of(key))},
+        tx, s, /*write=*/true,
         [&] {
+          seqs_.writer_pin(tx, s);
           std::optional<V> ret = map_.put(key, value);
           if (!ret) size_.bump(tx, +1);
           return ret;
@@ -62,19 +66,37 @@ class TxnOrderedMap {
   }
 
   std::optional<V> get(stm::Txn& tx, K key) {
-    return lock_.apply(tx, {Read(stripe_of(key))},
-                       [&] { return map_.get(key); });
+    // Optimistic fast path (DESIGN.md §12): the skip list's point lookup is
+    // internally safe against concurrent mutators, so the interval stripe's
+    // sequence word alone brackets the read.
+    const std::size_t s = stripe_of(key);
+    if (auto fast = lock_.try_read_unlocked(tx, seqs_.word(s), [&] {
+          pin_for_attempt(tx);
+          return map_.get(key);
+        })) {
+      return *fast;
+    }
+    return lock_.apply(tx, s, /*write=*/false, [&] { return map_.get(key); });
   }
 
   bool contains(stm::Txn& tx, K key) {
-    return lock_.apply(tx, {Read(stripe_of(key))},
+    const std::size_t s = stripe_of(key);
+    if (auto fast = lock_.try_read_unlocked(tx, seqs_.word(s), [&] {
+          pin_for_attempt(tx);
+          return map_.contains(key);
+        })) {
+      return *fast;
+    }
+    return lock_.apply(tx, s, /*write=*/false,
                        [&] { return map_.contains(key); });
   }
 
   std::optional<V> remove(stm::Txn& tx, K key) {
+    const std::size_t s = stripe_of(key);
     return lock_.apply(
-        tx, {Write(stripe_of(key))},
+        tx, s, /*write=*/true,
         [&] {
+          seqs_.writer_pin(tx, s);
           std::optional<V> ret = map_.remove(key);
           if (ret) size_.bump(tx, -1);
           return ret;
@@ -138,6 +160,16 @@ class TxnOrderedMap {
   std::size_t stripes() const noexcept { return stripes_; }
 
  private:
+  /// Amortize the EBR announce fence across the attempt (see
+  /// TxnHashMap::pin_for_attempt — same contract: unpin at finish, after
+  /// the abort hooks, so rollback inverses retire under this pin).
+  void pin_for_attempt(stm::Txn& tx) {
+    const unsigned slot = stm::ThreadRegistry::slot();
+    if (!map_.reader_pin(slot)) return;  // already ours for this attempt
+    tx.on_finish(
+        [this, slot](stm::Outcome) { map_.reader_unpin(slot); });
+  }
+
   std::size_t stripe_of(K key) const noexcept {
     const K clamped = std::clamp(key, key_min_, key_max_);
     const unsigned __int128 span =
@@ -157,6 +189,7 @@ class TxnOrderedMap {
 
   AbstractLock<std::size_t, Lap> lock_;
   containers::ConcurrentSkipList<K, V> map_;
+  ReadSeqTable seqs_;  // one word per interval stripe (fast read path)
   CommittedSize size_;
   K key_min_;
   K key_max_;

@@ -21,6 +21,7 @@
 #include "core/abstract_lock.hpp"
 #include "core/committed_size.hpp"
 #include "core/pqueue_state.hpp"
+#include "core/read_seq.hpp"
 #include "core/update_strategy.hpp"
 #include "stm/stm.hpp"
 
@@ -49,7 +50,7 @@ class TxnPriorityQueue {
 
  public:
   explicit TxnPriorityQueue(Lap& lap)
-      : lock_(lap, UpdateStrategy::Eager) {}
+      : lock_(lap, UpdateStrategy::Eager), seqs_(1) {}
 
   void insert(stm::Txn& tx, const T& value) {
     const std::optional<T> cur = min(tx);
@@ -59,6 +60,7 @@ class TxnPriorityQueue {
         {Write(PQueueState::MultiSet),
          lowers_min ? Write(PQueueState::Min) : Read(PQueueState::Min)},
         [&] {
+          seqs_.writer_pin(tx, 0);
           CellPtr cell = std::make_shared<Cell>(value);
           pq_.add(cell);
           size_.bump(tx, +1);
@@ -71,6 +73,24 @@ class TxnPriorityQueue {
   }
 
   std::optional<T> min(stm::Txn& tx) {
+    // Optimistic fast path (DESIGN.md §12): a single sequence word brackets
+    // the whole queue (its abstract state has one hot component — the
+    // minimum). A tombstoned top cell forces the locked path, whose cleanup
+    // mutates the base.
+    bool dirty = false;
+    if (auto fast = lock_.try_read_unlocked(
+            tx, seqs_.word(0), [&]() -> std::optional<T> {
+              std::optional<CellPtr> top = pq_.peek();
+              if (!top) return std::nullopt;
+              if ((*top)->deleted.load(std::memory_order_acquire)) {
+                dirty = true;
+                return std::nullopt;
+              }
+              return (*top)->value;
+            });
+        fast && !dirty) {
+      return *fast;
+    }
     return lock_.apply(tx, {Read(PQueueState::Min)},
                        [&]() -> std::optional<T> {
                          for (;;) {
@@ -87,6 +107,7 @@ class TxnPriorityQueue {
     return lock_.apply(
         tx, {Write(PQueueState::Min), Write(PQueueState::MultiSet)},
         [&]() -> std::optional<T> {
+          seqs_.writer_pin(tx, 0);
           for (;;) {
             std::optional<CellPtr> top = pq_.poll();
             if (!top) return std::nullopt;
@@ -104,7 +125,7 @@ class TxnPriorityQueue {
   }
 
   bool contains(stm::Txn& tx, const T& value) {
-    return lock_.apply(tx, {Read(PQueueState::MultiSet)}, [&] {
+    const auto scan = [&] {
       bool found = false;
       Compare less{};
       pq_.for_each([&](const CellPtr& c) {
@@ -114,7 +135,11 @@ class TxnPriorityQueue {
         }
       });
       return found;
-    });
+    };
+    if (auto fast = lock_.try_read_unlocked(tx, seqs_.word(0), scan)) {
+      return *fast;
+    }
+    return lock_.apply(tx, {Read(PQueueState::MultiSet)}, scan);
   }
 
   /// Committed size (reified, like the maps').
@@ -128,6 +153,7 @@ class TxnPriorityQueue {
  private:
   AbstractLock<PQueueState, Lap> lock_;
   containers::BlockingPriorityQueue<CellPtr, CellCompare> pq_;
+  ReadSeqTable seqs_;  // single word: the whole queue (fast read path)
   CommittedSize size_;
 };
 

@@ -40,11 +40,23 @@
 namespace proust::stm {
 
 class CommitFence {
+ public:
   // Low 20 bits: writers in flight. High 44 bits: total entries.
   static constexpr std::uint64_t kActiveMask = (1ull << 20) - 1;
   static constexpr std::uint64_t kEntry = (1ull << 20) | 1ull;
 
- public:
+  /// Raw fence word for optimistic read validation (DESIGN.md §12): a
+  /// fast-path reader records the word it observed quiescent and re-checks
+  /// it at admission/commit; any committed bracket since then has moved it.
+  std::uint64_t word() const noexcept {
+    return word_.load(std::memory_order_seq_cst);
+  }
+
+  /// True when no writer bracket is in flight in `w`.
+  static constexpr bool quiescent(std::uint64_t w) noexcept {
+    return (w & kActiveMask) == 0;
+  }
+
   /// Writer bracket. Entries nest (the STM's commit bracket encloses the
   /// replay log's own); the fence is quiescent when every enter has exited.
   void enter() noexcept { word_.fetch_add(kEntry, std::memory_order_seq_cst); }

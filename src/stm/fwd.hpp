@@ -98,6 +98,7 @@ enum class ChaosPoint : std::uint8_t {
   LapAcquire,      // pessimistic abstract-lock acquisition (core/lap.hpp)
   LockTransition,  // reentrant-RW-lock CAS/park transitions (sync layer)
   ReplayApply,     // replay-log application (commit-locked hooks)
+  FastPathRead,    // optimistic unlocked read admission (forces the slow path)
   kCount,
 };
 
@@ -113,6 +114,7 @@ constexpr const char* to_string(ChaosPoint p) noexcept {
     case ChaosPoint::LapAcquire: return "lap-acquire";
     case ChaosPoint::LockTransition: return "lock-transition";
     case ChaosPoint::ReplayApply: return "replay-apply";
+    case ChaosPoint::FastPathRead: return "fast-path-read";
     default: return "?";
   }
 }

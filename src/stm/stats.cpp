@@ -73,6 +73,10 @@ std::string StatsSnapshot::to_string() const {
        << " reclaimed=" << mvcc_reclaimed << " chain_max=" << mvcc_chain_max
        << "}";
   }
+  if (fastpath_hits + fastpath_fallbacks > 0) {
+    os << " fastpath{hits=" << fastpath_hits
+       << " fallbacks=" << fastpath_fallbacks << "}";
+  }
   if (total_aborts() > 0) {
     os << " [";
     bool first = true;
@@ -134,6 +138,8 @@ StatsSnapshot Stats::snapshot() const {
     s.mvcc_pushed += ld(c.mvcc_pushed);
     s.mvcc_reclaimed += ld(c.mvcc_reclaimed);
     s.mvcc_chain_max = std::max(s.mvcc_chain_max, ld(c.mvcc_chain_max));
+    s.fastpath_hits += ld(c.fastpath_hits);
+    s.fastpath_fallbacks += ld(c.fastpath_fallbacks);
   }
   return s;
 }
@@ -162,6 +168,8 @@ void Stats::reset() {
     st(c.mvcc_pushed, 0);
     st(c.mvcc_reclaimed, 0);
     st(c.mvcc_chain_max, 0);
+    st(c.fastpath_hits, 0);
+    st(c.fastpath_fallbacks, 0);
   }
 }
 

@@ -72,6 +72,12 @@ struct StatsSnapshot {
   std::uint64_t mvcc_reclaimed = 0;
   std::uint64_t mvcc_chain_max = 0;
 
+  /// Optimistic read fast path (DESIGN.md §12): unlocked reads admitted
+  /// without the abstract lock, and attempts that were eligible but fell
+  /// back to the locked slow path (unstable word, frozen snapshot, chaos).
+  std::uint64_t fastpath_hits = 0;
+  std::uint64_t fastpath_fallbacks = 0;
+
   std::uint64_t total_aborts() const noexcept;
   std::uint64_t total_injected() const noexcept;
   double abort_ratio() const noexcept;  // aborts / starts
@@ -106,6 +112,8 @@ class Stats {
     std::uint64_t mvcc_pushed = 0;
     std::uint64_t mvcc_reclaimed = 0;
     std::uint64_t mvcc_chain_max = 0;
+    std::uint64_t fastpath_hits = 0;
+    std::uint64_t fastpath_fallbacks = 0;
   };
 
   // Each cell has exactly one writer (its owning slot's thread), but the
@@ -171,6 +179,8 @@ class Stats {
     void count_mvcc_reclaim(std::uint64_t n) noexcept {
       bump(c_->mvcc_reclaimed, n);
     }
+    void count_fastpath_hit() noexcept { bump(c_->fastpath_hits); }
+    void count_fastpath_fallback() noexcept { bump(c_->fastpath_fallbacks); }
 
    private:
     friend class Stats;

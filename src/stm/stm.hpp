@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "common/backoff.hpp"
+#include "stm/commit_fence.hpp"
 #include "stm/contention.hpp"
 #include "stm/fwd.hpp"
 #include "stm/mvcc.hpp"
@@ -332,5 +333,132 @@ class Stm {
   std::atomic<std::uint64_t> gate_entered_ns_{0};
   std::atomic<std::uint32_t> gate_holder_{~0u};
 };
+
+// ---------------------------------------------------------------------------
+// Fast-path admission, inline. These run once per unlocked read; defining
+// them here (below Stm, whose clock the cut consults) keeps the per-lookup
+// cost to the loads themselves instead of a cross-TU call and its spills.
+// The cold edges — extension, the own-pin / own-fence excuses, chaos — stay
+// out of line in txn.cpp.
+// ---------------------------------------------------------------------------
+
+inline bool Txn::unlocked_reads_valid(bool fences_entered) const noexcept {
+  // LoadLoad barrier: order the caller's preceding base-structure reads
+  // (and any data reads since the last validation) before the word
+  // re-loads — the seqlock reader-side recipe.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  for (const detail::SeqReadEntry& e : arena_.seq_reads) {
+    const std::uint64_t w = e.word->load(std::memory_order_acquire);
+    if (w == e.observed) [[likely]] continue;
+    // One past the observed (even) value with the pin being our own: this
+    // attempt read the stripe and later mutated it. The eager mutation is
+    // guarded by the abstract lock + undo hooks, so the admitted read stays
+    // coherent with this transaction's own view.
+    if (w == e.observed + 1 && holds_seq_word(e.word)) continue;
+    return false;
+  }
+  return unlocked_fence_reads_valid(fences_entered);
+}
+
+inline bool Txn::unlocked_fence_reads_valid(
+    bool fences_entered) const noexcept {
+  for (const detail::FenceReadEntry& e : arena_.fence_reads) {
+    const std::uint64_t w = e.fence->word();
+    if (w == e.observed) [[likely]] continue;
+    // At commit time this transaction has entered its own registered
+    // fences; exactly one own open bracket on top of the observed
+    // quiescent word is not a foreign replay.
+    if (fences_entered && w == e.observed + CommitFence::kEntry &&
+        owns_fence(e.fence)) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+inline bool Txn::fast_read_cut() {
+  // Every admitted unlocked read must still hold before the serialization
+  // point can move to "now". A miss is permanent (the words are monotone),
+  // so it aborts rather than falls back.
+  if (!unlocked_reads_valid(/*fences_entered=*/false)) {
+    throw ConflictAbort{AbortReason::ValidationFailed};
+  }
+  // Unlocked reads carry no version, so admitting one is only sound at a
+  // cut where the *entire* read set is current. Under IncOnCommit an
+  // unmoved clock proves no writer committed since rv_; the other schemes
+  // cannot prove quiescence from the clock (LazyBump never ticks), so any
+  // STM read set forces a full extension.
+  if (!arena_.reads.empty() &&
+      (scheme_ != ClockScheme::IncOnCommit || stm_.clock_now() != rv_))
+      [[unlikely]] {
+    if (snapshot_frozen_) return false;  // cannot extend; use the slow path
+    extend_or_abort();
+  }
+  return true;
+}
+
+inline bool Txn::admit_unlocked_read(const std::atomic<std::uint64_t>* word,
+                                     std::uint64_t observed) {
+  assert(active_ && !mvcc_reader_);
+  if (arena_.seq_reads.size() + arena_.fence_reads.size() >=
+      kMaxUnlockedReads) {
+    return false;
+  }
+  // Inlined fast_read_cut with the dedup probe fused into the validation
+  // scan — one pass over the entries instead of two. Semantics match
+  // fast_read_cut exactly: a moved word without the own-pin excuse is a
+  // permanent miss (the words are monotone), so it aborts.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  bool covered = false;
+  for (const detail::SeqReadEntry& e : arena_.seq_reads) {
+    const std::uint64_t w = e.word->load(std::memory_order_acquire);
+    if (w != e.observed) [[unlikely]] {
+      if (!(w == e.observed + 1 && holds_seq_word(e.word))) {
+        throw ConflictAbort{AbortReason::ValidationFailed};
+      }
+    }
+    covered |= (e.word == word);
+  }
+  if (!arena_.fence_reads.empty() &&
+      !unlocked_fence_reads_valid(/*fences_entered=*/false)) [[unlikely]] {
+    throw ConflictAbort{AbortReason::ValidationFailed};
+  }
+  // See fast_read_cut: a non-empty STM read set forces proof of a current
+  // cut (unmoved IncOnCommit clock) or a full extension.
+  if (!arena_.reads.empty() &&
+      (scheme_ != ClockScheme::IncOnCommit || stm_.clock_now() != rv_))
+      [[unlikely]] {
+    if (snapshot_frozen_) return false;  // cannot extend; use the slow path
+    extend_or_abort();
+  }
+  // Re-check after the cut: the extension may have admitted a clock that a
+  // mutator of this very stripe advanced.
+  if (word->load(std::memory_order_acquire) != observed) return false;
+  if (!covered) arena_.seq_reads.push_back({word, observed});
+  stats_.count_fastpath_hit();
+  return true;
+}
+
+inline bool Txn::admit_unlocked_fence_read(const CommitFence* fence,
+                                           std::uint64_t observed) {
+  assert(active_ && !mvcc_reader_);
+  assert(CommitFence::quiescent(observed));
+  if (arena_.seq_reads.size() + arena_.fence_reads.size() >=
+      kMaxUnlockedReads) {
+    return false;
+  }
+  if (!fast_read_cut()) return false;
+  if (fence->word() != observed) return false;
+  for (const detail::FenceReadEntry& e : arena_.fence_reads) {
+    if (e.fence == fence) {
+      stats_.count_fastpath_hit();
+      return true;
+    }
+  }
+  arena_.fence_reads.push_back({fence, observed});
+  stats_.count_fastpath_hit();
+  return true;
+}
 
 }  // namespace proust::stm

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/backoff.hpp"
+#include "common/ebr.hpp"
 #include "stm/chaos.hpp"
 #include "stm/commit_fence.hpp"
 #include "stm/contention.hpp"
@@ -46,10 +47,13 @@ Txn::Txn(Stm& stm)
   assert(tls_current == nullptr && "a transaction is already running here");
   assert(arena_.writes.empty() && arena_.locals.empty() &&
          "arena not reset by the previous transaction");
+  assert(ebr::debug_guard_depth() == 0 &&
+         "EBR guard leaked into a transaction");
   if (stm.cm().tracking()) {
     cm_ = &stm.cm();
     cm_cell_ = &stm.cm_state().slot(slot_);
   }
+  optimistic_reads_ = stm.options().optimistic_reads;
   tls_current = this;
 }
 
@@ -617,8 +621,48 @@ void Txn::extend_or_abort() {
   if (!validate_read_set()) {
     throw ConflictAbort{AbortReason::ValidationFailed};
   }
+  // Admitted unlocked reads move with the snapshot: they are valid at the
+  // new rv only if their words never moved (sequence words are not
+  // versioned, so "unchanged since admission" is the only claim we can
+  // extend).
+  if (!unlocked_reads_valid(/*fences_entered=*/false)) [[unlikely]] {
+    throw ConflictAbort{AbortReason::ValidationFailed};
+  }
   rv_ = now;
   stats_.count_extension();
+}
+
+bool Txn::holds_seq_word(
+    const std::atomic<std::uint64_t>* word) const noexcept {
+  for (const TxnArena::SeqHold& h : arena_.seq_holds) {
+    if (h.word == word) return true;
+  }
+  return false;
+}
+
+bool Txn::owns_fence(const CommitFence* fence) const noexcept {
+  for (const CommitFence* f : arena_.commit_fences) {
+    if (f == fence) return true;
+  }
+  return false;
+}
+
+// unlocked_reads_valid / fast_read_cut / admit_unlocked_read /
+// admit_unlocked_fence_read are defined inline at the bottom of stm.hpp:
+// they run once per fast-path read, and an out-of-line call per lookup
+// (plus the spills it forces) costs more than the admission logic itself.
+
+bool Txn::chaos_fastpath_fallback_slow() {
+  const ChaosAction a = chaos_->decide(ChaosPoint::FastPathRead);
+  if (a == ChaosAction::None) [[likely]] return false;
+  stats_.count_injected(ChaosPoint::FastPathRead);
+  if (a == ChaosAction::Delay) {
+    chaos_->inject_delay();
+    return false;
+  }
+  // Abort/Timeout draws force the locked slow path: the fast path's failure
+  // mode *is* the fallback, and the slow path must produce the same result.
+  return true;
 }
 
 void Txn::release_locks(Version version) noexcept {
@@ -644,6 +688,11 @@ void Txn::undo_writes() noexcept {
 
 void Txn::commit() {
   assert(active_);
+  // Fast-path reads pin a container's EBR domain only for the base
+  // traversal itself; a pin that survives to commit would stall every
+  // domain the thread touches (common/ebr.hpp debug_guard_depth).
+  assert(ebr::debug_guard_depth() == 0 &&
+         "EBR guard held across a transaction boundary");
 
   // Snapshot readers commit unconditionally: no locks were taken, no
   // validation is owed (every read came from the pinned snapshot), and
@@ -651,6 +700,8 @@ void Txn::commit() {
   // snapshot reader holds nothing any writer can be waiting on.
   if (mvcc_reader_) [[unlikely]] {
     assert(arena_.writes.empty() && arena_.commit_locked_hooks.empty());
+    assert(arena_.seq_reads.empty() && arena_.fence_reads.empty() &&
+           "snapshot readers are fast-path ineligible");
     mvcc_state_->reader_end(slot_);
     mvcc_reader_ = false;
     active_ = false;
@@ -675,8 +726,17 @@ void Txn::commit() {
   }
 
   // Read-only (and hook-free) fast path: reads were validated incrementally,
-  // no clock advance needed.
+  // no clock advance needed. Note an eager pessimistic *mutator* also lands
+  // here (its writes went through abort hooks + abstract locks, not the STM
+  // write set), so admitted unlocked reads are still revalidated — with the
+  // self-pin excuse for stripes this attempt both read and mutated.
   if (arena_.writes.empty() && arena_.commit_locked_hooks.empty()) {
+    if (!arena_.seq_reads.empty() || !arena_.fence_reads.empty())
+        [[unlikely]] {
+      if (!unlocked_reads_valid(/*fences_entered=*/false)) {
+        throw ConflictAbort{AbortReason::ValidationFailed};
+      }
+    }
     clear_reader_marks();
     active_ = false;
     stats_.count_commit();
@@ -743,6 +803,17 @@ void Txn::commit() {
     if (need_validation) chaos_point(ChaosPoint::TxnValidate);
     if (need_validation && !validate_read_set()) {
       throw ConflictAbort{AbortReason::ValidationFailed};
+    }
+    // Admitted unlocked reads are validated unconditionally — the
+    // skip_validation shortcut proves no *versioned* writer overlapped, but
+    // sequence words are also bumped by pessimistic mutators that never
+    // tick the clock. Own commit fences are entered by now, so exactly one
+    // own bracket over the observed word is excused.
+    if (!arena_.seq_reads.empty() || !arena_.fence_reads.empty())
+        [[unlikely]] {
+      if (!unlocked_reads_valid(/*fences_entered=*/true)) {
+        throw ConflictAbort{AbortReason::ValidationFailed};
+      }
     }
   } catch (...) {
     exit_commit_fences();
@@ -813,7 +884,12 @@ void Txn::rollback(AbortReason reason) noexcept {
     // mode, where it cannot conflict again.
     if (!mvcc_ineligible_ && stm_.options().mvcc_auto_readonly &&
         arena_.writes.empty() && arena_.commit_locked_hooks.empty() &&
-        arena_.abort_hooks.empty() && arena_.lock_holds.empty()) {
+        arena_.abort_hooks.empty() && arena_.lock_holds.empty() &&
+        arena_.seq_reads.empty() && arena_.fence_reads.empty() &&
+        arena_.seq_holds.empty()) {
+      // Attempts that used the optimistic read fast path retry on it (a
+      // snapshot reader is fast-path ineligible, and base reads would not
+      // come from the pinned snapshot anyway).
       mvcc_try_snapshot_ = true;
     }
   }
@@ -898,6 +974,12 @@ void Txn::verify_teardown() noexcept {
   }
   if (!arena_.reader_marks.empty()) {
     chaos_->report_leak("visible-reader marks not cleared");
+  }
+  for (const TxnArena::SeqHold& h : arena_.seq_holds) {
+    if (h.word != nullptr) {
+      chaos_->report_leak("sequence word still odd after finish hooks");
+      break;
+    }
   }
 }
 

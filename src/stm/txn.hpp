@@ -119,6 +119,54 @@ class Txn {
   /// must not also take the shared side at commit).
   void set_gate_exempt(bool exempt) noexcept { gate_exempt_ = exempt; }
 
+  // --- Optimistic read fast path (DESIGN.md §12) --------------------------
+  // Wrappers call these through AbstractLock::try_read_unlocked: a read-only
+  // operation traverses the base structure under its own synchronization
+  // (no abstract lock), then *admits* the observed result against the
+  // sequence word (or commit fence) it saw stable around the traversal.
+  // Admission re-anchors the transaction's serialization point: every
+  // previously admitted unlocked read is revalidated, the STM read set is
+  // extended if the clock moved, and the new word is re-checked — then the
+  // entry is recorded so later admissions, timestamp extensions and the
+  // commit itself re-check it. Any of these failing to *hold still* returns
+  // false (caller takes the locked slow path); a genuine validation miss of
+  // an already-admitted read aborts the attempt (the mismatch is permanent —
+  // sequence words and fence words are monotone).
+
+  /// May this attempt serve reads through the unlocked fast path at all?
+  bool fast_read_eligible() const noexcept {
+    return optimistic_reads_ && !mvcc_reader_ && !gate_exempt_;
+  }
+
+  /// Admit an unlocked read observed while `*word` held the stable (even)
+  /// value `observed`. True = recorded; false = discard the result and take
+  /// the locked slow path. May throw ConflictAbort (permanent miss).
+  bool admit_unlocked_read(const std::atomic<std::uint64_t>* word,
+                           std::uint64_t observed);
+
+  /// As above for a lazy wrapper's CommitFence word observed quiescent.
+  bool admit_unlocked_fence_read(const CommitFence* fence,
+                                 std::uint64_t observed);
+
+  /// Chaos gate for the fast path: true = an injected fault forces this
+  /// read onto the locked slow path (never aborts — the fallback IS the
+  /// failure path under test). The nullptr test inlines so the common
+  /// no-injection case costs one predicted branch per read.
+  bool chaos_fastpath_fallback() {
+    if (chaos_ == nullptr) [[likely]] return false;
+    return chaos_fastpath_fallback_slow();
+  }
+
+  /// Counted when an eligible read fell back to the locked slow path.
+  void note_fastpath_fallback() noexcept { stats_.count_fastpath_fallback(); }
+
+  /// This attempt's sequence-word pins (core/read_seq.hpp appends one per
+  /// distinct stripe a mutator touches; released even by the owning table's
+  /// finish hook). Mirrors lock_holds().
+  std::vector<TxnArena::SeqHold>& seq_holds() noexcept {
+    return arena_.seq_holds;
+  }
+
   /// Abort this attempt and retry from the top of the atomically block.
   [[noreturn]] void retry(AbortReason reason = AbortReason::Explicit) {
     throw ConflictAbort{reason};
@@ -258,6 +306,20 @@ class Txn {
   /// read time (or is locked by this transaction with that displaced
   /// version).
   bool validate_read_set() const noexcept;
+  /// Every admitted unlocked read still holds its observed word. A seq word
+  /// one past its observed value is excused when this attempt pinned it (a
+  /// read-then-mutate of the same stripe); a fence word one own-bracket
+  /// ahead is excused at commit time (`fences_entered`) when the fence is
+  /// this transaction's own.
+  bool unlocked_reads_valid(bool fences_entered) const noexcept;
+  bool unlocked_fence_reads_valid(bool fences_entered) const noexcept;
+  bool chaos_fastpath_fallback_slow();
+  /// Admission helper: revalidate all admitted unlocked reads and extend the
+  /// STM read set to "now" if needed. False = the cut cannot move (frozen
+  /// snapshot); throws on a genuine validation miss.
+  bool fast_read_cut();
+  bool holds_seq_word(const std::atomic<std::uint64_t>* word) const noexcept;
+  bool owns_fence(const CommitFence* fence) const noexcept;
   /// EagerWrite/Lazy timestamp extension on a too-new read.
   void extend_or_abort();
   void run_commit_locked_hooks() noexcept;
@@ -308,6 +370,11 @@ class Txn {
   /// Write sets at most this large are probed by linear scan.
   static constexpr std::size_t kSmallWriteSet = 8;
 
+  /// Cap on admitted unlocked reads per attempt: each admission revalidates
+  /// all prior entries, so the cap bounds that work at O(cap) per read. A
+  /// transaction past it simply uses the locked slow path for further reads.
+  static constexpr std::size_t kMaxUnlockedReads = 64;
+
   Stm& stm_;
   TxnArena& arena_;
   ChaosPolicy* chaos_;  // from StmOptions; nullptr = injection disabled
@@ -328,6 +395,7 @@ class Txn {
   bool active_ = false;
   bool snapshot_frozen_ = false;
   bool gate_exempt_ = false;
+  bool optimistic_reads_ = false;  // StmOptions::optimistic_reads, cached
   bool write_table_on_ = false;  // flat-table tier engaged this attempt
   std::uint64_t write_bloom_ = 0;
   // MVCC state (all dormant — mvcc_state_ == nullptr — unless the Stm was

@@ -13,6 +13,7 @@
 // Stm instances coexist.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -71,6 +72,24 @@ struct ReadEntry {
   Version version;
 };
 
+/// One admitted optimistic unlocked read against a per-stripe sequence word
+/// (core/read_seq.hpp): the word observed stable (even) around the base
+/// traversal. Revalidated at every later admission, timestamp extension and
+/// at commit; a mismatch means a mutator overlapped the read.
+struct SeqReadEntry {
+  const std::atomic<std::uint64_t>* word;
+  std::uint64_t observed;
+};
+
+/// One admitted optimistic unlocked read against a lazy wrapper's
+/// CommitFence: the fence word observed quiescent around the base read.
+/// Own-commit brackets are excused at commit-time validation (the fence is
+/// then listed in `commit_fences`).
+struct FenceReadEntry {
+  const CommitFence* fence;
+  std::uint64_t observed;
+};
+
 }  // namespace detail
 
 struct TxnArena {
@@ -96,6 +115,17 @@ struct TxnArena {
     std::uint32_t writers;
   };
 
+  /// One sequence-word pin owned by the running attempt: an eager mutator
+  /// bumped `word` odd before its first base mutation of that stripe and the
+  /// owning ReadSeqTable's finish hook bumps it back even once — after
+  /// commit (mutations stay) or after the inverse abort hooks ran (state
+  /// restored). `word == nullptr` marks a released record; reset_attempt
+  /// asserts every record was released.
+  struct SeqHold {
+    const void* group;  // the ReadSeqTable that owns the word
+    std::atomic<std::uint64_t>* word;
+  };
+
   std::vector<detail::ReadEntry> reads;
   ChunkPool<detail::WriteEntry, 32> writes;  // chunked: stable LockRecord addresses
   FlatPtrMap write_table;                    // engaged past the linear-scan window
@@ -114,10 +144,19 @@ struct TxnArena {
   BumpArena local_slab;
   std::vector<LockHold> lock_holds;
 
+  // Optimistic read fast path (DESIGN.md §12): admitted unlocked reads and
+  // the sequence words this attempt holds odd as a mutator.
+  std::vector<detail::SeqReadEntry> seq_reads;
+  std::vector<detail::FenceReadEntry> fence_reads;
+  std::vector<SeqHold> seq_holds;
+
   TxnArena() {
     reads.reserve(64);
     reader_marks.reserve(16);
     lock_holds.reserve(8);
+    seq_reads.reserve(16);
+    fence_reads.reserve(8);
+    seq_holds.reserve(8);
   }
 
   /// The calling thread's arena (lazily constructed, lives until thread exit).
@@ -139,6 +178,9 @@ struct TxnArena {
              "abstract-lock stripe leaked past finish hooks");
     }
     assert(reader_marks.empty() && "visible-reader marks leaked");
+    for (const SeqHold& h : seq_holds) {
+      assert(h.word == nullptr && "sequence word left odd past finish hooks");
+    }
 #endif
     reads.clear();
     writes.reset();
@@ -157,6 +199,10 @@ struct TxnArena {
     // Lock holds were already released by the owning LAPs' finish hooks
     // (which run before this reset); drop the records, keep the capacity.
     lock_holds.clear();
+    seq_reads.clear();
+    fence_reads.clear();
+    // Seq holds were already bumped even by the owning tables' finish hooks.
+    seq_holds.clear();
   }
 };
 

@@ -131,6 +131,54 @@ std::size_t count_pairs(const ModelSpec& model) {
          (invocations + 1) / 2;
 }
 
+bool is_read_only(const ModelSpec& model, const MethodSpec& method) {
+  for (int state = 0; state < model.num_states; ++state) {
+    if (model.state_filter && !model.state_filter(state)) continue;
+    for (const Args& args : method.arg_tuples) {
+      if (method.apply(state, args).next_state != state) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Counterexample> check_read_only_commutativity(
+    const ModelSpec& model) {
+  // Collect the read-only methods once; the pair scan is over those only.
+  std::vector<const MethodSpec*> ro;
+  for (const MethodSpec& m : model.methods) {
+    if (is_read_only(model, m)) ro.push_back(&m);
+  }
+  for (int state = 0; state < model.num_states; ++state) {
+    if (model.state_filter && !model.state_filter(state)) continue;
+    for (std::size_t mi = 0; mi < ro.size(); ++mi) {
+      const MethodSpec& m = *ro[mi];
+      for (const Args& ma : m.arg_tuples) {
+        for (std::size_t ni = mi; ni < ro.size(); ++ni) {
+          const MethodSpec& n = *ro[ni];
+          for (const Args& na : n.arg_tuples) {
+            if (commutes(model, state, m, ma, n, na)) continue;
+            Counterexample cex;
+            cex.state = state;
+            cex.m = Invocation{m.name, ma};
+            cex.n = Invocation{n.name, na};
+            std::ostringstream os;
+            os << "state "
+               << (model.describe_state ? model.describe_state(state)
+                                        : std::to_string(state))
+               << ": read-only invocations " << m.name << describe_args(ma)
+               << " and " << n.name << describe_args(na)
+               << " do not commute — the model's reads are order-sensitive, "
+                  "so admitting them on the unlocked fast path is unsound";
+            cex.detail = os.str();
+            return cex;
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::string to_string(const Counterexample& cex) { return cex.detail; }
 
 }  // namespace proust::verify

@@ -19,7 +19,8 @@ TEST(MemoReplayLog, GetReadsThroughToBase) {
   Base base;
   base.put(1, 10);
   BumpArena arena;
-  core::MemoReplayLog<Base, long, long> log(base, false, arena);
+  stm::CommitFence fence;
+  core::MemoReplayLog<Base, long, long> log(base, fence, false, arena);
   EXPECT_EQ(log.get(1), 10);
   EXPECT_EQ(log.get(2), std::nullopt);
 }
@@ -28,7 +29,8 @@ TEST(MemoReplayLog, PendingUpdatesShadowBase) {
   Base base;
   base.put(1, 10);
   BumpArena arena;
-  core::MemoReplayLog<Base, long, long> log(base, false, arena);
+  stm::CommitFence fence;
+  core::MemoReplayLog<Base, long, long> log(base, fence, false, arena);
   EXPECT_EQ(log.put(1, 11), 10);
   EXPECT_EQ(log.get(1), 11);
   EXPECT_EQ(base.get(1), 10) << "base untouched before replay";
@@ -40,7 +42,8 @@ TEST(MemoReplayLog, PendingUpdatesShadowBase) {
 TEST(MemoReplayLog, ReplayAppliesOpsInOrder) {
   Base base;
   BumpArena arena;
-  core::MemoReplayLog<Base, long, long> log(base, false, arena);
+  stm::CommitFence fence;
+  core::MemoReplayLog<Base, long, long> log(base, fence, false, arena);
   log.put(1, 1);
   log.put(1, 2);
   log.remove(1);
@@ -56,7 +59,8 @@ TEST(MemoReplayLog, CombiningReplaysOnlyFinalStates) {
   Base base;
   base.put(5, 50);
   BumpArena arena;
-  core::MemoReplayLog<Base, long, long> log(base, true, arena);
+  stm::CommitFence fence;
+  core::MemoReplayLog<Base, long, long> log(base, fence, true, arena);
   log.put(1, 1);
   log.put(1, 2);
   log.put(1, 3);
@@ -76,8 +80,9 @@ TEST(MemoReplayLog, CombiningAndSequentialAgree) {
     base2.put(k, k);
   }
   BumpArena arena;
-  core::MemoReplayLog<Base, long, long> seq(base1, false, arena);
-  core::MemoReplayLog<Base, long, long> comb(base2, true, arena);
+  stm::CommitFence fence1, fence2;
+  core::MemoReplayLog<Base, long, long> seq(base1, fence1, false, arena);
+  core::MemoReplayLog<Base, long, long> comb(base2, fence2, true, arena);
   for (int i = 0; i < 100; ++i) {
     const long k = (i * 7) % 8;
     if (i % 3 == 0) {

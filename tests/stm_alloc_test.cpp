@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "core/lap.hpp"
@@ -266,6 +267,40 @@ TEST(ZeroAllocProust, LazyMapSteadyStateAllocatesNothing) {
     });
   });
   EXPECT_EQ(n, 0u);
+}
+
+TEST(ZeroAllocProust, ZeroAllocReadPath) {
+  // The optimistic read fast path with heap-heavy keys. The old
+  // initializer-list admission built a LockFor<K> per call — for string
+  // keys beyond SSO that was one heap allocation per get/contains; the
+  // by-ref overloads plus the unlocked fast path must be allocation-free
+  // end to end, and the reads must actually take the fast path.
+  Stm stm(Mode::Lazy, StmOptions{.optimistic_reads = true});
+  proust::core::PessimisticLap<std::string> lap(stm, 64);
+  proust::core::TxnHashMap<std::string, long,
+                           proust::core::PessimisticLap<std::string>>
+      map(lap);
+  std::vector<std::string> keys;
+  for (int k = 0; k < 4; ++k) {
+    keys.push_back("a key long enough to defeat small-string storage #" +
+                   std::to_string(k));
+  }
+  for (const auto& k : keys) {
+    stm.atomically([&](Txn& tx) { map.put(tx, k, 1); });
+  }
+  long sink = 0;
+  const std::size_t n = allocations_in_steady_state([&](int) {
+    stm.atomically([&](Txn& tx) {
+      for (const auto& k : keys) {
+        sink += map.get(tx, k).value_or(0);
+        if (map.contains(tx, k)) ++sink;
+      }
+    });
+  });
+  EXPECT_EQ(n, 0u);
+  EXPECT_GT(sink, 0);
+  EXPECT_GT(stm.stats().snapshot().fastpath_hits, 0u)
+      << "reads never took the unlocked fast path";
 }
 
 TEST(ZeroAllocProust, LazyPessimisticCombiningAllocatesNothing) {

@@ -198,3 +198,65 @@ TEST(CheckCA, PairCountMatchesEnumeration) {
   // invocations: get×2 + contains×2 + put×2 + remove×2 = 8; pairs = 8*9/2.
   EXPECT_EQ(count_pairs(m), 4u * 36u);
 }
+
+// --- Read-only soundness for the optimistic fast path (DESIGN.md §12) ---
+// The fast path admits exactly the operations the wrappers route through
+// try_read_unlocked; these tests pin down the model-level justification:
+// those methods are state-preserving in every reachable state, and any two
+// of them commute everywhere (so unlocked readers cannot conflict with each
+// other — only the reader-vs-mutator case remains, which the sequence-word
+// validation covers).
+
+namespace {
+const MethodSpec& method_named(const ModelSpec& m, const std::string& name) {
+  for (const MethodSpec& ms : m.methods) {
+    if (ms.name == name) return ms;
+  }
+  ADD_FAILURE() << "model " << m.name << " has no method " << name;
+  return m.methods.front();
+}
+}  // namespace
+
+TEST(ReadOnly, MapReadersAreReadOnlyAndMutatorsAreNot) {
+  const ModelSpec m = make_map_model(2, 2);
+  EXPECT_TRUE(is_read_only(m, method_named(m, "get")));
+  EXPECT_TRUE(is_read_only(m, method_named(m, "contains")));
+  EXPECT_FALSE(is_read_only(m, method_named(m, "put")));
+  EXPECT_FALSE(is_read_only(m, method_named(m, "remove")));
+}
+
+TEST(ReadOnly, PQueueMinIsReadOnlyRemoveMinIsNot) {
+  const ModelSpec m = make_pqueue_model(3, 4);
+  EXPECT_TRUE(is_read_only(m, method_named(m, "min")));
+  EXPECT_FALSE(is_read_only(m, method_named(m, "insert")));
+  EXPECT_FALSE(is_read_only(m, method_named(m, "removeMin")));
+}
+
+TEST(ReadOnly, AllModelsAreFastPathSound) {
+  for (const ModelSpec& m :
+       {make_counter_model(6), make_map_model(3, 2), make_pqueue_model(3, 4),
+        make_queue_model(2, 4), make_deque_model(2, 4),
+        make_ordered_map_model(4, 2)}) {
+    const auto cex = check_read_only_commutativity(m);
+    EXPECT_FALSE(cex.has_value()) << m.name << ": " << cex->detail;
+  }
+}
+
+TEST(ReadOnly, OrderSensitiveReadIsRefuted) {
+  // A "read" whose result depends on how many times it has run — the model
+  // analogue of a fast-path read observing replay order. It preserves the
+  // state, so is_read_only admits it; the commutativity check must be the
+  // one to refute it.
+  auto calls = std::make_shared<int>(0);
+  ModelSpec m;
+  m.name = "order-sensitive-read";
+  m.num_states = 1;
+  m.methods.push_back(MethodSpec{
+      "stale_get", {{}}, [calls](int state, const Args&) {
+        return OpOutcome{state, ++*calls};
+      }});
+  EXPECT_TRUE(is_read_only(m, m.methods[0]));
+  const auto cex = check_read_only_commutativity(m);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_EQ(cex->m.method, "stale_get");
+}
