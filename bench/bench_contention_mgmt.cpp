@@ -63,8 +63,11 @@ int main(int argc, char** argv) {
   cfg.key_range = cli.get_long("key-range", 32);  // hot keys
   cfg.write_fraction = cli.get_double("u", 1.0);  // every op mutates
   cfg.ops_per_txn = static_cast<int>(cli.get_long("o", 8));
-  cfg.warmup_runs = 1;
-  cfg.timed_runs = 2;
+  cfg.warmup_runs = static_cast<int>(cli.get_long("warmup", 1));
+  cfg.timed_runs = static_cast<int>(cli.get_long("runs", 2));
+  cfg.pin_plan = topo::Topology::system().pin_plan(
+      cli.get_pin_policy("pin", topo::PinPolicy::None));
+  const bool use_min = cli.get("stat", "mean") == "min";
   const auto threads = cli.get_longs("threads", {1, 2, 4, 8, 16});
   // 0 keeps the gate out of the comparison: the CM is then the only
   // mechanism bounding the retry tail. Set e.g. --fallback=8 to measure the
@@ -100,9 +103,12 @@ int main(int argc, char** argv) {
       const RunResult r = run_map_throughput(m, cfg);
       const stm::StatsSnapshot& s = r.stats;
 
+      const double shown_ops_s = use_min ? r.ops_per_sec_min(cfg.total_ops)
+                                         : r.ops_per_sec(cfg.total_ops);
       table.row(
-          {std::string(v.tag), std::to_string(t), Table::fmt(r.mean_ms, 1),
-           Table::fmt(r.ops_per_sec(cfg.total_ops) / 1e3, 0),
+          {std::string(v.tag), std::to_string(t),
+           Table::fmt(use_min ? r.min_ms : r.mean_ms, 1),
+           Table::fmt(shown_ops_s / 1e3, 0),
            Table::fmt(100.0 * r.abort_ratio(), 1),
            std::to_string(s.attempts_percentile(0.50)),
            std::to_string(s.attempts_percentile(0.99)),
@@ -111,14 +117,15 @@ int main(int argc, char** argv) {
                s.aborts[static_cast<std::size_t>(stm::AbortReason::CmKilled)]),
            std::to_string(s.throttle_waits)});
 
-      JsonRecord rec{"contention_mgmt",
-                     v.tag,
-                     stm::to_string(stm::Mode::Lazy),
-                     static_cast<int>(t),
-                     cfg.ops_per_txn,
-                     cfg.write_fraction,
-                     r.ops_per_sec(cfg.total_ops),
-                     r.abort_ratio()};
+      JsonRecord rec;
+      rec.bench = "contention_mgmt";
+      rec.workload = v.tag;
+      rec.mode = stm::to_string(stm::Mode::Lazy);
+      rec.threads = static_cast<int>(t);
+      rec.ops_per_txn = cfg.ops_per_txn;
+      rec.write_fraction = cfg.write_fraction;
+      rec.ops_per_sec = shown_ops_s;
+      rec.abort_ratio = r.abort_ratio();
       rec.with_stats(s);
       json.add(std::move(rec));
     }

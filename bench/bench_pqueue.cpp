@@ -3,15 +3,20 @@
 // reader-writer lock approximation. Insert-heavy workloads let commuting
 // inserts run concurrently under the abstract-state CA (group discipline /
 // MultiSet-only writes) where the single-lock approximation serializes them.
-#include <barrier>
+//
+// Timing goes through the shared per-worker-clocked harness
+// (bench::run_ops_timed): several timed runs, mean/sd/min reported, with
+// `--stat=min` selecting the steal-robust minimum and `--pin` applying a
+// worker pin plan.
 #include <chrono>
 #include <cstdio>
-#include <thread>
 #include <vector>
 
 #include "bench_util/cli.hpp"
+#include "bench_util/harness.hpp"
 #include "bench_util/table.hpp"
 #include "common/rng.hpp"
+#include "common/topology.hpp"
 #include "core/lap.hpp"
 #include "core/lazy_pqueue.hpp"
 #include "core/txn_pqueue.hpp"
@@ -29,29 +34,17 @@ struct Mix {
   double insert, remove_min, min;  // fractions; rest = contains
 };
 
-template <class RunOp>
-double timed(int threads, long iters, RunOp&& op) {
-  std::barrier sync(threads + 1);
-  std::vector<std::thread> ts;
-  for (int t = 0; t < threads; ++t) {
-    ts.emplace_back([&, t] {
-      sync.arrive_and_wait();
-      Xoshiro256 rng(static_cast<std::uint64_t>(t) * 1297 + 11);
-      for (long i = 0; i < iters; ++i) op(rng);
-      sync.arrive_and_wait();
-    });
-  }
-  sync.arrive_and_wait();
-  const auto start = std::chrono::steady_clock::now();
-  sync.arrive_and_wait();
-  const auto stop = std::chrono::steady_clock::now();
-  for (auto& th : ts) th.join();
-  return std::chrono::duration<double, std::milli>(stop - start).count();
-}
+struct Knobs {
+  long iters;
+  int warmup;
+  int runs;
+  bool use_min;
+  std::vector<int> pin_plan;
+};
 
 template <class PQ, class Stm>
 auto make_op(Stm& stm, PQ& pq, const Mix& mix) {
-  return [&stm, &pq, mix](Xoshiro256& rng) {
+  return [&stm, &pq, mix](int, Xoshiro256& rng) {
     const double r = rng.uniform();
     const long v = static_cast<long>(rng.below(100000));
     if (r < mix.insert) {
@@ -66,11 +59,33 @@ auto make_op(Stm& stm, PQ& pq, const Mix& mix) {
   };
 }
 
+template <class PQ, class Stm>
+void run_config(bench::Table& table, const char* impl, const Mix& mix,
+                int threads, const Knobs& k, Stm& stm, PQ& pq, long prefill) {
+  for (long i = 0; i < prefill; ++i) {
+    pq.unsafe_insert(static_cast<long>(i * 37 % 100000));
+  }
+  const bench::TimedRuns t = bench::run_ops_timed(
+      threads, k.iters, k.warmup, k.runs, /*seed=*/11, k.pin_plan,
+      make_op(stm, pq, mix), [&stm] { stm.stats().reset(); });
+  const auto s = stm.stats().snapshot();
+  const double abort_pct = s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
+  table.row({impl, mix.name, std::to_string(threads),
+             bench::Table::fmt(k.use_min ? t.min_ms : t.mean_ms, 1),
+             bench::Table::fmt(t.sd_ms, 1), bench::Table::fmt(abort_pct, 1)});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Cli cli(argc, argv);
-  const long iters = cli.get_long("iters", 4000);
+  Knobs k;
+  k.iters = cli.get_long("iters", 4000);
+  k.warmup = static_cast<int>(cli.get_long("warmup", 1));
+  k.runs = static_cast<int>(cli.get_long("runs", 3));
+  k.use_min = cli.get("stat", "mean") == "min";
+  k.pin_plan = topo::Topology::system().pin_plan(
+      cli.get_pin_policy("pin", topo::PinPolicy::None));
   const auto thread_counts =
       cli.get_longs("threads", std::vector<long>{1, 2, 4, 8});
   const long prefill = cli.get_long("prefill", 10000);
@@ -82,26 +97,18 @@ int main(int argc, char** argv) {
   };
 
   std::printf("# PQueue (§6): abstract-state CA vs single-RW-lock boosting "
-              "approximation, %ld ops/thread, prefill %ld\n",
-              iters, prefill);
-  bench::Table table({"impl", "mix", "threads", "ms", "abort%"});
+              "approximation, %ld ops/thread, prefill %ld, %d runs (%s)\n",
+              k.iters, prefill, k.runs, k.use_min ? "min" : "mean");
+  bench::Table table({"impl", "mix", "threads", "ms", "sd", "abort%"});
 
   for (const Mix& mix : mixes) {
     for (long t : thread_counts) {
+      const int threads = static_cast<int>(t);
       {  // Eager Proust, optimistic CA on the two abstract-state elements.
         stm::Stm stm(stm::Mode::EagerAll);
         core::OptimisticLap<PQueueState, PQueueStateHasher> lap(stm, 2);
         core::TxnPriorityQueue<long, decltype(lap)> pq(lap);
-        for (long i = 0; i < prefill; ++i) {
-          pq.unsafe_insert(static_cast<long>(i * 37 % 100000));
-        }
-        const double ms = timed(static_cast<int>(t), iters,
-                                make_op(stm, pq, mix));
-        const auto s = stm.stats().snapshot();
-        const double abort_pct =
-            s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
-        table.row({"eager-opt", mix.name, std::to_string(t),
-                   bench::Table::fmt(ms, 1), bench::Table::fmt(abort_pct, 1)});
+        run_config(table, "eager-opt", mix, threads, k, stm, pq, prefill);
       }
       {  // Eager Proust, pessimistic LAP with the per-element disciplines
          // (MultiSet = group lock: commuting inserts don't serialize).
@@ -109,16 +116,7 @@ int main(int argc, char** argv) {
         core::PessimisticLap<PQueueState, PQueueStateHasher> lap(
             stm, 2, core::pqueue_lock_kind, std::chrono::milliseconds(2));
         core::TxnPriorityQueue<long, decltype(lap)> pq(lap);
-        for (long i = 0; i < prefill; ++i) {
-          pq.unsafe_insert(static_cast<long>(i * 37 % 100000));
-        }
-        const double ms = timed(static_cast<int>(t), iters,
-                                make_op(stm, pq, mix));
-        const auto s = stm.stats().snapshot();
-        const double abort_pct =
-            s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
-        table.row({"pess-group", mix.name, std::to_string(t),
-                   bench::Table::fmt(ms, 1), bench::Table::fmt(abort_pct, 1)});
+        run_config(table, "pess-group", mix, threads, k, stm, pq, prefill);
       }
       {  // Boosting's published approximation: ONE reader-writer stripe for
          // the whole queue (every insert/removeMin takes the write lock).
@@ -127,31 +125,13 @@ int main(int argc, char** argv) {
             stm, 1, [](std::size_t) { return sync::LockKind::kReaderWriter; },
             std::chrono::milliseconds(2));
         core::TxnPriorityQueue<long, decltype(lap)> pq(lap);
-        for (long i = 0; i < prefill; ++i) {
-          pq.unsafe_insert(static_cast<long>(i * 37 % 100000));
-        }
-        const double ms = timed(static_cast<int>(t), iters,
-                                make_op(stm, pq, mix));
-        const auto s = stm.stats().snapshot();
-        const double abort_pct =
-            s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
-        table.row({"boosting-1rw", mix.name, std::to_string(t),
-                   bench::Table::fmt(ms, 1), bench::Table::fmt(abort_pct, 1)});
+        run_config(table, "boosting-1rw", mix, threads, k, stm, pq, prefill);
       }
       {  // Lazy Proust over the COW heap (snapshot shadow copies).
         stm::Stm stm(stm::Mode::Lazy);
         core::OptimisticLap<PQueueState, PQueueStateHasher> lap(stm, 2);
         core::LazyPriorityQueue<long, decltype(lap)> pq(lap);
-        for (long i = 0; i < prefill; ++i) {
-          pq.unsafe_insert(static_cast<long>(i * 37 % 100000));
-        }
-        const double ms = timed(static_cast<int>(t), iters,
-                                make_op(stm, pq, mix));
-        const auto s = stm.stats().snapshot();
-        const double abort_pct =
-            s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
-        table.row({"lazy-snap", mix.name, std::to_string(t),
-                   bench::Table::fmt(ms, 1), bench::Table::fmt(abort_pct, 1)});
+        run_config(table, "lazy-snap", mix, threads, k, stm, pq, prefill);
       }
     }
     std::printf("\n");

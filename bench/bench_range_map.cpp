@@ -11,19 +11,22 @@
 //   global-lock     — whole-transaction mutex over a std::map.
 // Sweeping the scan width shows where the interval CA's concurrency win
 // erodes (wider scans cover more stripes → conflict with more updates).
-#include <barrier>
-#include <chrono>
+//
+// Timing goes through the shared per-worker-clocked harness
+// (bench::run_ops_timed): several timed runs with mean/sd/min, `--stat=min`
+// for the steal-robust minimum, `--pin` for a worker pin plan.
 #include <cstdio>
 #include <map>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "baselines/pure_stm_tree_map.hpp"
 #include "bench_util/cli.hpp"
+#include "bench_util/harness.hpp"
 #include "bench_util/table.hpp"
 #include "common/rng.hpp"
+#include "common/topology.hpp"
 #include "core/lap.hpp"
-#include "baselines/pure_stm_tree_map.hpp"
 #include "core/txn_ordered_map.hpp"
 #include "stm/stm.hpp"
 
@@ -38,26 +41,33 @@ struct Shape {
   double scan_fraction;
   int threads;
   long iters;
+  int warmup;
+  int runs;
+  bool use_min;
+  std::vector<int> pin_plan;
 };
 
-template <class RunOp>
-double timed(int threads, long iters, RunOp&& op) {
-  std::barrier sync(threads + 1);
-  std::vector<std::thread> ts;
-  for (int t = 0; t < threads; ++t) {
-    ts.emplace_back([&, t] {
-      sync.arrive_and_wait();
-      Xoshiro256 rng(static_cast<std::uint64_t>(t) * 733 + 5);
-      for (long i = 0; i < iters; ++i) op(t, rng);
-      sync.arrive_and_wait();
-    });
-  }
-  sync.arrive_and_wait();
-  const auto start = std::chrono::steady_clock::now();
-  sync.arrive_and_wait();
-  const auto stop = std::chrono::steady_clock::now();
-  for (auto& th : ts) th.join();
-  return std::chrono::duration<double, std::milli>(stop - start).count();
+/// One timed config: `scan(lo, hi)` runs a range query, `point(k)` a
+/// windowed update; stats reset between warm-up and the timed runs when a
+/// Stm is supplied.
+template <class ScanOp, class PointOp>
+bench::TimedRuns run_shape(const Shape& sh, ScanOp&& scan, PointOp&& point,
+                           stm::Stm* stm) {
+  const long window = sh.key_range / sh.threads;
+  return bench::run_ops_timed(
+      sh.threads, sh.iters, sh.warmup, sh.runs, /*seed=*/5, sh.pin_plan,
+      [&](int t, Xoshiro256& rng) {
+        if (rng.uniform() < sh.scan_fraction) {
+          const long lo = static_cast<long>(
+              rng.below(sh.key_range - sh.scan_width + 1));
+          scan(lo, lo + sh.scan_width - 1);
+        } else {
+          point(t * window + static_cast<long>(rng.below(window)));
+        }
+      },
+      [stm] {
+        if (stm != nullptr) stm->stats().reset();
+      });
 }
 
 }  // namespace
@@ -69,44 +79,47 @@ int main(int argc, char** argv) {
   shape.threads = static_cast<int>(cli.get_long("threads", 4));
   shape.iters = cli.get_long("iters", 3000);
   shape.scan_fraction = cli.get_double("scan-frac", 0.2);
+  shape.warmup = static_cast<int>(cli.get_long("warmup", 1));
+  shape.runs = static_cast<int>(cli.get_long("runs", 3));
+  shape.use_min = cli.get("stat", "mean") == "min";
+  shape.pin_plan = topo::Topology::system().pin_plan(
+      cli.get_pin_policy("pin", topo::PinPolicy::None));
   const auto widths =
       cli.get_longs("widths", std::vector<long>{64, 512, 4096});
   const std::size_t stripes =
       static_cast<std::size_t>(cli.get_long("stripes", 64));
 
   std::printf("# Range-commutativity bench (§1): interval CA vs coarse, "
-              "keys=%ld, t=%d, scans=%.0f%%\n",
-              shape.key_range, shape.threads, shape.scan_fraction * 100);
-  bench::Table table({"impl", "scan-width", "ms", "abort%"});
+              "keys=%ld, t=%d, scans=%.0f%%, %d runs (%s)\n",
+              shape.key_range, shape.threads, shape.scan_fraction * 100,
+              shape.runs, shape.use_min ? "min" : "mean");
+  bench::Table table({"impl", "scan-width", "ms", "sd", "abort%"});
 
   for (long width : widths) {
     shape.scan_width = width;
-    // Each thread updates its own window; scans roam everywhere.
-    const long window = shape.key_range / shape.threads;
 
     for (std::size_t m : {stripes, std::size_t{1}}) {
       stm::Stm stm(stm::Mode::Lazy);
       OptLap lap(stm, m);
       core::TxnOrderedMap<long, OptLap> map(lap, 0, shape.key_range - 1, m);
       for (long k = 0; k < shape.key_range; k += 2) map.unsafe_put(k, 1);
-      const double ms = timed(shape.threads, shape.iters, [&](int t,
-                                                              Xoshiro256& rng) {
-        if (rng.uniform() < shape.scan_fraction) {
-          const long lo = static_cast<long>(
-              rng.below(shape.key_range - shape.scan_width + 1));
-          stm.atomically([&](stm::Txn& tx) {
-            (void)map.range_sum(tx, lo, lo + shape.scan_width - 1);
-          });
-        } else {
-          const long k = t * window + static_cast<long>(rng.below(window));
-          stm.atomically([&](stm::Txn& tx) { map.put(tx, k, 1); });
-        }
-      });
+      const bench::TimedRuns t = run_shape(
+          shape,
+          [&](long lo, long hi) {
+            stm.atomically(
+                [&](stm::Txn& tx) { (void)map.range_sum(tx, lo, hi); });
+          },
+          [&](long key) {
+            stm.atomically([&](stm::Txn& tx) { map.put(tx, key, 1); });
+          },
+          &stm);
       const auto s = stm.stats().snapshot();
       const double abort_pct =
           s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
       table.row({m == 1 ? "proust-coarse(M=1)" : "proust-interval",
-                 std::to_string(width), bench::Table::fmt(ms, 1),
+                 std::to_string(width),
+                 bench::Table::fmt(shape.use_min ? t.min_ms : t.mean_ms, 1),
+                 bench::Table::fmt(t.sd_ms, 1),
                  bench::Table::fmt(abort_pct, 2)});
     }
 
@@ -114,50 +127,48 @@ int main(int argc, char** argv) {
       stm::Stm stm(stm::Mode::Lazy);
       baselines::PureStmTreeMap<long, long> map(stm, 8192);
       for (long k = 0; k < shape.key_range; k += 2) map.unsafe_put(k, 1);
-      const double ms = timed(shape.threads, shape.iters, [&](int t,
-                                                              Xoshiro256& rng) {
-        if (rng.uniform() < shape.scan_fraction) {
-          const long lo = static_cast<long>(
-              rng.below(shape.key_range - shape.scan_width + 1));
-          stm.atomically([&](stm::Txn& tx) {
-            (void)map.range_sum(tx, lo, lo + shape.scan_width - 1);
-          });
-        } else {
-          const long k = t * window + static_cast<long>(rng.below(window));
-          stm.atomically([&](stm::Txn& tx) { map.put(tx, k, 1); });
-        }
-      });
+      const bench::TimedRuns t = run_shape(
+          shape,
+          [&](long lo, long hi) {
+            stm.atomically(
+                [&](stm::Txn& tx) { (void)map.range_sum(tx, lo, hi); });
+          },
+          [&](long key) {
+            stm.atomically([&](stm::Txn& tx) { map.put(tx, key, 1); });
+          },
+          &stm);
       const auto s = stm.stats().snapshot();
       const double abort_pct =
           s.starts ? 100.0 * s.total_aborts() / s.starts : 0;
       table.row({"pure-stm-tree", std::to_string(width),
-                 bench::Table::fmt(ms, 1), bench::Table::fmt(abort_pct, 2)});
+                 bench::Table::fmt(shape.use_min ? t.min_ms : t.mean_ms, 1),
+                 bench::Table::fmt(t.sd_ms, 1),
+                 bench::Table::fmt(abort_pct, 2)});
     }
 
     {
       std::mutex mu;
       std::map<long, long> map;
       for (long k = 0; k < shape.key_range; k += 2) map[k] = 1;
-      const double ms = timed(shape.threads, shape.iters, [&](int t,
-                                                              Xoshiro256& rng) {
-        if (rng.uniform() < shape.scan_fraction) {
-          const long lo = static_cast<long>(
-              rng.below(shape.key_range - shape.scan_width + 1));
-          std::lock_guard<std::mutex> g(mu);
-          long sum = 0;
-          for (auto it = map.lower_bound(lo);
-               it != map.end() && it->first < lo + shape.scan_width; ++it) {
-            sum += it->second;
-          }
-          (void)sum;
-        } else {
-          const long k = t * window + static_cast<long>(rng.below(window));
-          std::lock_guard<std::mutex> g(mu);
-          map[k] = 1;
-        }
-      });
+      const bench::TimedRuns t = run_shape(
+          shape,
+          [&](long lo, long hi) {
+            std::lock_guard<std::mutex> g(mu);
+            long sum = 0;
+            for (auto it = map.lower_bound(lo);
+                 it != map.end() && it->first <= hi; ++it) {
+              sum += it->second;
+            }
+            (void)sum;
+          },
+          [&](long key) {
+            std::lock_guard<std::mutex> g(mu);
+            map[key] = 1;
+          },
+          nullptr);
       table.row({"global-lock", std::to_string(width),
-                 bench::Table::fmt(ms, 1), "0.00"});
+                 bench::Table::fmt(shape.use_min ? t.min_ms : t.mean_ms, 1),
+                 bench::Table::fmt(t.sd_ms, 1), "0.00"});
     }
     std::printf("\n");
   }

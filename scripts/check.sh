@@ -42,6 +42,17 @@ echo "== fastpath: lock-free optimistic read fast path =="
 # admission to fall back to the locked path (DESIGN.md §12).
 ctest --test-dir build --output-on-failure -L fastpath
 
+echo "== topology: detection, pin plans, placement plumbing =="
+# Sysfs-fixture detection, pin-plan orderings, Stm-level pinning (skips in
+# sandboxes that refuse affinity syscalls), replicated ReadSeqTable banks.
+ctest --test-dir build --output-on-failure -L topology
+
+echo "== matrix: scenario-matrix smoke + CSV post-process =="
+# Tiny grid over every family x pinning cell, CSV consumed end-to-end by
+# plot_results.py (text fallback without matplotlib) — catches schema drift
+# between the bench driver and the post-processor.
+scripts/run_experiments.sh --smoke --out build/smoke-results
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tsan: skipped =="
   exit 0

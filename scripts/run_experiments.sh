@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Drive the unified scenario matrix end-to-end: build the bench, sweep the
+# workload x topology grid, and post-process the CSV into plots (or text
+# summaries when matplotlib is absent).
+#
+# Usage: scripts/run_experiments.sh [--smoke] [--out DIR] [-- EXTRA_ARGS...]
+#   --smoke       tiny grid (~seconds); the CI matrix-smoke job runs this
+#   --out DIR     results directory (default: results/)
+#   EXTRA_ARGS    forwarded verbatim to bench_scenario_matrix after `--`
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+OUT=results
+EXTRA=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    --) shift; EXTRA=("$@"); break ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x build/bench/bench_scenario_matrix ]]; then
+  echo "== build bench_scenario_matrix =="
+  cmake --preset default
+  cmake --build --preset default -j"$(nproc)" --target bench_scenario_matrix
+fi
+
+mkdir -p "$OUT"
+CSV="$OUT/scenario_matrix.csv"
+JSON="$OUT/scenario_matrix.json"
+
+ARGS=(--csv="$CSV" --json="$JSON" --label=pr8-topology)
+if [[ "$SMOKE" == 1 ]]; then
+  ARGS+=(--smoke)
+fi
+
+echo "== run scenario matrix =="
+./build/bench/bench_scenario_matrix "${ARGS[@]}" "${EXTRA[@]+"${EXTRA[@]}"}"
+
+echo "== post-process =="
+python3 scripts/plot_results.py "$CSV" --out "$OUT"
+
+echo "== done: $CSV =="

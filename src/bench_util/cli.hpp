@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/topology.hpp"
 #include "stm/fwd.hpp"
 #include "stm/options.hpp"
 
@@ -80,6 +81,35 @@ class Cli {
     if (v == "pass") return stm::ClockScheme::PassOnFailure;
     if (v == "lazybump") return stm::ClockScheme::LazyBump;
     return def;
+  }
+
+  /// Comma-separated string list, e.g. --pin=none,compact,scatter.
+  std::vector<std::string> get_strings(const std::string& flag,
+                                       std::vector<std::string> def) const {
+    const std::string v = get(flag, "");
+    if (v.empty()) return def;
+    std::vector<std::string> out;
+    std::stringstream ss(v);
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(item);
+    return out;
+  }
+
+  /// Single pinning policy (--pin-policy=none|compact|scatter|explicit);
+  /// unknown values fall back to `def`.
+  topo::PinPolicy get_pin_policy(const std::string& flag,
+                                 topo::PinPolicy def) const {
+    topo::PinPolicy p = def;
+    (void)topo::parse_pin_policy(get(flag, ""), p);
+    return p;
+  }
+
+  /// --placement=off|interleave|replicate.
+  topo::NumaPlacement get_placement(const std::string& flag,
+                                    topo::NumaPlacement def) const {
+    topo::NumaPlacement p = def;
+    (void)topo::parse_numa_placement(get(flag, ""), p);
+    return p;
   }
 
  private:

@@ -1,0 +1,95 @@
+// Shared CSV emission for the benchmark drivers — one flat schema for the
+// whole scenario matrix so scripts/plot_results.py (and any spreadsheet)
+// can consume every family's output without per-bench parsing. A CsvWriter
+// is bound to a fixed column list at construction; every row must supply
+// exactly that many fields, so drifting drivers fail loudly instead of
+// emitting misaligned columns.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/topology.hpp"
+
+namespace proust::bench {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+
+  /// Append one row; throws std::invalid_argument on column-count mismatch.
+  void row(const std::vector<std::string>& fields) {
+    if (fields.size() != columns_.size()) {
+      throw std::invalid_argument("CsvWriter: row has " +
+                                  std::to_string(fields.size()) +
+                                  " fields, header has " +
+                                  std::to_string(columns_.size()));
+    }
+    rows_.push_back(fields);
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// RFC-4180 quoting: a field containing a comma, quote or newline is
+  /// wrapped in quotes with embedded quotes doubled.
+  static std::string escape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out += "\"";
+    return out;
+  }
+
+  static std::string fmt(double v, int decimals = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    write_to(f);
+    return std::fclose(f) == 0;
+  }
+
+  void write_to(std::FILE* f) const {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ",", escape(columns_[i]).c_str());
+    }
+    std::fprintf(f, "\n");
+    for (const std::vector<std::string>& r : rows_) {
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        std::fprintf(f, "%s%s", i == 0 ? "" : ",", escape(r[i]).c_str());
+      }
+      std::fprintf(f, "\n");
+    }
+  }
+
+  /// The host-topology column block every matrix row carries (satellite of
+  /// the same PR as JsonWriter's per-record "host" object): appended by
+  /// drivers so rows from different machines remain comparable.
+  static std::vector<std::string> host_columns() {
+    return {"host_cpus", "host_nodes", "host_smt"};
+  }
+  static std::vector<std::string> host_fields() {
+    const topo::Topology& t = topo::Topology::system();
+    return {std::to_string(t.cpu_count()), std::to_string(t.node_count),
+            t.smt ? "1" : "0"};
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace proust::bench

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "bench_util/workload.hpp"
+#include "common/rng.hpp"
+#include "common/topology.hpp"
 #include "stm/stats.hpp"
 
 namespace proust::bench {
@@ -27,6 +29,11 @@ struct RunConfig {
   int timed_runs = 3;
   std::uint64_t seed = 42;
   double zipf_theta = 0.0;  // 0 = uniform (the paper's setup)
+  /// Harness-level worker pinning: worker t binds to pin_plan[t % size]
+  /// before the start barrier. Empty (default) = no affinity calls. This
+  /// complements StmOptions::pinning (which binds by registry slot) and
+  /// also covers non-STM baselines like the global-lock map.
+  std::vector<int> pin_plan;
 };
 
 struct RunResult {
@@ -78,6 +85,10 @@ double one_run(Adapter& adapter, const RunConfig& cfg, std::uint64_t seed) {
     const long my_txns =
         total_txns / cfg.threads + (t < total_txns % cfg.threads ? 1 : 0);
     workers.emplace_back([&, t, my_txns] {
+      if (!cfg.pin_plan.empty()) {
+        topo::pin_self_to(
+            cfg.pin_plan[static_cast<std::size_t>(t) % cfg.pin_plan.size()]);
+      }
       // Pre-generate the thread's whole operation stream outside the timed
       // region: the RNG draws (and the Zipf inversion) are harness cost,
       // not structure-under-test cost, and drawing inside the transaction
@@ -164,6 +175,101 @@ RunResult run_map_throughput(Adapter& adapter, const RunConfig& cfg) {
     times.push_back(detail::one_run(adapter, cfg, cfg.seed + i));
   }
   return detail::reduce_runs(adapter, times);
+}
+
+/// Run durations only — for benches whose stats come from elsewhere (or
+/// nowhere, like lock-based baselines).
+struct TimedRuns {
+  double mean_ms = 0;
+  double sd_ms = 0;
+  double min_ms = 0;
+
+  double ops_per_sec(long total_ops, bool use_min) const noexcept {
+    const double ms = use_min ? min_ms : mean_ms;
+    return ms <= 0 ? 0.0 : static_cast<double>(total_ops) / (ms / 1000.0);
+  }
+};
+
+namespace detail {
+inline TimedRuns reduce_times(const std::vector<double>& times) {
+  TimedRuns r;
+  double sum = 0;
+  r.min_ms = times.front();
+  for (double t : times) {
+    sum += t;
+    if (t < r.min_ms) r.min_ms = t;
+  }
+  r.mean_ms = sum / static_cast<double>(times.size());
+  double var = 0;
+  for (double t : times) var += (t - r.mean_ms) * (t - r.mean_ms);
+  r.sd_ms = times.size() > 1
+                ? std::sqrt(var / static_cast<double>(times.size() - 1))
+                : 0.0;
+  return r;
+}
+
+/// Per-worker-clocked single run of an arbitrary operation stream: worker t
+/// calls `op(t, rng)` `iters` times; the run spans min(start)..max(stop)
+/// (see one_run for why coordinator clocks undercount). The generic runner
+/// behind the pqueue / ordered-map scenario families.
+template <class OpFn>
+double one_ops_run(int threads, long iters, std::uint64_t seed,
+                   const std::vector<int>& pin_plan, OpFn&& op) {
+  std::barrier sync(threads + 1);
+  using Clock = std::chrono::steady_clock;
+  std::vector<Clock::time_point> starts(threads), stops(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (!pin_plan.empty()) {
+        topo::pin_self_to(
+            pin_plan[static_cast<std::size_t>(t) % pin_plan.size()]);
+      }
+      Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ULL +
+                     static_cast<std::uint64_t>(t) * 1297 + 11);
+      sync.arrive_and_wait();
+      starts[t] = Clock::now();
+      for (long i = 0; i < iters; ++i) op(t, rng);
+      stops[t] = Clock::now();
+      sync.arrive_and_wait();
+    });
+  }
+  sync.arrive_and_wait();
+  sync.arrive_and_wait();
+  for (auto& w : workers) w.join();
+  Clock::time_point first = starts[0];
+  Clock::time_point last = stops[0];
+  for (int t = 1; t < threads; ++t) {
+    if (starts[t] < first) first = starts[t];
+    if (stops[t] > last) last = stops[t];
+  }
+  return std::chrono::duration<double, std::milli>(last - first).count();
+}
+}  // namespace detail
+
+/// Warm up, then time `timed_runs` executions of `iters` ops on each of
+/// `threads` workers (per-worker clocks). `op(t, rng)` performs one
+/// operation; reseeded per run so repeats draw identical streams.
+/// `after_warmup` (when non-null) runs between the warm-up and the timed
+/// runs — the place to reset STM stats so abort ratios cover only what was
+/// measured.
+template <class OpFn, class AfterWarmup = void (*)()>
+TimedRuns run_ops_timed(
+    int threads, long iters, int warmup_runs, int timed_runs,
+    std::uint64_t seed, const std::vector<int>& pin_plan, OpFn&& op,
+    AfterWarmup after_warmup = [] {}) {
+  for (int i = 0; i < warmup_runs; ++i) {
+    detail::one_ops_run(threads, iters, seed + 1000 + i, pin_plan, op);
+  }
+  after_warmup();
+  std::vector<double> times;
+  times.reserve(timed_runs);
+  for (int i = 0; i < timed_runs; ++i) {
+    times.push_back(
+        detail::one_ops_run(threads, iters, seed + i, pin_plan, op));
+  }
+  return detail::reduce_times(times);
 }
 
 /// A/B comparison: interleave the two adapters' timed runs so both sample

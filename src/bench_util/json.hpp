@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/topology.hpp"
 #include "stm/stats.hpp"
 
 namespace proust::bench {
@@ -24,6 +25,7 @@ struct JsonRecord {
   double abort_ratio = 0;
   std::string scheme;  // clock scheme, or "" when not applicable
   long extra = -1;     // auxiliary swept knob (e.g. striping size M); < 0 = none
+  std::string pin;     // pinning policy of the cell, or "" when not swept
 
   /// Optional attempt-level breakdown (starts/commits/extensions and aborts
   /// by reason) so scheme/mode ablations are diagnosable from the JSON, not
@@ -66,6 +68,18 @@ class JsonWriter {
       }
       if (r.extra >= 0) {
         std::fprintf(f, ", \"extra\": %ld", r.extra);
+      }
+      if (!r.pin.empty()) {
+        std::fprintf(f, ", \"pin\": \"%s\"", escape(r.pin).c_str());
+      }
+      // Host topology in every record: entries from different machines in
+      // one BENCH_STM.json stay machine-comparable.
+      {
+        const topo::Topology& t = topo::Topology::system();
+        std::fprintf(f,
+                     ", \"host\": {\"cpus\": %u, \"nodes\": %u, "
+                     "\"smt\": %s}",
+                     t.cpu_count(), t.node_count, t.smt ? "true" : "false");
       }
       if (r.has_stats) {
         std::fprintf(f,

@@ -98,17 +98,21 @@ class EbrDomain {
   EbrDomain(const EbrDomain&) = delete;
   EbrDomain& operator=(const EbrDomain&) = delete;
 
-  /// Pin `slot` to the current epoch. Not re-entrant — nested pinning is the
-  /// caller's job (the STM pins once per transaction; the skip list guard
-  /// uses a per-thread depth counter). The announce-then-revalidate loop
-  /// closes the race where the epoch advances between the load and the
-  /// announce: on return the announced value is one the global held *after*
-  /// the announcement was visible, so an advancing scan can never have
-  /// missed this pin and also advanced past it.
+  /// Pin `slot` to the current epoch. COUNTED: enter/exit pairs nest — only
+  /// the outermost enter announces and only the matching exit goes idle, so
+  /// independent holders on one slot (an attempt-long wrapper pin, a
+  /// container Guard, a live Snapshot) compose without coordinating. The
+  /// depth counter is slot-private (owner-thread only), so nesting costs one
+  /// non-atomic increment. The announce-then-revalidate loop closes the race
+  /// where the epoch advances between the load and the announce: on return
+  /// the announced value is one the global held *after* the announcement was
+  /// visible, so an advancing scan can never have missed this pin and also
+  /// advanced past it.
   void enter(unsigned slot) noexcept {
     assert(slot < max_slots_);
     note_slot(slot);
     Slot& s = slots_[slot];
+    if (s.depth++ > 0) return;  // nested: the outer pin already announced
     for (;;) {
       const std::uint64_t e = global_.load(std::memory_order_seq_cst);
       s.epoch.store(e, std::memory_order_seq_cst);
@@ -117,30 +121,31 @@ class EbrDomain {
   }
 
   void exit(unsigned slot) noexcept {
-    slots_[slot].epoch.store(kIdle, std::memory_order_release);
+    Slot& s = slots_[slot];
+    assert(s.depth > 0 && "exit() without matching enter()");
+    if (--s.depth > 0) return;  // an enclosing pin is still live
+    s.epoch.store(kIdle, std::memory_order_release);
   }
 
   bool pinned(unsigned slot) const noexcept {
     return slots_[slot].epoch.load(std::memory_order_relaxed) != kIdle;
   }
 
-  /// Reentrant: a Guard built while its slot is already pinned is a no-op —
-  /// the slot is owner-thread-only, so an observed pin is *our* pin and
-  /// outlives this nested scope. This is what lets a wrapper hold one
-  /// attempt-long pin (the fast-read amortization, DESIGN.md §12) while
-  /// inner container calls construct Guards as usual: only the outermost
-  /// pin pays the announce fence.
+  /// RAII pin. enter/exit are counted, so a Guard built while its slot is
+  /// already pinned (an attempt-long wrapper pin, an enclosing Guard, a live
+  /// Snapshot) simply deepens that pin: only the outermost holder pays the
+  /// announce fence, and the epoch stays pinned until the last holder on
+  /// the slot releases.
   class Guard {
    public:
-    Guard(EbrDomain& d, unsigned slot) noexcept
-        : d_(d), slot_(slot), nested_(d.pinned(slot)) {
+    Guard(EbrDomain& d, unsigned slot) noexcept : d_(d), slot_(slot) {
 #ifndef NDEBUG
       ++debug_guard_depth_ref();
 #endif
-      if (!nested_) d_.enter(slot_);
+      d_.enter(slot_);
     }
     ~Guard() {
-      if (!nested_) d_.exit(slot_);
+      d_.exit(slot_);
 #ifndef NDEBUG
       --debug_guard_depth_ref();
 #endif
@@ -151,7 +156,6 @@ class EbrDomain {
    private:
     EbrDomain& d_;
     unsigned slot_;
-    bool nested_;
   };
 
   /// Defer reclamation of `r` until three grace periods have passed. The
@@ -241,6 +245,7 @@ class EbrDomain {
   /// only by the owning slot (outside quiesce/destruction).
   struct alignas(kCacheLine) Slot {
     std::atomic<std::uint64_t> epoch{kIdle};
+    int depth = 0;  // owner-thread-only pin count (counted enter/exit)
     Bucket limbo[kBuckets];
     std::uint64_t since_advance = 0;
     std::atomic<std::uint64_t> retired{0};

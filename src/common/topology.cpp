@@ -1,0 +1,349 @@
+#include "common/topology.hpp"
+
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+// libnuma, if the process happens to link it. Weak declarations keep the
+// build free of any libnuma dependency: unresolved weak symbols are null,
+// and every call site checks libnuma_present() first.
+extern "C" {
+int numa_available(void) __attribute__((weak));
+void* numa_alloc_onnode(std::size_t size, int node) __attribute__((weak));
+void numa_free(void* start, std::size_t size) __attribute__((weak));
+}
+
+namespace proust::topo {
+namespace {
+
+/// Parse a sysfs cpulist ("0-3,5,8-9") into CPU ids. Returns false on any
+/// token that is not a number or a range.
+bool parse_cpulist(const std::string& text, std::vector<int>& out) {
+  std::size_t i = 0;
+  const auto num = [&](long& v) {
+    if (i >= text.size() || std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      return false;
+    }
+    v = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+      v = v * 10 + (text[i++] - '0');
+    }
+    return true;
+  };
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+    ++i;
+  }
+  if (i >= text.size()) return false;
+  for (;;) {
+    long lo = 0;
+    if (!num(lo)) return false;
+    long hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      if (!num(hi) || hi < lo) return false;
+    }
+    for (long c = lo; c <= hi; ++c) out.push_back(static_cast<int>(c));
+    if (i >= text.size() || text[i] == '\n' ||
+        std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      return true;
+    }
+    if (text[i] != ',') return false;
+    ++i;
+  }
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path);
+  if (!f.is_open()) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool read_int(const std::string& path, int& out) {
+  std::string text;
+  if (!read_file(path, text)) return false;
+  try {
+    out = std::stoi(text);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+Topology fallback_topology() {
+  Topology t;
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  t.cpus.reserve(n);
+  for (unsigned c = 0; c < n; ++c) {
+    t.cpus.push_back(CpuInfo{static_cast<int>(c), 0, static_cast<int>(c), 0});
+  }
+  t.node_count = 1;
+  t.smt = false;
+  return t;
+}
+
+}  // namespace
+
+Topology Topology::detect(const std::string& sysfs_root) {
+  const std::string cpu_dir = sysfs_root + "/devices/system/cpu";
+  std::string online;
+  std::vector<int> cpu_ids;
+  if (!read_file(cpu_dir + "/online", online) ||
+      !parse_cpulist(online, cpu_ids) || cpu_ids.empty()) {
+    return fallback_topology();
+  }
+
+  Topology t;
+  t.cpus.reserve(cpu_ids.size());
+  for (int c : cpu_ids) {
+    CpuInfo info;
+    info.cpu = c;
+    const std::string base = cpu_dir + "/cpu" + std::to_string(c) + "/topology";
+    if (!read_int(base + "/core_id", info.core)) info.core = c;
+    if (!read_int(base + "/physical_package_id", info.package)) {
+      info.package = 0;
+    }
+    t.cpus.push_back(info);
+  }
+
+  // Node ownership from node<N>/cpulist. Node ids are usually dense from 0;
+  // scan a generous range and stop caring about gaps (a sparse id just
+  // leaves unused bank indices downstream).
+  const std::string node_dir = sysfs_root + "/devices/system/node";
+  int max_node = -1;
+  int misses = 0;
+  for (int n = 0; misses < 8; ++n) {
+    std::string list;
+    if (!read_file(node_dir + "/node" + std::to_string(n) + "/cpulist",
+                   list)) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    std::vector<int> owned;
+    if (!parse_cpulist(list, owned)) continue;
+    for (int c : owned) {
+      for (CpuInfo& info : t.cpus) {
+        if (info.cpu == c) info.node = n;
+      }
+    }
+    if (n > max_node) max_node = n;
+  }
+  t.node_count = max_node >= 0 ? static_cast<unsigned>(max_node) + 1 : 1;
+
+  // SMT: two online CPUs sharing a (package, core) pair.
+  std::map<std::pair<int, int>, int> per_core;
+  for (const CpuInfo& info : t.cpus) {
+    if (++per_core[{info.package, info.core}] > 1) t.smt = true;
+  }
+  return t;
+}
+
+const Topology& Topology::system() {
+  static const Topology t = detect("/sys");
+  return t;
+}
+
+int Topology::node_of(int cpu) const noexcept {
+  for (const CpuInfo& info : cpus) {
+    if (info.cpu == cpu) return info.node;
+  }
+  return 0;
+}
+
+std::vector<int> Topology::pin_plan(
+    PinPolicy policy, const std::vector<int>& explicit_cpus) const {
+  switch (policy) {
+    case PinPolicy::None: return {};
+    case PinPolicy::Explicit: return explicit_cpus;
+    case PinPolicy::Compact:
+    case PinPolicy::Scatter: break;
+  }
+  // smt_rank: position among hardware threads of the same (package, core) —
+  // 0 is the first thread of each physical core.
+  struct Key {
+    CpuInfo info;
+    int smt_rank = 0;
+  };
+  std::vector<Key> keys;
+  keys.reserve(cpus.size());
+  std::map<std::pair<int, int>, int> seen;
+  std::vector<CpuInfo> ordered = cpus;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CpuInfo& a, const CpuInfo& b) { return a.cpu < b.cpu; });
+  for (const CpuInfo& info : ordered) {
+    keys.push_back(Key{info, seen[{info.package, info.core}]++});
+  }
+  if (policy == PinPolicy::Compact) {
+    // One node at a time, siblings of a core adjacent: consecutive slots
+    // share caches, maximizing locality for communicating neighbours.
+    std::stable_sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+      return std::tie(a.info.node, a.info.package, a.info.core, a.smt_rank) <
+             std::tie(b.info.node, b.info.package, b.info.core, b.smt_rank);
+    });
+    std::vector<int> plan;
+    plan.reserve(keys.size());
+    for (const Key& k : keys) plan.push_back(k.info.cpu);
+    return plan;
+  }
+  // Scatter: distinct physical cores everywhere before any SMT sibling,
+  // alternating nodes — maximizes per-thread cache and memory bandwidth at
+  // low thread counts.
+  std::stable_sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    return std::tie(a.smt_rank, a.info.node, a.info.package, a.info.core) <
+           std::tie(b.smt_rank, b.info.node, b.info.package, b.info.core);
+  });
+  std::vector<std::vector<int>> by_node;
+  for (const Key& k : keys) {
+    const auto n = static_cast<std::size_t>(k.info.node);
+    if (by_node.size() <= n) by_node.resize(n + 1);
+    by_node[n].push_back(k.info.cpu);
+  }
+  std::vector<int> plan;
+  plan.reserve(keys.size());
+  for (std::size_t round = 0; plan.size() < keys.size(); ++round) {
+    for (const std::vector<int>& node_cpus : by_node) {
+      if (round < node_cpus.size()) plan.push_back(node_cpus[round]);
+    }
+  }
+  return plan;
+}
+
+namespace {
+thread_local int tl_node = -1;
+}  // namespace
+
+bool pin_self_to(int cpu) noexcept {
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) return false;
+  tl_node = Topology::system().node_of(cpu);
+  return true;
+}
+
+int current_cpu() noexcept {
+#ifdef SYS_getcpu
+  unsigned cpu = 0;
+  if (syscall(SYS_getcpu, &cpu, nullptr, nullptr) == 0) {
+    return static_cast<int>(cpu);
+  }
+#endif
+  return -1;
+}
+
+int cached_node() noexcept {
+  if (tl_node < 0) {
+    const int cpu = current_cpu();
+    tl_node = cpu >= 0 ? Topology::system().node_of(cpu) : 0;
+  }
+  return tl_node;
+}
+
+bool libnuma_present() noexcept {
+  static const bool present = &numa_available != nullptr &&
+                              &numa_alloc_onnode != nullptr &&
+                              &numa_free != nullptr && numa_available() >= 0;
+  return present;
+}
+
+void* alloc_onnode(std::size_t bytes, int node) {
+  // Only route through libnuma on real multi-node hosts; free_onnode makes
+  // the same decision, so a pointer is always released by the allocator
+  // that produced it (which is why a null here is bad_alloc rather than a
+  // fallback to the plain heap — the two allocators must never mix for one
+  // pointer).
+  if (node < 0) node = cached_node();
+  if (Topology::system().node_count > 1 && libnuma_present()) {
+    void* p = numa_alloc_onnode(bytes, node);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+  }
+  return ::operator new(bytes, std::align_val_t(64));
+}
+
+void free_onnode(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (Topology::system().node_count > 1 && libnuma_present()) {
+    numa_free(p, bytes);
+    return;
+  }
+  ::operator delete(p, std::align_val_t(64));
+}
+
+bool interleave_pages(void* p, std::size_t bytes,
+                      unsigned node_count) noexcept {
+#ifdef SYS_mbind
+  if (node_count < 2 || p == nullptr) return false;
+  constexpr std::size_t kPage = 4096;
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t lo = (addr + kPage - 1) & ~(kPage - 1);
+  const std::uintptr_t hi = (addr + bytes) & ~(kPage - 1);
+  if (hi <= lo) return false;
+  constexpr int kMpolInterleave = 3;  // MPOL_INTERLEAVE (numaif.h)
+  unsigned long mask[4] = {0, 0, 0, 0};
+  const unsigned n = node_count < 256 ? node_count : 256;
+  for (unsigned i = 0; i < n; ++i) {
+    mask[i / (8 * sizeof(unsigned long))] |=
+        1UL << (i % (8 * sizeof(unsigned long)));
+  }
+  return syscall(SYS_mbind, reinterpret_cast<void*>(lo), hi - lo,
+                 kMpolInterleave, mask, 8 * sizeof(mask) + 1, 0U) == 0;
+#else
+  (void)p;
+  (void)bytes;
+  (void)node_count;
+  return false;
+#endif
+}
+
+const char* to_string(PinPolicy p) noexcept {
+  switch (p) {
+    case PinPolicy::None: return "none";
+    case PinPolicy::Compact: return "compact";
+    case PinPolicy::Scatter: return "scatter";
+    case PinPolicy::Explicit: return "explicit";
+  }
+  return "?";
+}
+
+const char* to_string(NumaPlacement p) noexcept {
+  switch (p) {
+    case NumaPlacement::Off: return "off";
+    case NumaPlacement::Interleave: return "interleave";
+    case NumaPlacement::Replicate: return "replicate";
+  }
+  return "?";
+}
+
+bool parse_pin_policy(std::string_view s, PinPolicy& out) noexcept {
+  if (s == "none") out = PinPolicy::None;
+  else if (s == "compact") out = PinPolicy::Compact;
+  else if (s == "scatter") out = PinPolicy::Scatter;
+  else if (s == "explicit") out = PinPolicy::Explicit;
+  else return false;
+  return true;
+}
+
+bool parse_numa_placement(std::string_view s, NumaPlacement& out) noexcept {
+  if (s == "off") out = NumaPlacement::Off;
+  else if (s == "interleave") out = NumaPlacement::Interleave;
+  else if (s == "replicate") out = NumaPlacement::Replicate;
+  else return false;
+  return true;
+}
+
+}  // namespace proust::topo

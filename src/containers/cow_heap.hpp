@@ -4,18 +4,37 @@
 // supported efficient snapshots, so one was designed).
 //
 // Representation: a persistent leftist heap (path-copying merge, O(log n)
-// amortized per update), published — like SnapshotHamt — through a raw
-// pointer to an EBR-retired RootBox and updated with a CAS loop. The box
-// holds the owning shared_ptr; readers pin the epoch domain instead of
-// bumping a contended refcount (or taking libstdc++'s atomic<shared_ptr>
-// lock) on every peek, which matters because the optimistic read fast path
-// (DESIGN.md §12) funnels every transactional min() through peek_min.
+// amortized per update) published as a raw `std::atomic<const Node*>` and
+// updated with a CAS loop. Reclamation is pure EBR — nodes carry an
+// intrusive ebr::Retired hook and there are NO per-node reference counts:
+// readers pin the epoch domain, traverse raw pointers, and unpin; a
+// successful CAS retires exactly the nodes the new version displaced
+// (the copied merge path), whose subtrees remain shared by pointer.
+// Compared to the earlier shared_ptr representation this removes an atomic
+// count round-trip per node on every path copy and every snapshot drop —
+// traffic that serialized concurrent updaters on hot heaps.
+//
+// Ownership ledger (the whole correctness argument):
+//  - A mutating op records every node it allocates (`created`) and every
+//    published node its new version no longer references (`displaced`).
+//  - CAS success: displaced ∧ created → delete now (never published, no
+//    reader can hold it); displaced ∧ published → retire to EBR (a pinned
+//    reader may still traverse it); created ∧ ¬displaced → published,
+//    forget.
+//  - CAS failure: every created node is garbage (never published) → delete,
+//    clear, rebuild against the new root. Displaced nodes were not touched.
+//  - Snapshots pin the domain for their whole lifetime (counted pins, so
+//    they nest with Guards and attempt-long wrapper pins) and own every
+//    node their local mutations create, deleting them wholesale on
+//    destruction; shared nodes they reference stay alive because the pin
+//    holds the grace period open. Snapshots are move-only and must be
+//    destroyed on the thread (registry slot) that took them — exactly the
+//    transaction-shadow-copy lifecycle of SnapshotReplayLog.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <functional>
-#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -27,69 +46,85 @@ namespace proust::containers {
 
 template <class T, class Compare = std::less<T>>
 class CowHeap {
-  struct Node;
-  using NodePtr = std::shared_ptr<const Node>;
-
   struct Node {
+    mutable ebr::Retired hook;  // first: retire/reclaim recover the node
     T value;
     int rank;
-    NodePtr left;
-    NodePtr right;
+    const Node* left;
+    const Node* right;
+  };
+
+  /// Per-op allocation ledger (see file comment). Thread-local and reused,
+  /// so steady-state ops allocate nothing beyond the nodes themselves.
+  struct OpTrace {
+    std::vector<const Node*> created;
+    std::vector<const Node*> displaced;
+    void clear() noexcept {
+      created.clear();
+      displaced.clear();
+    }
   };
 
  public:
-  CowHeap()
-      : ebr_(stm::ThreadRegistry::kMaxSlots),
-        root_(new RootBox{{}, nullptr}), size_(0) {}
+  CowHeap() : ebr_(stm::ThreadRegistry::kMaxSlots), root_(nullptr), size_(0) {}
   CowHeap(const CowHeap&) = delete;
   CowHeap& operator=(const CowHeap&) = delete;
 
-  ~CowHeap() { delete root_.load(std::memory_order_relaxed); }
+  ~CowHeap() {
+    // Destruction implies quiescence: delete the live tree; limbo nodes
+    // drain (and delete themselves) with the domain.
+    delete_tree(root_.load(std::memory_order_relaxed));
+  }
 
   void insert(T value) {
-    NodePtr single = std::make_shared<const Node>(
-        Node{std::move(value), 1, nullptr, nullptr});
     const unsigned slot = stm::ThreadRegistry::slot();
     ebr::EbrDomain::Guard g(ebr_, slot);
+    OpTrace& tr = trace();
+    tr.clear();
     for (;;) {
-      RootBox* old_box = root_.load(std::memory_order_acquire);
-      RootBox* box = new RootBox{{}, merge(old_box->root, single)};
-      if (root_.compare_exchange_weak(old_box, box,
+      const Node* old_root = root_.load(std::memory_order_acquire);
+      const Node* single = make(tr, value, 1, nullptr, nullptr);
+      const Node* new_root = merge(tr, old_root, single);
+      if (root_.compare_exchange_weak(old_root,
+                                      new_root,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
-        retire_box(slot, old_box);
+        settle(slot, tr);
         size_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      delete box;  // lost the race; re-merge against the new root
+      discard(tr);  // lost the race; re-merge against the new root
     }
   }
 
   std::optional<T> peek_min() const {
     const unsigned slot = stm::ThreadRegistry::slot();
     ebr::EbrDomain::Guard g(ebr_, slot);
-    const RootBox* box = root_.load(std::memory_order_acquire);
-    if (!box->root) return std::nullopt;
-    return box->root->value;
+    const Node* root = root_.load(std::memory_order_acquire);
+    if (root == nullptr) return std::nullopt;
+    return root->value;
   }
 
   std::optional<T> remove_min() {
     const unsigned slot = stm::ThreadRegistry::slot();
     ebr::EbrDomain::Guard g(ebr_, slot);
+    OpTrace& tr = trace();
+    tr.clear();
     for (;;) {
-      RootBox* old_box = root_.load(std::memory_order_acquire);
-      if (!old_box->root) return std::nullopt;
-      RootBox* box =
-          new RootBox{{}, merge(old_box->root->left, old_box->root->right)};
-      if (root_.compare_exchange_weak(old_box, box,
+      const Node* old_root = root_.load(std::memory_order_acquire);
+      if (old_root == nullptr) return std::nullopt;
+      const Node* new_root = merge(tr, old_root->left, old_root->right);
+      if (root_.compare_exchange_weak(old_root,
+                                      new_root,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
-        std::optional<T> ret = old_box->root->value;
-        retire_box(slot, old_box);
+        std::optional<T> ret = old_root->value;
+        tr.displaced.push_back(old_root);
+        settle(slot, tr);
         size_.fetch_sub(1, std::memory_order_relaxed);
         return ret;
       }
-      delete box;
+      discard(tr);
     }
   }
 
@@ -98,33 +133,62 @@ class CowHeap {
   bool contains(const T& value) const {
     const unsigned slot = stm::ThreadRegistry::slot();
     ebr::EbrDomain::Guard g(ebr_, slot);
-    return find(root_.load(std::memory_order_acquire)->root, value);
+    return find(root_.load(std::memory_order_acquire), value);
   }
 
   std::size_t size() const { return size_.load(std::memory_order_acquire); }
   bool empty() const {
-    const unsigned slot = stm::ThreadRegistry::slot();
-    ebr::EbrDomain::Guard g(ebr_, slot);
-    return root_.load(std::memory_order_acquire)->root == nullptr;
+    return root_.load(std::memory_order_acquire) == nullptr;
   }
 
   /// O(1) consistent snapshot with local (single-owner) mutation — the
-  /// shadow-copy interface for LazyPriorityQueue.
+  /// shadow-copy interface for LazyPriorityQueue. Holds an epoch pin for
+  /// its lifetime (that pin is what keeps the frozen version's nodes from
+  /// being reclaimed under it) and owns the nodes its own mutations create.
+  /// Move-only; destroy on the thread that took it.
   class Snapshot {
    public:
+    Snapshot(Snapshot&& o) noexcept
+        : ebr_(o.ebr_), slot_(o.slot_), root_(o.root_), size_(o.size_),
+          created_(std::move(o.created_)) {
+      o.ebr_ = nullptr;
+      o.created_.clear();
+    }
+    Snapshot& operator=(Snapshot&& o) noexcept {
+      if (this != &o) {
+        release();
+        ebr_ = o.ebr_;
+        slot_ = o.slot_;
+        root_ = o.root_;
+        size_ = o.size_;
+        created_ = std::move(o.created_);
+        o.ebr_ = nullptr;
+        o.created_.clear();
+      }
+      return *this;
+    }
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+    ~Snapshot() { release(); }
+
     void insert(T value) {
-      root_ = merge(root_, std::make_shared<const Node>(Node{
-                               std::move(value), 1, nullptr, nullptr}));
+      OpTrace tr;  // displaced nodes are ignored: shared ones belong to the
+                   // heap, local ones are swept by created_ at destruction
+      const Node* single = make(tr, std::move(value), 1, nullptr, nullptr);
+      root_ = merge(tr, root_, single);
+      own(tr);
       ++size_;
     }
     std::optional<T> peek_min() const {
-      if (!root_) return std::nullopt;
+      if (root_ == nullptr) return std::nullopt;
       return root_->value;
     }
     std::optional<T> remove_min() {
-      if (!root_) return std::nullopt;
+      if (root_ == nullptr) return std::nullopt;
       T v = root_->value;
-      root_ = merge(root_->left, root_->right);
+      OpTrace tr;
+      root_ = merge(tr, root_->left, root_->right);
+      own(tr);
       --size_;
       return v;
     }
@@ -139,92 +203,161 @@ class CowHeap {
 
    private:
     friend class CowHeap;
-    Snapshot(NodePtr root, std::size_t size)
-        : root_(std::move(root)), size_(size) {}
-    NodePtr root_;
+    Snapshot(ebr::EbrDomain& ebr, unsigned slot, const Node* root,
+             std::size_t size)
+        : ebr_(&ebr), slot_(slot), root_(root), size_(size) {
+      ebr_->enter(slot_);
+    }
+
+    void own(OpTrace& tr) {
+      for (const Node* n : tr.created) created_.push_back(n);
+    }
+    void release() noexcept {
+      if (ebr_ == nullptr) return;
+      for (const Node* n : created_) delete n;
+      created_.clear();
+      ebr_->exit(slot_);
+      ebr_ = nullptr;
+    }
+
+    ebr::EbrDomain* ebr_;
+    unsigned slot_;
+    const Node* root_;
     std::size_t size_;
+    std::vector<const Node*> created_;  // local mutations' nodes, owned
   };
 
   Snapshot snapshot() const {
-    // The NodePtr copy — the read side's only refcount bump — happens under
-    // the pin, so the box cannot be reclaimed mid-copy.
+    // The root load happens after the snapshot's own pin (taken in its
+    // constructor), so the frozen version cannot be reclaimed out from
+    // under it; the pin then rides along for the snapshot's lifetime.
     const unsigned slot = stm::ThreadRegistry::slot();
-    ebr::EbrDomain::Guard g(ebr_, slot);
-    const RootBox* box = root_.load(std::memory_order_acquire);
-    return Snapshot(box->root, size_.load(std::memory_order_acquire));
+    Snapshot s(ebr_, slot, nullptr, 0);
+    s.root_ = root_.load(std::memory_order_acquire);
+    s.size_ = size_.load(std::memory_order_acquire);
+    return s;
   }
 
   template <class F>
   void for_each(F&& f) const {
     const unsigned slot = stm::ThreadRegistry::slot();
     ebr::EbrDomain::Guard g(ebr_, slot);
-    const RootBox* box = root_.load(std::memory_order_acquire);
-    walk(box->root, f);
+    walk(root_.load(std::memory_order_acquire), f);
   }
+
+  /// Reclamation observability (tests): nodes retired/pending in the domain.
+  std::uint64_t reclaim_pending() const noexcept { return ebr_.pending(); }
+  std::size_t quiesce() noexcept { return ebr_.quiesce(); }
 
  private:
-  /// The published root: EBR hook first (retire/reclaim recover the box from
-  /// the hook pointer), then the owning reference to the heap.
-  struct RootBox {
-    ebr::Retired hook;
-    NodePtr root;
-  };
-
-  void retire_box(unsigned slot, RootBox* box) {
-    ebr_.retire(
-        slot, &box->hook,
-        [](ebr::Retired* r, void*) { delete reinterpret_cast<RootBox*>(r); },
-        nullptr);
+  static OpTrace& trace() {
+    static thread_local OpTrace tr;
+    return tr;
   }
 
-  static int rank_of(const NodePtr& n) noexcept { return n ? n->rank : 0; }
+  static const Node* make(OpTrace& tr, T value, int rank, const Node* l,
+                          const Node* r) {
+    const Node* n = new Node{{}, std::move(value), rank, l, r};
+    tr.created.push_back(n);
+    return n;
+  }
 
-  static NodePtr merge(const NodePtr& a, const NodePtr& b) {
-    if (!a) return b;
-    if (!b) return a;
+  /// Publish-success bookkeeping: delete never-published intermediates,
+  /// retire displaced published nodes past the grace period.
+  void settle(unsigned slot, OpTrace& tr) {
+    for (const Node* d : tr.displaced) {
+      bool was_created = false;
+      for (const Node* c : tr.created) {
+        if (c == d) {
+          was_created = true;
+          break;
+        }
+      }
+      if (was_created) {
+        delete d;
+      } else {
+        ebr_.retire(
+            slot, &d->hook,
+            [](ebr::Retired* r, void*) {
+              delete reinterpret_cast<const Node*>(r);
+            },
+            nullptr);
+      }
+    }
+    tr.clear();
+  }
+
+  /// CAS-failure bookkeeping: nothing was published, so every created node
+  /// is garbage and every displaced node still belongs to the live version.
+  static void discard(OpTrace& tr) {
+    for (const Node* c : tr.created) delete c;
+    tr.clear();
+  }
+
+  static void delete_tree(const Node* root) {
+    std::vector<const Node*> stack;
+    if (root != nullptr) stack.push_back(root);
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (n->left != nullptr) stack.push_back(n->left);
+      if (n->right != nullptr) stack.push_back(n->right);
+      delete n;
+    }
+  }
+
+  static int rank_of(const Node* n) noexcept { return n ? n->rank : 0; }
+
+  /// Path-copying merge. Every node whose copy lands in the new version is
+  /// recorded displaced; every copy is recorded created. Subtrees off the
+  /// merge path are shared by pointer — that sharing is what EBR (instead
+  /// of per-node counts) makes safe.
+  static const Node* merge(OpTrace& tr, const Node* a, const Node* b) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
     Compare less{};
-    const NodePtr& top = less(b->value, a->value) ? b : a;
-    const NodePtr& other = less(b->value, a->value) ? a : b;
-    NodePtr merged_right = merge(top->right, other);
-    NodePtr l = top->left;
-    NodePtr r = std::move(merged_right);
+    const Node* top = less(b->value, a->value) ? b : a;
+    const Node* other = less(b->value, a->value) ? a : b;
+    const Node* merged_right = merge(tr, top->right, other);
+    const Node* l = top->left;
+    const Node* r = merged_right;
     if (rank_of(l) < rank_of(r)) std::swap(l, r);
-    return std::make_shared<const Node>(
-        Node{top->value, rank_of(r) + 1, std::move(l), std::move(r)});
+    tr.displaced.push_back(top);
+    return make(tr, top->value, rank_of(r) + 1, l, r);
   }
 
   // Explicit-stack traversals: a leftist heap's *left* spine can be O(n)
   // deep, so recursion would overflow the stack on large heaps.
-  static bool find(const NodePtr& root, const T& value) {
+  static bool find(const Node* root, const T& value) {
     Compare less{};
     std::vector<const Node*> stack;
-    if (root) stack.push_back(root.get());
+    if (root != nullptr) stack.push_back(root);
     while (!stack.empty()) {
       const Node* n = stack.back();
       stack.pop_back();
       if (less(value, n->value)) continue;  // min-heap property prune
       if (!less(n->value, value)) return true;  // equivalent under Compare
-      if (n->left) stack.push_back(n->left.get());
-      if (n->right) stack.push_back(n->right.get());
+      if (n->left != nullptr) stack.push_back(n->left);
+      if (n->right != nullptr) stack.push_back(n->right);
     }
     return false;
   }
 
   template <class F>
-  static void walk(const NodePtr& root, F& f) {
+  static void walk(const Node* root, F& f) {
     std::vector<const Node*> stack;
-    if (root) stack.push_back(root.get());
+    if (root != nullptr) stack.push_back(root);
     while (!stack.empty()) {
       const Node* n = stack.back();
       stack.pop_back();
       f(n->value);
-      if (n->left) stack.push_back(n->left.get());
-      if (n->right) stack.push_back(n->right.get());
+      if (n->left != nullptr) stack.push_back(n->left);
+      if (n->right != nullptr) stack.push_back(n->right);
     }
   }
 
-  mutable ebr::EbrDomain ebr_;  // reclaims displaced RootBoxes
-  std::atomic<RootBox*> root_;
+  mutable ebr::EbrDomain ebr_;  // reclaims displaced nodes
+  std::atomic<const Node*> root_;
   std::atomic<std::size_t> size_;
 };
 

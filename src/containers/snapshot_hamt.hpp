@@ -3,27 +3,33 @@
 // LazyTrieMap wraps for its snapshot-based shadow copies (§4).
 //
 // Design: all trie nodes are immutable and shared (persistent, path-copying
-// updates); the published root is a `std::atomic<std::shared_ptr<>>` updated
-// with a CAS loop. A snapshot is therefore a single atomic load, and the
-// snapshot supports further *local* (single-owner) mutation for free — which
-// is exactly the shadow-copy contract the replay log needs.
+// updates); the published root is a raw `std::atomic<const Node*>` updated
+// with a CAS loop, so a snapshot is a single pointer load under an epoch
+// pin.
 //
-// Concurrency: gets are wait-free on a consistent root; updates are
-// lock-free in the obstruction-free sense (CAS-retry). Interior nodes are
-// reclaimed by shared_ptr reference counting (traversals pass them by
-// reference, so no per-node count traffic), but the *published root* is a
-// raw pointer to an EBR-retired RootBox: `std::atomic<shared_ptr>` loads
-// take a library-internal lock plus a contended count bump on every read,
-// which the optimistic read fast path (DESIGN.md §12) would serialize on.
-// Readers pin the domain, load the box, and traverse; writers CAS the box
-// pointer and retire the old box, whose owning NodePtr keeps the displaced
-// tree alive until the grace period ends. Snapshots copy the NodePtr out
-// under the pin — one count bump per snapshot, not per read.
+// Reclamation is pure EBR — nodes carry an intrusive ebr::Retired hook and
+// there are NO per-node reference counts. Gets pin the domain, traverse raw
+// pointers, and unpin; a successful update CAS retires exactly the nodes
+// its path copy displaced, whose off-path subtrees remain shared by
+// pointer. The earlier shared_ptr representation paid an atomic count
+// round-trip per path node on every update (and libstdc++'s
+// atomic<shared_ptr> lock on every root load before the RootBox
+// indirection); both are gone.
+//
+// Ownership ledger (shared with CowHeap — see cow_heap.hpp for the full
+// argument):
+//  - ops record allocated nodes (`created`) and published nodes their new
+//    version drops (`displaced`);
+//  - CAS success: displaced ∧ created → delete, displaced only → retire,
+//    created only → published;
+//  - CAS failure: delete created, retry;
+//  - Snapshots hold a counted epoch pin for their lifetime and own their
+//    local mutations' nodes (deleted wholesale at destruction). Move-only;
+//    destroy on the thread (registry slot) that took them.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <utility>
 #include <variant>
@@ -38,62 +44,72 @@ namespace proust::containers {
 template <class K, class V, class Hasher = proust::Hash<K>>
 class SnapshotHamt {
   struct Node;
-  using NodePtr = std::shared_ptr<const Node>;
 
   struct KV {
     K key;
     V value;
   };
-  using Slot = std::variant<KV, NodePtr>;
+  using Slot = std::variant<KV, const Node*>;
 
   static constexpr unsigned kBits = 6;        // 64-way branching
   static constexpr unsigned kMaxDepth = 10;   // 60 bits of hash, then buckets
 
   struct Node {
+    mutable ebr::Retired hook;      // first: retire/reclaim recover the node
     std::uint64_t bitmap = 0;       // branch nodes: occupied positions
     std::vector<Slot> slots;        // compressed, popcount-indexed
     std::vector<KV> overflow;       // only at kMaxDepth (hash exhausted)
   };
 
+  /// Per-op allocation ledger (see file comment).
+  struct OpTrace {
+    std::vector<const Node*> created;
+    std::vector<const Node*> displaced;
+    void clear() noexcept {
+      created.clear();
+      displaced.clear();
+    }
+  };
+
  public:
   SnapshotHamt()
-      : ebr_(stm::ThreadRegistry::kMaxSlots),
-        root_(new RootBox{{}, std::make_shared<const Node>()}), size_(0) {}
+      : ebr_(stm::ThreadRegistry::kMaxSlots), root_(new Node{}), size_(0) {}
   SnapshotHamt(const SnapshotHamt&) = delete;
   SnapshotHamt& operator=(const SnapshotHamt&) = delete;
 
   ~SnapshotHamt() {
-    // Destruction implies quiescence; retired boxes drain with the domain.
-    delete root_.load(std::memory_order_relaxed);
+    // Destruction implies quiescence: delete the live tree; limbo nodes
+    // drain (and delete themselves) with the domain.
+    delete_tree(root_.load(std::memory_order_relaxed));
   }
 
   std::optional<V> get(const K& key) const {
     const unsigned slot = stm::ThreadRegistry::slot();
     ebr::EbrDomain::Guard g(ebr_, slot);
-    const RootBox* box = root_.load(std::memory_order_acquire);
-    return find(box->root, Hasher{}(key), 0, key);
+    return find(root_.load(std::memory_order_acquire), Hasher{}(key), 0, key);
   }
 
   bool contains(const K& key) const { return get(key).has_value(); }
 
   /// Insert or replace; returns the previous mapping if any. Lock-free CAS
-  /// loop on the root box.
+  /// loop on the root.
   std::optional<V> put(const K& key, V value) {
     const std::size_t h = Hasher{}(key);
     const unsigned slot = stm::ThreadRegistry::slot();
     ebr::EbrDomain::Guard g(ebr_, slot);
+    OpTrace& tr = trace();
+    tr.clear();
     for (;;) {
-      RootBox* old_box = root_.load(std::memory_order_acquire);
-      auto [new_root, old] = insert(old_box->root, h, 0, key, value);
-      RootBox* box = new RootBox{{}, std::move(new_root)};
-      if (root_.compare_exchange_weak(old_box, box,
+      const Node* old_root = root_.load(std::memory_order_acquire);
+      auto [new_root, old] = insert(tr, old_root, h, 0, key, value);
+      if (root_.compare_exchange_weak(old_root, new_root,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
-        retire_box(slot, old_box);
+        settle(slot, tr);
         if (!old) size_.fetch_add(1, std::memory_order_relaxed);
         return old;
       }
-      delete box;  // lost the race; rebuild against the new root
+      discard(tr);  // lost the race; rebuild against the new root
     }
   }
 
@@ -102,19 +118,23 @@ class SnapshotHamt {
     const std::size_t h = Hasher{}(key);
     const unsigned slot = stm::ThreadRegistry::slot();
     ebr::EbrDomain::Guard g(ebr_, slot);
+    OpTrace& tr = trace();
+    tr.clear();
     for (;;) {
-      RootBox* old_box = root_.load(std::memory_order_acquire);
-      auto [new_root, old] = erase(old_box->root, h, 0, key);
-      if (!old) return std::nullopt;  // absent: nothing to CAS
-      RootBox* box = new RootBox{{}, std::move(new_root)};
-      if (root_.compare_exchange_weak(old_box, box,
+      const Node* old_root = root_.load(std::memory_order_acquire);
+      auto [new_root, old] = erase(tr, old_root, h, 0, key);
+      if (!old) {
+        discard(tr);  // absent: nothing to CAS (no copies were made)
+        return std::nullopt;
+      }
+      if (root_.compare_exchange_weak(old_root, new_root,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
-        retire_box(slot, old_box);
+        settle(slot, tr);
         size_.fetch_sub(1, std::memory_order_relaxed);
         return old;
       }
-      delete box;
+      discard(tr);
     }
   }
 
@@ -125,31 +145,60 @@ class SnapshotHamt {
   void for_each(F&& f) const {
     const unsigned slot = stm::ThreadRegistry::slot();
     ebr::EbrDomain::Guard g(ebr_, slot);
-    const RootBox* box = root_.load(std::memory_order_acquire);
-    walk(box->root, f);
+    walk(root_.load(std::memory_order_acquire), f);
   }
 
   /// An O(1), fully consistent snapshot supporting local mutation. Not
-  /// thread-safe itself (single owner — a transaction's shadow copy).
+  /// thread-safe itself (single owner — a transaction's shadow copy). Holds
+  /// a counted epoch pin for its lifetime; owns its local mutations' nodes.
   class Snapshot {
    public:
+    Snapshot(Snapshot&& o) noexcept
+        : ebr_(o.ebr_), slot_(o.slot_), root_(o.root_), size_(o.size_),
+          created_(std::move(o.created_)) {
+      o.ebr_ = nullptr;
+      o.created_.clear();
+    }
+    Snapshot& operator=(Snapshot&& o) noexcept {
+      if (this != &o) {
+        release();
+        ebr_ = o.ebr_;
+        slot_ = o.slot_;
+        root_ = o.root_;
+        size_ = o.size_;
+        created_ = std::move(o.created_);
+        o.ebr_ = nullptr;
+        o.created_.clear();
+      }
+      return *this;
+    }
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+    ~Snapshot() { release(); }
+
     std::optional<V> get(const K& key) const {
       return SnapshotHamt::find(root_, Hasher{}(key), 0, key);
     }
     bool contains(const K& key) const { return get(key).has_value(); }
 
     std::optional<V> put(const K& key, V value) {
+      OpTrace tr;  // displaced ignored: shared nodes belong to the map,
+                   // local ones are swept via created_ at destruction
       auto [new_root, old] =
-          SnapshotHamt::insert(root_, Hasher{}(key), 0, key, value);
-      root_ = std::move(new_root);
+          SnapshotHamt::insert(tr, root_, Hasher{}(key), 0, key, value);
+      root_ = new_root;
+      own(tr);
       if (!old) ++size_;
       return old;
     }
 
     std::optional<V> remove(const K& key) {
-      auto [new_root, old] = SnapshotHamt::erase(root_, Hasher{}(key), 0, key);
+      OpTrace tr;
+      auto [new_root, old] =
+          SnapshotHamt::erase(tr, root_, Hasher{}(key), 0, key);
+      own(tr);
       if (old) {
-        root_ = std::move(new_root);
+        root_ = new_root;
         --size_;
       }
       return old;
@@ -164,39 +213,112 @@ class SnapshotHamt {
 
    private:
     friend class SnapshotHamt;
-    Snapshot(NodePtr root, std::size_t size)
-        : root_(std::move(root)), size_(size) {}
-    NodePtr root_;
+    Snapshot(ebr::EbrDomain& ebr, unsigned slot, const Node* root,
+             std::size_t size)
+        : ebr_(&ebr), slot_(slot), root_(root), size_(size) {
+      ebr_->enter(slot_);
+    }
+
+    void own(OpTrace& tr) {
+      for (const Node* n : tr.created) created_.push_back(n);
+    }
+    void release() noexcept {
+      if (ebr_ == nullptr) return;
+      for (const Node* n : created_) delete n;
+      created_.clear();
+      ebr_->exit(slot_);
+      ebr_ = nullptr;
+    }
+
+    ebr::EbrDomain* ebr_;
+    unsigned slot_;
+    const Node* root_;
     std::size_t size_;
+    std::vector<const Node*> created_;  // local mutations' nodes, owned
   };
 
   Snapshot snapshot() const {
     // size_ is read after root_: the count may be momentarily off relative
     // to the frozen root under concurrent updates; callers that need an
     // exact count use Snapshot::for_each. (The Proustian wrappers reify
-    // size separately, so this does not affect them.) The NodePtr copy —
-    // the only refcount bump on the read side — happens under the pin, so
-    // the box cannot be reclaimed out from under it.
+    // size separately, so this does not affect them.) The root load happens
+    // under the snapshot's own pin — taken in its constructor — so the
+    // frozen version cannot be reclaimed out from under it.
     const unsigned slot = stm::ThreadRegistry::slot();
-    ebr::EbrDomain::Guard g(ebr_, slot);
-    const RootBox* box = root_.load(std::memory_order_acquire);
-    return Snapshot(box->root, size_.load(std::memory_order_acquire));
+    Snapshot s(ebr_, slot, nullptr, 0);
+    s.root_ = root_.load(std::memory_order_acquire);
+    s.size_ = size_.load(std::memory_order_acquire);
+    return s;
   }
+
+  /// Reclamation observability (tests): nodes retired/pending in the domain.
+  std::uint64_t reclaim_pending() const noexcept { return ebr_.pending(); }
+  std::size_t quiesce() noexcept { return ebr_.quiesce(); }
 
  private:
-  /// The published root: EBR hook first (retire/reclaim recover the box
-  /// from the hook pointer), then the owning reference to the tree.
-  struct RootBox {
-    ebr::Retired hook;
-    NodePtr root;
-  };
-
-  void retire_box(unsigned slot, RootBox* box) {
-    ebr_.retire(
-        slot, &box->hook,
-        [](ebr::Retired* r, void*) { delete reinterpret_cast<RootBox*>(r); },
-        nullptr);
+  static OpTrace& trace() {
+    static thread_local OpTrace tr;
+    return tr;
   }
+
+  /// Copy `n` into a fresh created node (the path-copying step); the
+  /// original is recorded displaced.
+  static Node* clone(OpTrace& tr, const Node* n) {
+    Node* copy = new Node{{}, n->bitmap, n->slots, n->overflow};
+    tr.created.push_back(copy);
+    tr.displaced.push_back(n);
+    return copy;
+  }
+
+  static Node* fresh(OpTrace& tr) {
+    Node* n = new Node{};
+    tr.created.push_back(n);
+    return n;
+  }
+
+  void settle(unsigned slot, OpTrace& tr) {
+    for (const Node* d : tr.displaced) {
+      bool was_created = false;
+      for (const Node* c : tr.created) {
+        if (c == d) {
+          was_created = true;
+          break;
+        }
+      }
+      if (was_created) {
+        delete d;
+      } else {
+        ebr_.retire(
+            slot, &d->hook,
+            [](ebr::Retired* r, void*) {
+              delete reinterpret_cast<const Node*>(r);
+            },
+            nullptr);
+      }
+    }
+    tr.clear();
+  }
+
+  static void discard(OpTrace& tr) {
+    for (const Node* c : tr.created) delete c;
+    tr.clear();
+  }
+
+  static void delete_tree(const Node* root) {
+    std::vector<const Node*> stack;
+    if (root != nullptr) stack.push_back(root);
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      for (const Slot& s : n->slots) {
+        if (const Node* const* child = std::get_if<const Node*>(&s)) {
+          stack.push_back(*child);
+        }
+      }
+      delete n;
+    }
+  }
+
   static unsigned index_at(std::size_t hash, unsigned depth) noexcept {
     return static_cast<unsigned>((hash >> (kBits * depth)) & 63u);
   }
@@ -205,9 +327,8 @@ class SnapshotHamt {
     return static_cast<unsigned>(__builtin_popcountll(below));
   }
 
-  static std::optional<V> find(const NodePtr& node, std::size_t hash,
+  static std::optional<V> find(const Node* n, std::size_t hash,
                                unsigned depth, const K& key) {
-    const Node* n = node.get();
     if (depth >= kMaxDepth) {
       for (const KV& kv : n->overflow) {
         if (kv.key == key) return kv.value;
@@ -222,25 +343,23 @@ class SnapshotHamt {
       if (kv->key == key) return kv->value;
       return std::nullopt;
     }
-    return find(std::get<NodePtr>(slot), hash, depth + 1, key);
+    return find(std::get<const Node*>(slot), hash, depth + 1, key);
   }
 
-  static std::pair<NodePtr, std::optional<V>> insert(const NodePtr& node,
-                                                     std::size_t hash,
-                                                     unsigned depth,
-                                                     const K& key,
-                                                     const V& value) {
-    auto copy = std::make_shared<Node>(*node);
+  static std::pair<const Node*, std::optional<V>> insert(
+      OpTrace& tr, const Node* node, std::size_t hash, unsigned depth,
+      const K& key, const V& value) {
+    Node* copy = clone(tr, node);
     if (depth >= kMaxDepth) {
       for (KV& kv : copy->overflow) {
         if (kv.key == key) {
           std::optional<V> old = std::move(kv.value);
           kv.value = value;
-          return {std::move(copy), std::move(old)};
+          return {copy, std::move(old)};
         }
       }
       copy->overflow.push_back(KV{key, value});
-      return {std::move(copy), std::nullopt};
+      return {copy, std::nullopt};
     }
     const unsigned idx = index_at(hash, depth);
     const std::uint64_t bit = std::uint64_t{1} << idx;
@@ -248,29 +367,32 @@ class SnapshotHamt {
     if (!(copy->bitmap & bit)) {
       copy->bitmap |= bit;
       copy->slots.insert(copy->slots.begin() + pos, Slot(KV{key, value}));
-      return {std::move(copy), std::nullopt};
+      return {copy, std::nullopt};
     }
     Slot& slot = copy->slots[pos];
     if (KV* kv = std::get_if<KV>(&slot)) {
       if (kv->key == key) {
         std::optional<V> old = std::move(kv->value);
         kv->value = value;
-        return {std::move(copy), std::move(old)};
+        return {copy, std::move(old)};
       }
-      // Split: push the resident pair one level down, then insert.
-      NodePtr child = singleton(Hasher{}(kv->key), depth + 1, *kv);
-      auto [new_child, old] = insert(child, hash, depth + 1, key, value);
-      slot = Slot(std::move(new_child));
-      return {std::move(copy), std::move(old)};
+      // Split: push the resident pair one level down, then insert. The
+      // intermediate singleton is created-then-displaced within this op, so
+      // settle/own handle it without reaching the published tree.
+      const Node* child = singleton(tr, Hasher{}(kv->key), depth + 1, *kv);
+      auto [new_child, old] = insert(tr, child, hash, depth + 1, key, value);
+      slot = Slot(new_child);
+      return {copy, std::move(old)};
     }
     auto [new_child, old] =
-        insert(std::get<NodePtr>(slot), hash, depth + 1, key, value);
-    slot = Slot(std::move(new_child));
-    return {std::move(copy), std::move(old)};
+        insert(tr, std::get<const Node*>(slot), hash, depth + 1, key, value);
+    slot = Slot(new_child);
+    return {copy, std::move(old)};
   }
 
-  static NodePtr singleton(std::size_t hash, unsigned depth, KV kv) {
-    auto n = std::make_shared<Node>();
+  static const Node* singleton(OpTrace& tr, std::size_t hash, unsigned depth,
+                               KV kv) {
+    Node* n = fresh(tr);
     if (depth >= kMaxDepth) {
       n->overflow.push_back(std::move(kv));
     } else {
@@ -281,62 +403,66 @@ class SnapshotHamt {
     return n;
   }
 
-  static std::pair<NodePtr, std::optional<V>> erase(const NodePtr& node,
-                                                    std::size_t hash,
-                                                    unsigned depth,
-                                                    const K& key) {
-    const Node* n = node.get();
+  static std::pair<const Node*, std::optional<V>> erase(OpTrace& tr,
+                                                        const Node* n,
+                                                        std::size_t hash,
+                                                        unsigned depth,
+                                                        const K& key) {
     if (depth >= kMaxDepth) {
       for (std::size_t i = 0; i < n->overflow.size(); ++i) {
         if (n->overflow[i].key == key) {
-          auto copy = std::make_shared<Node>(*n);
+          Node* copy = clone(tr, n);
           std::optional<V> old = std::move(copy->overflow[i].value);
           copy->overflow.erase(copy->overflow.begin() + i);
-          return {std::move(copy), std::move(old)};
+          return {copy, std::move(old)};
         }
       }
-      return {node, std::nullopt};
+      return {n, std::nullopt};
     }
     const unsigned idx = index_at(hash, depth);
     const std::uint64_t bit = std::uint64_t{1} << idx;
-    if (!(n->bitmap & bit)) return {node, std::nullopt};
+    if (!(n->bitmap & bit)) return {n, std::nullopt};
     const unsigned pos = position(n->bitmap, idx);
     const Slot& slot = n->slots[pos];
     if (const KV* kv = std::get_if<KV>(&slot)) {
-      if (kv->key != key) return {node, std::nullopt};
-      auto copy = std::make_shared<Node>(*n);
+      if (kv->key != key) return {n, std::nullopt};
+      Node* copy = clone(tr, n);
       std::optional<V> old = std::get<KV>(copy->slots[pos]).value;
       copy->bitmap &= ~bit;
       copy->slots.erase(copy->slots.begin() + pos);
-      return {std::move(copy), std::move(old)};
+      return {copy, std::move(old)};
     }
-    auto [new_child, old] = erase(std::get<NodePtr>(slot), hash, depth + 1, key);
-    if (!old) return {node, std::nullopt};
-    auto copy = std::make_shared<Node>(*n);
-    // Contract empty children so deleted subtrees don't accumulate.
+    auto [new_child, old] =
+        erase(tr, std::get<const Node*>(slot), hash, depth + 1, key);
+    if (!old) return {n, std::nullopt};
+    Node* copy = clone(tr, n);
+    // Contract empty children so deleted subtrees don't accumulate. The
+    // contracted child was created by the recursive call, so it falls under
+    // the created ∧ displaced → delete rule.
     if (new_child->bitmap == 0 && new_child->overflow.empty()) {
+      tr.displaced.push_back(new_child);
       copy->bitmap &= ~bit;
       copy->slots.erase(copy->slots.begin() + pos);
     } else {
-      copy->slots[pos] = Slot(std::move(new_child));
+      copy->slots[pos] = Slot(new_child);
     }
-    return {std::move(copy), std::move(old)};
+    return {copy, std::move(old)};
   }
 
   template <class F>
-  static void walk(const NodePtr& node, F& f) {
+  static void walk(const Node* node, F& f) {
     for (const KV& kv : node->overflow) f(kv.key, kv.value);
     for (const Slot& slot : node->slots) {
       if (const KV* kv = std::get_if<KV>(&slot)) {
         f(kv->key, kv->value);
       } else {
-        walk(std::get<NodePtr>(slot), f);
+        walk(std::get<const Node*>(slot), f);
       }
     }
   }
 
-  mutable ebr::EbrDomain ebr_;  // reclaims displaced RootBoxes
-  std::atomic<RootBox*> root_;
+  mutable ebr::EbrDomain ebr_;  // reclaims displaced nodes
+  std::atomic<const Node*> root_;
   std::atomic<std::size_t> size_;
 };
 

@@ -8,7 +8,9 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "common/topology.hpp"
 #include "stm/fwd.hpp"
 
 namespace proust::stm {
@@ -213,6 +215,23 @@ struct StmOptions {
   /// constructed with an explicit timeout are exempt (tests pin exact
   /// timeout behavior through that path).
   bool lap_timeout_jitter = true;
+
+  // --- Topology awareness (common/topology.hpp, DESIGN.md §13) -------------
+  /// Pin each registry slot's thread to a CPU on its first top-level
+  /// transaction against this Stm. The plan is computed once from the
+  /// detected host topology; slot i binds to plan[i % plan.size()]. None
+  /// (default) performs no affinity syscalls and computes no plan.
+  topo::PinPolicy pinning = topo::PinPolicy::None;
+  /// CPU list for PinPolicy::Explicit (ignored otherwise; empty list means
+  /// "do not pin", same as None).
+  std::vector<int> pin_cpus;
+  /// NUMA placement of the runtime's shared tables: stamp cells become
+  /// node-local per-slot blocks, MVCC version-pool headers likewise, and
+  /// structures built against this Stm (orec arrays, LAP stripe tables,
+  /// sequence-word tables) consult this knob for interleaved or
+  /// per-node-replicated layouts. Off (default) keeps the exact
+  /// first-touch-at-construction behaviour the runtime always had.
+  topo::NumaPlacement numa_placement = topo::NumaPlacement::Off;
 
   /// Fault-injection policy woven into the runtime (stm/chaos.hpp);
   /// non-owning, must outlive every transaction of this Stm. nullptr

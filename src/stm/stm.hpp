@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "common/backoff.hpp"
+#include "common/topology.hpp"
 #include "stm/commit_fence.hpp"
 #include "stm/contention.hpp"
 #include "stm/fwd.hpp"
@@ -36,14 +37,28 @@ class Stm {
  public:
   explicit Stm(Mode mode = Mode::Lazy, StmOptions options = {})
       : mode_(mode), options_(options),
-        cm_(make_contention_manager(options_, cm_state_)) {
+        cm_(make_contention_manager(options_, cm_state_)), id_(next_id()) {
     admission_.configure(options_);
     if (options_.mvcc) {
-      mvcc_ = std::make_unique<MvccState>(ThreadRegistry::kMaxSlots);
+      mvcc_ = std::make_unique<MvccState>(ThreadRegistry::kMaxSlots,
+                                          options_.numa_placement);
+    }
+    if (options_.pinning != topo::PinPolicy::None) {
+      pin_plan_ = topo::Topology::system().pin_plan(options_.pinning,
+                                                    options_.pin_cpus);
     }
   }
   Stm(const Stm&) = delete;
   Stm& operator=(const Stm&) = delete;
+
+  ~Stm() {
+    for (std::atomic<StampCell*>& cell : numa_stamp_cells_) {
+      if (StampCell* p = cell.load(std::memory_order_acquire)) {
+        p->~StampCell();
+        topo::free_onnode(p, sizeof(StampCell));
+      }
+    }
+  }
 
   Mode mode() const noexcept { return mode_; }
   const StmOptions& options() const noexcept { return options_; }
@@ -146,7 +161,9 @@ class Stm {
   /// and strictly increasing per slot — a recycled slot resumes the previous
   /// holder's partially-used block, never reissuing a value.
   std::uint64_t next_stamp(unsigned slot) noexcept {
-    StampCell& c = stamp_cells_[slot];
+    StampCell& c = options_.numa_placement == topo::NumaPlacement::Off
+                       ? stamp_cells_[slot]
+                       : numa_stamp_cell(slot);
     if (c.next == c.end) {
       c.next = stamps_.fetch_add(kStampBlock, std::memory_order_relaxed);
       c.end = c.next + kStampBlock;
@@ -192,6 +209,7 @@ class Stm {
       return body(*cur);
     }
     Txn tx(*this);
+    if (!pin_plan_.empty()) maybe_pin(tx.slot());
     if (declared_ro && mvcc_ != nullptr) tx.mvcc_declared_ = true;
     if (admission_.enabled()) {
       // Throttle before the first attempt: nothing transactional is held
@@ -319,9 +337,41 @@ class Stm {
   };
   static constexpr std::uint64_t kStampBlock = 1024;
 
+  static std::uint64_t next_id() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Bind the slot's thread to its planned CPU, once per (thread, Stm). The
+  /// marker is the Stm's process-unique id, not its address, so a new Stm
+  /// reusing a destroyed one's storage still re-pins.
+  void maybe_pin(unsigned slot) noexcept {
+    thread_local std::uint64_t pinned_for = 0;
+    if (pinned_for == id_) return;
+    pinned_for = id_;
+    topo::pin_self_to(
+        pin_plan_[static_cast<std::size_t>(slot) % pin_plan_.size()]);
+  }
+
+  /// Node-local stamp cell, allocated lazily by the owning slot so the
+  /// first touch (and, with libnuma, the explicit placement) happens on the
+  /// slot's node. Only reached when numa_placement != Off; the default
+  /// config keeps the constructor-touched inline array and pays nothing.
+  StampCell& numa_stamp_cell(unsigned slot) noexcept {
+    StampCell* p = numa_stamp_cells_[slot].load(std::memory_order_acquire);
+    if (p == nullptr) [[unlikely]] {
+      p = new (topo::alloc_onnode(sizeof(StampCell), -1)) StampCell{};
+      numa_stamp_cells_[slot].store(p, std::memory_order_release);
+    }
+    return *p;
+  }
+
   alignas(kCacheLine) std::atomic<Version> clock_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> stamps_{0};
   std::array<StampCell, ThreadRegistry::kMaxSlots> stamp_cells_{};
+  std::array<std::atomic<StampCell*>, ThreadRegistry::kMaxSlots>
+      numa_stamp_cells_{};
+  std::vector<int> pin_plan_;
   Mode mode_;
   StmOptions options_;
   Stats stats_;
@@ -332,6 +382,7 @@ class Stm {
   std::unique_ptr<MvccState> mvcc_;
   std::atomic<std::uint64_t> gate_entered_ns_{0};
   std::atomic<std::uint32_t> gate_holder_{~0u};
+  std::uint64_t id_;
 };
 
 // ---------------------------------------------------------------------------
