@@ -1,0 +1,222 @@
+// Group-commit latency/throughput sweep for the durability axis (DESIGN.md
+// §14): threads × durability {off, relaxed, strict} × fsync_every_n
+// {1, 8, 64}, each cell timing transactions that write one var and log a
+// 64-byte redo record. `off` cells run the identical workload with no Wal
+// attached, so the sweep shows the cost of the subsystem itself, the cost
+// of relaxed appends, and the fsync-bounded strict ack (whose mean wait is
+// reported from the wal_wait_ns stats counter).
+//
+// --ab: the default-neutrality check (same discipline as the scenario
+// matrix's pinning A/B). A = stock StmOptions. B = a live Wal *attached but
+// never logged to* — every commit takes the compiled-in durability
+// branches, nothing is staged or published. Paired-interleaved runs; the
+// acceptance bar is min-time ratio >= 0.97, which subsumes the weaker
+// "compiled in but disabled (nullptr)" claim since B exercises strictly
+// more of the new code than a nullptr configuration does.
+//
+// Segments land in a scratch directory under the working directory and are
+// removed on exit.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util/adapters.hpp"
+#include "bench_util/cli.hpp"
+#include "bench_util/harness.hpp"
+#include "bench_util/json.hpp"
+#include "bench_util/table.hpp"
+#include "common/rng.hpp"
+#include "stm/stm.hpp"
+#include "stm/wal.hpp"
+
+using namespace proust;
+using bench::Cli;
+using bench::JsonRecord;
+using bench::JsonWriter;
+using bench::RunConfig;
+using bench::Table;
+using bench::TimedRuns;
+
+namespace {
+
+struct Scratch {
+  std::string path;
+  explicit Scratch(const std::string& tag)
+      : path("bench_wal_" + tag + "_" + std::to_string(::getpid())) {
+    std::error_code ec;
+    std::filesystem::create_directory(path, ec);
+  }
+  ~Scratch() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string sub(const std::string& name) const { return path + "/" + name; }
+};
+
+struct SweepCtx {
+  long ops = 0;
+  int warmup = 0;
+  int runs = 1;
+  Table* table = nullptr;
+  JsonWriter* json = nullptr;
+};
+
+/// One sweep cell: `threads` workers, each transaction writes its thread's
+/// var and (when `wal` is attached) logs a 64-byte record. Returns txn/s.
+void run_cell(SweepCtx& ctx, const std::string& durability, long fsync_n,
+              int threads, stm::Wal* wal) {
+  stm::StmOptions opts;
+  opts.durability = wal;
+  stm::Stm s(stm::Mode::Lazy, opts);
+  std::vector<stm::Var<long>> vars(static_cast<std::size_t>(threads));
+  std::uint8_t payload[64] = {};
+  const long iters = (ctx.ops + threads - 1) / threads;
+  const TimedRuns t = bench::run_ops_timed(
+      threads, iters, ctx.warmup, ctx.runs, /*seed=*/131, /*pin_plan=*/{},
+      [&](int w, Xoshiro256& rng) {
+        const long v = static_cast<long>(rng());
+        s.atomically([&](stm::Txn& tx) {
+          vars[static_cast<std::size_t>(w)].write(tx, v);
+          if (wal != nullptr) {
+            std::memcpy(payload, &v, sizeof v);
+            tx.wal_log(/*stream=*/1, payload, sizeof payload);
+          }
+        });
+      },
+      [&] { s.stats().reset(); });
+  if (wal != nullptr) wal->flush();
+
+  const stm::StatsSnapshot st = s.stats().snapshot();
+  const long total = iters * threads;
+  const double txn_s = t.ops_per_sec(total, /*use_min=*/true);
+  const double ack_us =
+      st.wal_strict_waits > 0
+          ? static_cast<double>(st.wal_wait_ns) /
+                static_cast<double>(st.wal_strict_waits) / 1000.0
+          : 0.0;
+  ctx.table->row({durability, fsync_n > 0 ? std::to_string(fsync_n) : "-",
+                  std::to_string(threads), Table::fmt(t.min_ms, 2),
+                  Table::fmt(txn_s / 1000.0, 1), Table::fmt(ack_us, 1)});
+  if (ctx.json != nullptr) {
+    JsonRecord r;
+    r.bench = "wal";
+    r.workload = "group_commit";
+    r.mode = durability;
+    r.threads = threads;
+    r.ops_per_txn = 1;
+    r.ops_per_sec = txn_s;
+    r.extra = fsync_n;
+    ctx.json->add(r);
+  }
+}
+
+int run_sweep(const Cli& cli, JsonWriter* json) {
+  const bool smoke = cli.has("smoke");
+  Scratch scratch("sweep");
+  SweepCtx ctx;
+  ctx.ops = cli.get_long("ops", smoke ? 2000 : 40000);
+  ctx.warmup = static_cast<int>(cli.get_long("warmup", smoke ? 0 : 1));
+  ctx.runs = static_cast<int>(cli.get_long("runs", smoke ? 1 : 5));
+  ctx.json = json;
+  const auto thread_counts = cli.get_longs(
+      "threads", smoke ? std::vector<long>{1, 2} : std::vector<long>{1, 2, 4});
+  const auto fsync_ns = cli.get_longs("fsync-n", std::vector<long>{1, 8, 64});
+
+  std::printf("# wal sweep: ops=%ld runs=%d (min) %s\n", ctx.ops, ctx.runs,
+              smoke ? "(smoke)" : "");
+  Table table({"durability", "fsync_n", "threads", "ms", "ktxn/s", "ack-us"});
+  ctx.table = &table;
+  int cell = 0;
+  for (long t : thread_counts) {
+    run_cell(ctx, "off", 0, static_cast<int>(t), nullptr);
+    for (const char* dur : {"relaxed", "strict"}) {
+      for (long n : fsync_ns) {
+        stm::WalOptions wopts;
+        wopts.dir = scratch.sub("c" + std::to_string(cell++));
+        wopts.fsync_every_n = static_cast<std::uint32_t>(n);
+        wopts.durability = std::string(dur) == "strict"
+                               ? stm::WalDurability::Strict
+                               : stm::WalDurability::Relaxed;
+        stm::Wal wal(wopts);
+        run_cell(ctx, dur, n, static_cast<int>(t), &wal);
+      }
+    }
+  }
+  return 0;
+}
+
+int run_neutrality_ab(const Cli& cli, JsonWriter* json) {
+  RunConfig cfg;
+  cfg.total_ops = cli.get_long("ops", 200000);
+  cfg.key_range = cli.get_long("key-range", 1024);
+  cfg.ops_per_txn = static_cast<int>(cli.get_long("o", 4));
+  cfg.warmup_runs = static_cast<int>(cli.get_long("warmup", 2));
+  cfg.timed_runs = static_cast<int>(cli.get_long("runs", 7));
+  const stm::Mode mode = cli.get_mode("mode", stm::Mode::Lazy);
+
+  Scratch scratch("ab");
+  stm::WalOptions wopts;
+  wopts.dir = scratch.sub("idle");
+  stm::Wal wal(wopts);
+  stm::StmOptions with;
+  with.durability = &wal;  // attached, never logged to
+
+  std::printf("# neutrality A/B: defaults vs wal-attached-idle, "
+              "paired-interleaved, %d runs (min)\n", cfg.timed_runs);
+  Table table({"u", "threads", "off-ms", "wal-ms", "wal/off", "off-ab%",
+               "wal-ab%"});
+  for (double u : cli.get_doubles("u", std::vector<double>{0, 0.5})) {
+    for (long t : cli.get_longs("threads", std::vector<long>{1, 2})) {
+      cfg.write_fraction = u;
+      cfg.threads = static_cast<int>(t);
+      bench::PureStmAdapter off(mode, cfg.key_range, stm::StmOptions{});
+      bench::PureStmAdapter on(mode, cfg.key_range, with);
+      bench::prefill_half(off, cfg.key_range);
+      bench::prefill_half(on, cfg.key_range);
+      const auto [ro, rw] = bench::run_map_throughput_paired(off, on, cfg);
+      table.row({Table::fmt(u, 2), std::to_string(t),
+                 Table::fmt(ro.min_ms, 2), Table::fmt(rw.min_ms, 2),
+                 Table::fmt(rw.min_ms / ro.min_ms, 3),
+                 Table::fmt(100.0 * ro.abort_ratio(), 1),
+                 Table::fmt(100.0 * rw.abort_ratio(), 1)});
+      if (json != nullptr) {
+        for (const auto* side : {"ab-defaults", "ab-wal-idle"}) {
+          JsonRecord r;
+          r.bench = "wal";
+          r.workload = side;
+          r.mode = stm::to_string(mode);
+          r.threads = static_cast<int>(t);
+          r.ops_per_txn = cfg.ops_per_txn;
+          r.write_fraction = u;
+          r.ops_per_sec = (side == std::string("ab-defaults") ? ro : rw)
+                              .ops_per_sec_min(cfg.total_ops);
+          json->add(r);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string json_path = cli.get("json", "");
+  JsonWriter json(cli.get("label", "wal"));
+  JsonWriter* jp = json_path.empty() ? nullptr : &json;
+
+  const int rc = cli.has("ab") ? run_neutrality_ab(cli, jp)
+                               : run_sweep(cli, jp);
+  if (rc == 0 && jp != nullptr) {
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return rc;
+}

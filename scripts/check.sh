@@ -47,6 +47,15 @@ echo "== topology: detection, pin plans, placement plumbing =="
 # sandboxes that refuse affinity syscalls), replicated ReadSeqTable banks.
 ctest --test-dir build --output-on-failure -L topology
 
+echo "== durability: WAL roundtrip + crash-point recovery matrix =="
+# Live-process WAL paths (epoch-ordered roundtrip, segment rotation,
+# torn-tail truncation, strict/relaxed acks, fail-stop on injected I/O
+# errors) plus the fork-based crash matrix: a child process is killed at
+# every injected WAL crash gate and recovery must replay exactly a prefix
+# of the committed-oracle history. Failures print the seed; replay with
+# PROUST_CHAOS_SEED=<seed> as with the chaos label.
+ctest --test-dir build --output-on-failure -L durability
+
 echo "== matrix: scenario-matrix smoke + CSV post-process =="
 # Tiny grid over every family x pinning cell, CSV consumed end-to-end by
 # plot_results.py (text fallback without matplotlib) — catches schema drift

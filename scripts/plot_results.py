@@ -20,20 +20,66 @@ NUMERIC = {
 }
 
 
+# Columns the aggregations below index unconditionally; a row that lacks a
+# parseable value for any of them cannot be summarized and is skipped.
+REQUIRED = {"family", "impl", "pin", "threads", "ops_per_sec"}
+
+
 def load(path):
+    """Parse the CSV, skipping malformed rows with a warning.
+
+    A crash-interrupted sweep leaves a truncated final line (short row), and
+    concurrent appends can interleave fragments (long row); both are data
+    loss already — the job of the post-processor is to summarize what
+    survived, not to raise halfway through.
+    """
     rows = []
-    with open(path, newline="") as f:
-        for raw in csv.DictReader(f):
+    skipped = 0
+    try:
+        f = open(path, newline="")
+    except OSError as e:
+        print("warning: cannot read %s: %s" % (path, e), file=sys.stderr)
+        return []
+    with f:
+        reader = csv.DictReader(f)
+        if not reader.fieldnames:
+            print("warning: %s is empty (no header row)" % path,
+                  file=sys.stderr)
+            return []
+        missing = REQUIRED - set(reader.fieldnames)
+        if missing:
+            print("warning: %s lacks required columns: %s" %
+                  (path, ", ".join(sorted(missing))), file=sys.stderr)
+            return []
+        for lineno, raw in enumerate(reader, start=2):
             row = {}
+            bad = "extra fields" if None in raw else None
             for k, v in raw.items():
-                if k in NUMERIC:
+                if bad:
+                    break
+                if k is None:
+                    continue
+                if v is None:
+                    bad = "truncated row"
+                elif k in NUMERIC:
                     try:
                         row[k] = float(v)
-                    except (TypeError, ValueError):
-                        row[k] = 0.0
+                    except ValueError:
+                        if k in REQUIRED:
+                            bad = "unparseable %s=%r" % (k, v)
+                        else:
+                            row[k] = 0.0
                 else:
                     row[k] = v
+            if bad:
+                skipped += 1
+                print("warning: %s line %d skipped (%s)" % (path, lineno, bad),
+                      file=sys.stderr)
+                continue
             rows.append(row)
+    if skipped:
+        print("warning: skipped %d malformed row(s) in %s" % (skipped, path),
+              file=sys.stderr)
     return rows
 
 
@@ -119,8 +165,9 @@ def write_text(rows, out_dir):
         for out in (sys.stdout, f):
             out.write(
                 "# scenario matrix: %d rows | host cpus=%d nodes=%d smt=%d\n"
-                % (len(rows), host["host_cpus"], host["host_nodes"],
-                   host["host_smt"]))
+                % (len(rows), int(host.get("host_cpus", 0)),
+                   int(host.get("host_nodes", 0)),
+                   int(host.get("host_smt", 0))))
             for family in sorted({r["family"] for r in rows}):
                 sub = [r for r in rows if r["family"] == family]
                 text_pivot(out, "family=%s" % family, sub, "impl", "threads")
@@ -175,8 +222,12 @@ def main():
 
     rows = load(args.csv)
     if not rows:
-        print("no data rows in %s" % args.csv, file=sys.stderr)
-        return 1
+        # A crash-interrupted sweep can leave nothing usable; that is the
+        # sweep's failure, not the post-processor's — exit cleanly so CI
+        # pipelines that tolerate partial sweeps keep their own verdict.
+        print("warning: no usable data rows in %s" % args.csv,
+              file=sys.stderr)
+        return 0
     os.makedirs(args.out, exist_ok=True)
 
     write_text(rows, args.out)

@@ -43,4 +43,17 @@ echo "== run scenario matrix =="
 echo "== post-process =="
 python3 scripts/plot_results.py "$CSV" --out "$OUT"
 
+if [[ "$SMOKE" == 1 ]]; then
+  echo "== post-process hardening: malformed CSV inputs =="
+  # A crash-interrupted sweep leaves a truncated tail (or nothing at all);
+  # the post-processor must skip such rows with a warning and still exit 0.
+  MANGLED="$OUT/scenario_matrix.mangled.csv"
+  head -c "$(($(wc -c < "$CSV") - 17))" "$CSV" > "$MANGLED"
+  printf 'map,torn-impl,lazy,not-a-number\n' >> "$MANGLED"
+  python3 scripts/plot_results.py "$MANGLED" --out "$OUT/mangled"
+  : > "$OUT/empty.csv"
+  python3 scripts/plot_results.py "$OUT/empty.csv" --out "$OUT/mangled"
+  rm -rf "$MANGLED" "$OUT/empty.csv" "$OUT/mangled"
+fi
+
 echo "== done: $CSV =="

@@ -1,0 +1,47 @@
+// Software CRC32 (the IEEE 802.3 / zlib polynomial, reflected form). The
+// write-ahead log checksums every record payload and every batch header with
+// it; recovery uses a mismatch as the torn-tail signal. A 256-entry table is
+// generated at compile time — no hardware-CRC intrinsics, so the same bytes
+// checksum identically on every build the repo targets, and a segment file
+// written by one binary is recoverable by any other.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace proust {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental form: pass the previous return value as `seed` to extend a
+/// checksum over discontiguous buffers. The default seed is the standard
+/// whole-message CRC32.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace proust

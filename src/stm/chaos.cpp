@@ -76,6 +76,8 @@ ChaosAction ChaosPolicy::decide(ChaosPoint p) noexcept {
     a = ChaosAction::Timeout;
   } else if (u < pc.abort + pc.timeout + pc.delay) {
     a = ChaosAction::Delay;
+  } else if (u < pc.abort + pc.timeout + pc.delay + pc.crash) {
+    a = ChaosAction::Crash;
   }
   if (a != ChaosAction::None) {
     st.injected[static_cast<std::size_t>(p)] += 1;

@@ -44,6 +44,7 @@ enum class ChaosAction : std::uint8_t {
   Abort,    // spurious abort (AbortReason::ChaosInjected)
   Timeout,  // forced lock timeout (lock-acquisition points only)
   Delay,    // bounded busy-spin + optional yield
+  Crash,    // kill the process (_exit) — WAL gates only (stm/wal.cpp)
 };
 
 constexpr const char* to_string(ChaosAction a) noexcept {
@@ -52,6 +53,7 @@ constexpr const char* to_string(ChaosAction a) noexcept {
     case ChaosAction::Abort: return "abort";
     case ChaosAction::Timeout: return "timeout";
     case ChaosAction::Delay: return "delay";
+    case ChaosAction::Crash: return "crash";
   }
   return "?";
 }
@@ -65,9 +67,10 @@ struct ChaosPointConfig {
   double abort = 0;    // probability of a spurious abort
   double timeout = 0;  // probability of a forced lock timeout
   double delay = 0;    // probability of a bounded delay/yield
+  double crash = 0;    // probability of a process kill (WAL gates only)
 
   bool enabled() const noexcept {
-    return abort > 0 || timeout > 0 || delay > 0;
+    return abort > 0 || timeout > 0 || delay > 0 || crash > 0;
   }
 };
 

@@ -23,6 +23,7 @@ struct CmSlot;
 class CmState;
 class MvccState;
 struct StallReport;
+class Wal;
 
 /// How the STM detects conflicts — the right-hand table of the paper's
 /// Figure 1. The mode is a property of the `Stm` runtime instance.
@@ -99,6 +100,14 @@ enum class ChaosPoint : std::uint8_t {
   LockTransition,  // reentrant-RW-lock CAS/park transitions (sync layer)
   ReplayApply,     // replay-log application (commit-locked hooks)
   FastPathRead,    // optimistic unlocked read admission (forces the slow path)
+  // WAL gates (stm/wal.hpp). These run on the group-committer thread; a
+  // Crash draw _exit()s the process there, which is how the crash-matrix
+  // suite manufactures torn appends, unsealed batches, lost fsyncs and
+  // half-finished segment rotations.
+  WalAppend,       // batch write(2) — a crash here leaves a torn tail
+  WalSeal,         // after the batch is drained, before its header is written
+  WalFsync,        // after write, before fsync — acked-relaxed data at risk
+  WalRotate,       // between tmp-segment creation and its rename
   kCount,
 };
 
@@ -115,6 +124,10 @@ constexpr const char* to_string(ChaosPoint p) noexcept {
     case ChaosPoint::LockTransition: return "lock-transition";
     case ChaosPoint::ReplayApply: return "replay-apply";
     case ChaosPoint::FastPathRead: return "fast-path-read";
+    case ChaosPoint::WalAppend: return "wal-append";
+    case ChaosPoint::WalSeal: return "wal-seal";
+    case ChaosPoint::WalFsync: return "wal-fsync";
+    case ChaosPoint::WalRotate: return "wal-rotate";
     default: return "?";
   }
 }

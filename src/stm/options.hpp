@@ -238,6 +238,14 @@ struct StmOptions {
   /// disables injection entirely — the hot paths then cost one predictable
   /// never-taken branch per gate and allocate nothing extra.
   ChaosPolicy* chaos = nullptr;
+
+  /// Opt-in durability: a write-ahead redo log (stm/wal.hpp, DESIGN.md §14)
+  /// committing transactions publish their staged redo records to. Same
+  /// contract as `chaos`: non-owning, must outlive every transaction of
+  /// this Stm, nullptr (default) disables durability entirely — commits
+  /// then pay one predictable never-taken branch and Txn::wal_log is a
+  /// no-op (bench_wal's paired A/B pins the neutrality).
+  Wal* durability = nullptr;
 };
 
 }  // namespace proust::stm

@@ -77,6 +77,11 @@ std::string StatsSnapshot::to_string() const {
     os << " fastpath{hits=" << fastpath_hits
        << " fallbacks=" << fastpath_fallbacks << "}";
   }
+  if (wal_publishes > 0) {
+    os << " wal{publishes=" << wal_publishes << " records=" << wal_records
+       << " bytes=" << wal_bytes << " strict_waits=" << wal_strict_waits
+       << " wait=" << wal_wait_ns << "ns}";
+  }
   if (total_aborts() > 0) {
     os << " [";
     bool first = true;
@@ -140,6 +145,11 @@ StatsSnapshot Stats::snapshot() const {
     s.mvcc_chain_max = std::max(s.mvcc_chain_max, ld(c.mvcc_chain_max));
     s.fastpath_hits += ld(c.fastpath_hits);
     s.fastpath_fallbacks += ld(c.fastpath_fallbacks);
+    s.wal_publishes += ld(c.wal_publishes);
+    s.wal_records += ld(c.wal_records);
+    s.wal_bytes += ld(c.wal_bytes);
+    s.wal_strict_waits += ld(c.wal_strict_waits);
+    s.wal_wait_ns += ld(c.wal_wait_ns);
   }
   return s;
 }
@@ -170,6 +180,11 @@ void Stats::reset() {
     st(c.mvcc_chain_max, 0);
     st(c.fastpath_hits, 0);
     st(c.fastpath_fallbacks, 0);
+    st(c.wal_publishes, 0);
+    st(c.wal_records, 0);
+    st(c.wal_bytes, 0);
+    st(c.wal_strict_waits, 0);
+    st(c.wal_wait_ns, 0);
   }
 }
 

@@ -78,6 +78,15 @@ struct StatsSnapshot {
   std::uint64_t fastpath_hits = 0;
   std::uint64_t fastpath_fallbacks = 0;
 
+  /// Durability (DESIGN.md §14): commits that published redo records to the
+  /// WAL, records/bytes staged, and time strict commits spent blocked on the
+  /// group committer's fsync acknowledgement.
+  std::uint64_t wal_publishes = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t wal_strict_waits = 0;
+  std::uint64_t wal_wait_ns = 0;
+
   std::uint64_t total_aborts() const noexcept;
   std::uint64_t total_injected() const noexcept;
   double abort_ratio() const noexcept;  // aborts / starts
@@ -114,6 +123,11 @@ class Stats {
     std::uint64_t mvcc_chain_max = 0;
     std::uint64_t fastpath_hits = 0;
     std::uint64_t fastpath_fallbacks = 0;
+    std::uint64_t wal_publishes = 0;
+    std::uint64_t wal_records = 0;
+    std::uint64_t wal_bytes = 0;
+    std::uint64_t wal_strict_waits = 0;
+    std::uint64_t wal_wait_ns = 0;
   };
 
   // Each cell has exactly one writer (its owning slot's thread), but the
@@ -181,6 +195,18 @@ class Stats {
     }
     void count_fastpath_hit() noexcept { bump(c_->fastpath_hits); }
     void count_fastpath_fallback() noexcept { bump(c_->fastpath_fallbacks); }
+    /// One commit that published `records` redo records (`bytes` staged
+    /// payload incl. per-record framing) to the WAL.
+    void count_wal_publish(std::uint64_t records, std::uint64_t bytes) noexcept {
+      bump(c_->wal_publishes);
+      bump(c_->wal_records, records);
+      bump(c_->wal_bytes, bytes);
+    }
+    /// One strict commit that blocked `ns` on the durable-epoch wait.
+    void count_wal_wait_ns(std::uint64_t ns) noexcept {
+      bump(c_->wal_strict_waits);
+      bump(c_->wal_wait_ns, ns);
+    }
 
    private:
     friend class Stats;

@@ -14,6 +14,7 @@
 #include "stm/contention.hpp"
 #include "stm/mvcc.hpp"
 #include "stm/stm.hpp"
+#include "stm/wal.hpp"
 
 namespace proust::stm {
 
@@ -54,6 +55,7 @@ Txn::Txn(Stm& stm)
     cm_cell_ = &stm.cm_state().slot(slot_);
   }
   optimistic_reads_ = stm.options().optimistic_reads;
+  wal_ = stm.options().durability;
   tls_current = this;
 }
 
@@ -74,6 +76,7 @@ void Txn::begin() {
   ++attempt_;
   active_ = true;
   snapshot_frozen_ = false;
+  wal_epoch_ = 0;
   if (mvcc_state_ != nullptr &&
       (mvcc_declared_ || (mvcc_try_snapshot_ && !mvcc_ineligible_)))
       [[unlikely]] {
@@ -711,6 +714,11 @@ void Txn::commit() {
     return;
   }
 
+  // Fail-stop durability: once the log has failed, refuse any commit that
+  // would produce redo records — before locks are taken, so the unwind is
+  // the ordinary user-exception path.
+  if (wal_ != nullptr) [[unlikely]] wal_check_available();
+
   if (cm_cell_ != nullptr) [[unlikely]] cm_commit_entry();
 
   // Fallback gate (when enabled): ordinary commits take the shared side
@@ -730,7 +738,10 @@ void Txn::commit() {
   // here (its writes went through abort hooks + abstract locks, not the STM
   // write set), so admitted unlocked reads are still revalidated — with the
   // self-pin excuse for stripes this attempt both read and mutated.
-  if (arena_.writes.empty() && arena_.commit_locked_hooks.empty()) {
+  // Staged WAL records force the full path: the publish (epoch assignment)
+  // must happen inside the commit-fence bracket below.
+  if (arena_.writes.empty() && arena_.commit_locked_hooks.empty() &&
+      arena_.wal_buf.empty()) {
     if (!arena_.seq_reads.empty() || !arena_.fence_reads.empty())
         [[unlikely]] {
       if (!unlocked_reads_valid(/*fences_entered=*/false)) {
@@ -824,6 +835,11 @@ void Txn::commit() {
   // locks (§4: "applied atomically, behind the STM's native locking
   // mechanisms"). These hooks must not throw.
   run_commit_locked_hooks();
+  // Publish the redo records while every write lock (and commit fence) is
+  // still held: conflicting commits are serialized across this point, so
+  // the epochs the WAL hands out linearize conflicting transactions and
+  // recovery can replay strictly by epoch.
+  if (wal_ != nullptr) [[unlikely]] wal_publish();
   exit_commit_fences();
 
   // MVCC: preserve every value this commit displaces, before the lazy
@@ -849,6 +865,13 @@ void Txn::commit() {
   active_ = false;
   stats_.count_commit();
   finish_attempt(Outcome::Committed, /*rethrow=*/true);
+  // Strict durability ack: block on the group committer's fsync *after* the
+  // in-memory commit is fully torn down (locks released, hooks run) — the
+  // wait must never extend any conflict window. On a failed log this throws
+  // WalUnavailable out of an already-committed atomically call: the
+  // in-memory effect stands, the durability guarantee does not (DESIGN.md
+  // §14 spells out this contract).
+  if (wal_epoch_ != 0) [[unlikely]] wal_wait_strict();
 }
 
 void Txn::enter_commit_fences() noexcept {
@@ -866,6 +889,65 @@ void Txn::run_commit_locked_hooks() noexcept {
     chaos_delay_only(ChaosPoint::ReplayApply);
   }
   for (auto& h : arena_.commit_locked_hooks) h();
+}
+
+void Txn::wal_log_slow(std::uint32_t stream, const void* data, std::size_t n) {
+  assert(active_);
+  // Redo records describe an operation against *current* state —
+  // incompatible with running from a historical snapshot. Like a validated
+  // read, logging demotes (or retries) the attempt as an ordinary writer.
+  if (mvcc_reader_) [[unlikely]] mvcc_promote();
+  if (mvcc_state_ != nullptr) [[unlikely]] mvcc_ineligible_ = true;
+  Wal::stage_record(arena_.wal_buf, stream, data, n);
+  ++arena_.wal_records;
+}
+
+void Txn::wal_check_available() {
+  if (!wal_->failed()) [[likely]] return;
+  // The write check is conservative (any write while vars are registered
+  // counts, even to an unregistered var): refusing a commit that would not
+  // have logged is safe; the converse would let acked state outrun the
+  // durable prefix.
+  if (!arena_.wal_buf.empty() ||
+      (wal_->has_vars() && !arena_.writes.empty())) {
+    throw WalUnavailable("stm wal failed (" + wal_->options().dir +
+                         "): durable commits are refused");
+  }
+}
+
+void Txn::wal_publish() {
+  // Serialize registered raw-var writes from the write set. At this point
+  // the write set is final and validated: Lazy redo buffers hold the new
+  // values, eager writes already landed in place.
+  if (wal_->has_vars() && !arena_.writes.empty()) [[unlikely]] {
+    const std::size_t n = arena_.writes.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      detail::WriteEntry& e = arena_.writes[i];
+      const void* value;
+      if (mode_ == Mode::Lazy) {
+        if (!e.has_redo) continue;
+        value = e.redo.data(e.var->size_);
+      } else {
+        if (!e.wrote) continue;
+        value = e.var->data_;
+      }
+      std::uint64_t id;
+      if (!wal_->var_id(e.var, id)) continue;
+      Wal::stage_var_record(arena_.wal_buf, id, value, e.var->size_);
+      ++arena_.wal_records;
+    }
+  }
+  if (arena_.wal_buf.empty()) return;
+  wal_epoch_ = wal_->publish(arena_.wal_buf.data(), arena_.wal_buf.size(),
+                             arena_.wal_records);
+  stats_.count_wal_publish(arena_.wal_records, arena_.wal_buf.size());
+}
+
+void Txn::wal_wait_strict() {
+  if (wal_->options().durability != WalDurability::Strict) return;
+  const std::uint64_t t0 = now_ns();
+  wal_->wait_durable(wal_epoch_);
+  stats_.count_wal_wait_ns(now_ns() - t0);
 }
 
 void Txn::rollback(AbortReason reason) noexcept {

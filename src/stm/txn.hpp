@@ -172,6 +172,24 @@ class Txn {
     throw ConflictAbort{reason};
   }
 
+  // --- Durability (stm/wal.hpp, DESIGN.md §14) ----------------------------
+  /// Stage one logical redo record ([stream, payload]) for this attempt.
+  /// Wrapper layers log one record per structure operation; the staged
+  /// buffer is published to the WAL at the commit point (inside the commit
+  /// fence, every write lock held) and discarded with an aborted attempt.
+  /// No-op when the Stm has no `StmOptions::durability` — wrappers can log
+  /// unconditionally.
+  void wal_log(std::uint32_t stream, const void* data, std::size_t n) {
+    if (wal_ == nullptr) [[likely]] return;
+    wal_log_slow(stream, data, n);
+  }
+  /// True when commits of this Stm are logged (callers can skip building
+  /// record payloads entirely when not).
+  bool wal_enabled() const noexcept { return wal_ != nullptr; }
+  /// The epoch the WAL assigned to this transaction's records at commit
+  /// (0 until then, and 0 forever for non-logging transactions).
+  std::uint64_t wal_epoch() const noexcept { return wal_epoch_; }
+
   // --- Hook registration (see file comment for semantics) -----------------
   void on_abort(Hook fn) { arena_.abort_hooks.push_back(std::move(fn)); }
   void on_commit_locked(Hook fn) {
@@ -283,6 +301,19 @@ class Txn {
   void read_impl(const VarBase& var, void* dst, std::size_t size);
   void read_validate_impl(const VarBase& var);
   void write_impl(VarBase& var, const void* src, std::size_t size);
+
+  void wal_log_slow(std::uint32_t stream, const void* data, std::size_t n);
+  /// Refuse a logging commit up front once the WAL is failed (fail-stop
+  /// read-only durability mode — throws WalUnavailable before any lock is
+  /// taken).
+  void wal_check_available();
+  /// Serialize registered-Var writes, publish the staged buffer and record
+  /// the assigned epoch. Runs at the commit point: after the commit-locked
+  /// hooks, inside the fence bracket, every write lock held.
+  void wal_publish();
+  /// Strict-durability ack: block until this commit's epoch is fsync-
+  /// covered. Runs after the locks are released (end of commit).
+  void wal_wait_strict();
 
   detail::WriteEntry* find_write(const VarBase* var) noexcept;
   detail::WriteEntry& new_write(VarBase* var);
@@ -407,6 +438,10 @@ class Txn {
   bool mvcc_try_snapshot_ = false;  // auto-detection: next attempt goes snapshot
   bool mvcc_ineligible_ = false;    // call did writer-only things; stop trying
   std::uint64_t snapshot_reads_ = 0;  // snapshot reads served this attempt
+  // Durability state (dormant — wal_ == nullptr — unless the Stm was built
+  // with StmOptions::durability; commits then cost one never-taken branch).
+  Wal* wal_ = nullptr;
+  std::uint64_t wal_epoch_ = 0;  // epoch assigned at publish (this attempt)
 };
 
 // Var<T> accessor definitions (declared in var.hpp).

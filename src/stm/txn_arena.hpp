@@ -150,6 +150,13 @@ struct TxnArena {
   std::vector<detail::FenceReadEntry> fence_reads;
   std::vector<SeqHold> seq_holds;
 
+  // Durability (DESIGN.md §14): redo records staged by Txn::wal_log (and
+  // the auto-serialized Var writes), published to the WAL at the commit
+  // point. Abort discards them with the rest of the attempt — an aborted
+  // attempt's records can never reach the log.
+  std::vector<std::uint8_t> wal_buf;
+  std::uint32_t wal_records = 0;
+
   TxnArena() {
     reads.reserve(64);
     reader_marks.reserve(16);
@@ -203,6 +210,8 @@ struct TxnArena {
     fence_reads.clear();
     // Seq holds were already bumped even by the owning tables' finish hooks.
     seq_holds.clear();
+    wal_buf.clear();
+    wal_records = 0;
   }
 };
 

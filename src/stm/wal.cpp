@@ -1,0 +1,642 @@
+#include "stm/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "stm/chaos.hpp"
+
+namespace proust::stm {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// On-disk layout (host byte order — segments are a crash-recovery artifact
+// of one machine, not an interchange format):
+//
+//   segment  := seg_header batch*
+//   seg_header := magic u64 | version u32 | seg_index u32 | crc u32
+//                 (crc covers the 16 bytes before it)           = 20 bytes
+//   batch    := batch_header record*
+//   batch_header := magic u32 | n_records u32 | payload_len u64 |
+//                   first_epoch u64 | last_epoch u64 |
+//                   payload_crc u32 | header_crc u32             = 40 bytes
+//   record   := epoch u64 | stream u32 | len u32 | crc u32 | payload
+//                 (crc covers the payload)               = 20 bytes + len
+//
+// The sealed `payload_len` plus the two batch CRCs detect a torn append at
+// any byte; the per-record CRC additionally localizes single-record rot.
+inline constexpr std::uint64_t kSegMagic = 0x50524F5553575331ULL;  // PROUSWS1
+inline constexpr std::uint32_t kSegVersion = 1;
+inline constexpr std::uint32_t kBatchMagic = 0x50424154u;  // PBAT
+inline constexpr std::size_t kSegHeaderSize = 20;
+inline constexpr std::size_t kBatchHeaderSize = 40;
+inline constexpr std::size_t kRecHeaderSize = 20;
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  std::uint8_t t[4];
+  std::memcpy(t, &v, 4);
+  b.insert(b.end(), t, t + 4);
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  std::uint8_t t[8];
+  std::memcpy(t, &v, 8);
+  b.insert(b.end(), t, t + 8);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+bool full_write(int fd, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void seg_header_bytes(std::vector<std::uint8_t>& out, std::uint32_t index) {
+  put_u64(out, kSegMagic);
+  put_u32(out, kSegVersion);
+  put_u32(out, index);
+  put_u32(out, crc32(out.data(), 16));
+}
+
+std::string seg_name(std::uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%06u.wal", index);
+  return buf;
+}
+
+/// Parse "seg-NNNNNN.wal" -> index; false for anything else.
+bool parse_seg_name(const std::string& name, std::uint32_t& index) {
+  if (name.size() != 14 || name.rfind("seg-", 0) != 0 ||
+      name.compare(10, 4, ".wal") != 0) {
+    return false;
+  }
+  std::uint32_t v = 0;
+  for (int i = 4; i < 10; ++i) {
+    const char c = name[static_cast<std::size_t>(i)];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  index = v;
+  return true;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out.clear();
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    out.insert(out.end(), buf, buf + r);
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Staging helpers (transaction side)
+
+void Wal::stage_record(std::vector<std::uint8_t>& buf, std::uint32_t stream,
+                       const void* data, std::size_t n) {
+  put_u32(buf, stream);
+  put_u32(buf, static_cast<std::uint32_t>(n));
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf.insert(buf.end(), p, p + n);
+}
+
+void Wal::stage_var_record(std::vector<std::uint8_t>& buf, std::uint64_t var_id,
+                           const void* value, std::size_t n) {
+  put_u32(buf, kVarStream);
+  put_u32(buf, static_cast<std::uint32_t>(8 + n));
+  put_u64(buf, var_id);
+  const auto* p = static_cast<const std::uint8_t*>(value);
+  buf.insert(buf.end(), p, p + n);
+}
+
+bool Wal::decode_var_record(const WalRecordView& r, std::uint64_t& var_id,
+                            const std::uint8_t*& value,
+                            std::uint32_t& size) noexcept {
+  if (r.stream != kVarStream || r.size < 8) return false;
+  var_id = get_u64(r.data);
+  value = r.data + 8;
+  size = r.size - 8;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+
+Wal::Wal(WalOptions opts) : opts_(std::move(opts)) {
+  if (opts_.dir.empty()) {
+    throw std::invalid_argument("WalOptions::dir must be set");
+  }
+  if (::mkdir(opts_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("wal: cannot create directory " + opts_.dir);
+  }
+  dir_fd_ = ::open(opts_.dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+
+  // Resume after whatever valid history is on disk: the scan truncates any
+  // torn tail and tells us the newest surviving epoch; appending continues
+  // in a *fresh* segment so this instance never writes into a file an
+  // earlier instance half-finished.
+  const WalRecoveryInfo info = recover(opts_.dir, {});
+  next_epoch_ = info.last_epoch + 1;
+
+  std::uint32_t max_index = 0;
+  bool any = false;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(opts_.dir, ec)) {
+    std::uint32_t idx;
+    if (parse_seg_name(ent.path().filename().string(), idx)) {
+      if (!any || idx > max_index) max_index = idx;
+      any = true;
+    }
+  }
+  seg_index_ = any ? max_index + 1 : 0;
+
+  open_fresh_segment();
+  committer_ = std::thread([this] { committer_main(); });
+}
+
+Wal::~Wal() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_ec_.notify_all();
+  if (committer_.joinable()) committer_.join();
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+  if (dir_fd_ >= 0) ::close(dir_fd_);
+}
+
+void Wal::open_fresh_segment() {
+  seg_path_ = opts_.dir + "/" + seg_name(seg_index_);
+  fd_ = ::open(seg_path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("wal: cannot create segment " + seg_path_);
+  }
+  std::vector<std::uint8_t> h;
+  seg_header_bytes(h, seg_index_);
+  if (!full_write(fd_, h.data(), h.size()) || ::fsync(fd_) != 0) {
+    throw std::runtime_error("wal: cannot initialize segment " + seg_path_);
+  }
+  if (dir_fd_ >= 0) ::fsync(dir_fd_);
+  seg_bytes_ = h.size();
+}
+
+// ---------------------------------------------------------------------------
+// Publish side
+
+std::uint64_t Wal::publish(const std::uint8_t* staged, std::size_t bytes,
+                           std::uint32_t records) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t e = next_epoch_++;
+  const bool was_empty = pending_.empty();
+  // Pending unit: epoch + record count + sealed byte length, then the staged
+  // records verbatim. Expansion to the on-disk format (and all CRC work)
+  // happens on the committer thread, off the commit-fence critical path.
+  put_u64(pending_, e);
+  put_u32(pending_, records);
+  put_u32(pending_, static_cast<std::uint32_t>(bytes));
+  pending_.insert(pending_.end(), staged, staged + bytes);
+  pending_records_ += records;
+  pending_last_epoch_ = e;
+  if (was_empty) {
+    pending_first_epoch_ = e;
+    first_pending_tp_ = std::chrono::steady_clock::now();
+  }
+  const bool kick = was_empty || pending_records_ >= opts_.fsync_every_n;
+  published_epoch_.store(e, std::memory_order_release);
+  lk.unlock();
+  if (kick) work_ec_.notify_all();
+  return e;
+}
+
+void Wal::wait_durable(std::uint64_t epoch) {
+  for (;;) {
+    if (durable_epoch_.load(std::memory_order_acquire) >= epoch) return;
+    if (failed()) {
+      throw WalUnavailable(
+          "wal: log failed before the commit's batch became durable");
+    }
+    const std::uint32_t t = durable_ec_.prepare();
+    if (durable_epoch_.load(std::memory_order_acquire) >= epoch) return;
+    durable_ec_.wait_until(
+        t, std::chrono::steady_clock::now() + std::chrono::milliseconds(10));
+  }
+}
+
+void Wal::flush() {
+  const std::uint64_t e = published_epoch_.load(std::memory_order_acquire);
+  if (e == 0) return;
+  work_ec_.notify_all();
+  wait_durable(e);
+}
+
+WalStats Wal::stats() const noexcept {
+  WalStats s;
+  s.records = n_records_.load(std::memory_order_relaxed);
+  s.bytes = n_bytes_.load(std::memory_order_relaxed);
+  s.batches = n_batches_.load(std::memory_order_relaxed);
+  s.fsyncs = n_fsyncs_.load(std::memory_order_relaxed);
+  s.rotations = n_rotations_.load(std::memory_order_relaxed);
+  s.errors = n_errors_.load(std::memory_order_relaxed);
+  s.published_epoch = published_epoch_.load(std::memory_order_relaxed);
+  s.durable_epoch = durable_epoch_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Wal::register_var(std::uint64_t id, const VarBase& var) {
+  var_ids_.emplace(&var, id);
+}
+
+bool Wal::var_id(const VarBase* var, std::uint64_t& id) const noexcept {
+  const auto it = var_ids_.find(var);
+  if (it == var_ids_.end()) return false;
+  id = it->second;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Committer side
+
+bool Wal::chaos_crash(ChaosPoint p) noexcept {
+  if (opts_.chaos == nullptr) [[likely]] return false;
+  const ChaosAction a = opts_.chaos->decide(p);
+  if (a == ChaosAction::None) return false;
+  if (a == ChaosAction::Crash) return true;
+  // Abort/Timeout have no meaning on the committer thread; every counted
+  // decision must have an effect, so they coerce to a delay (which widens
+  // the published-but-not-durable window — the interesting one).
+  opts_.chaos->inject_delay();
+  return false;
+}
+
+void Wal::fail(const char* op, int err, const std::string& path) {
+  n_errors_.fetch_add(1, std::memory_order_relaxed);
+  const bool already = failed_.exchange(true, std::memory_order_acq_rel);
+  durable_ec_.notify_all();  // strict waiters must stop waiting and throw
+  if (already) return;
+  const WalError e{op, err, path};
+  if (opts_.on_error) {
+    opts_.on_error(e);
+  } else {
+    std::fprintf(stderr,
+                 "[wal] FAILED: %s on %s: %s — durability is now read-only\n",
+                 op, path.c_str(), std::strerror(err));
+  }
+}
+
+void Wal::committer_main() {
+  for (;;) {
+    Batch b;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // Park until there is work (long deadline — publishers notify the
+      // empty->nonempty transition, so an idle log costs ~no wakeups).
+      while (pending_.empty() && !stop_) {
+        const std::uint32_t t = work_ec_.prepare();
+        lk.unlock();
+        work_ec_.wait_until(t, std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(50));
+        lk.lock();
+      }
+      if (pending_.empty()) return;  // stopped and fully drained
+      // Batching window: wait for fsync_every_n records or the interval
+      // measured from the oldest pending record, whichever first.
+      while (!stop_ && pending_records_ < opts_.fsync_every_n) {
+        const auto deadline = first_pending_tp_ + opts_.fsync_interval_us;
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        const std::uint32_t t = work_ec_.prepare();
+        lk.unlock();
+        work_ec_.wait_until(t, deadline);
+        lk.lock();
+      }
+      b.units.swap(pending_);
+      b.records = pending_records_;
+      b.first_epoch = pending_first_epoch_;
+      b.last_epoch = pending_last_epoch_;
+      pending_records_ = 0;
+    }
+    // A failed log drops batches on the floor: durable_epoch stops moving,
+    // strict waiters throw, and publish-side commits refuse up front.
+    if (!failed()) write_batch(b);
+  }
+}
+
+void Wal::write_batch(Batch& b) {
+  // WalSeal gate: crash after draining, before anything reaches the file —
+  // the whole batch (published, possibly relaxed-acked) is lost.
+  if (chaos_crash(ChaosPoint::WalSeal)) ::_exit(kWalCrashExitCode);
+
+  // The drain is split into frames: each frame becomes one on-disk batch,
+  // capped so header+payload fits a segment's data budget (a single
+  // oversized transaction still gets a frame of its own). Rotation thereby
+  // interleaves with a large drain instead of waiting for the next one.
+  // The single fsync at the end covers every frame — rotate_segment fsyncs
+  // the outgoing segment before switching, so no frame is left uncovered.
+  const std::size_t seg_budget =
+      opts_.segment_bytes > kSegHeaderSize + kBatchHeaderSize
+          ? opts_.segment_bytes - kSegHeaderSize - kBatchHeaderSize
+          : 0;
+
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> header;
+  std::uint64_t frame_first = 0;
+  std::uint64_t frame_last = 0;
+  std::uint32_t frame_records = 0;
+
+  const auto emit_frame = [&]() -> bool {
+    header.clear();
+    put_u32(header, kBatchMagic);
+    put_u32(header, frame_records);
+    put_u64(header, payload.size());
+    put_u64(header, frame_first);
+    put_u64(header, frame_last);
+    put_u32(header, crc32(payload.data(), payload.size()));
+    put_u32(header, crc32(header.data(), header.size()));
+
+    // Keep frames whole within a segment: rotate first if this one would
+    // push the segment past its limit (and it holds at least one frame).
+    if (seg_bytes_ > kSegHeaderSize &&
+        seg_bytes_ + header.size() + payload.size() > opts_.segment_bytes) {
+      if (!rotate_segment()) return false;  // failed -> fail-stop
+    }
+
+    // WalAppend gate: a crash draw *tears* the append — a prefix of the
+    // frame reaches the file before the kill, which is exactly the torn
+    // tail the recovery checksums must detect and truncate.
+    if (chaos_crash(ChaosPoint::WalAppend)) {
+      (void)full_write(fd_, header.data(), header.size());
+      (void)full_write(fd_, payload.data(), payload.size() / 2);
+      ::_exit(kWalCrashExitCode);
+    }
+    if (const int e = injected_io_error(ChaosPoint::WalAppend)) {
+      fail("write", e, seg_path_);
+      return false;
+    }
+    if (!full_write(fd_, header.data(), header.size()) ||
+        !full_write(fd_, payload.data(), payload.size())) {
+      fail("write", errno, seg_path_);
+      return false;
+    }
+    seg_bytes_ += header.size() + payload.size();
+    n_records_.fetch_add(frame_records, std::memory_order_relaxed);
+    n_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+    n_batches_.fetch_add(1, std::memory_order_relaxed);
+    payload.clear();
+    frame_records = 0;
+    return true;
+  };
+
+  std::size_t pos = 0;
+  while (pos < b.units.size()) {
+    const std::uint64_t epoch = get_u64(b.units.data() + pos);
+    const std::uint32_t records = get_u32(b.units.data() + pos + 8);
+    const std::uint32_t nbytes = get_u32(b.units.data() + pos + 12);
+    pos += 16;
+    // Units (transactions) never split across frames, so the sealed
+    // first/last epochs of consecutive frames stay dense.
+    const std::size_t expanded = nbytes + std::size_t{records} * 12;
+    if (frame_records > 0 && seg_budget > 0 &&
+        payload.size() + expanded > seg_budget) {
+      if (!emit_frame()) return;  // batch tail dropped on fail-stop
+    }
+    if (frame_records == 0) frame_first = epoch;
+    frame_last = epoch;
+    frame_records += records;
+    const std::size_t unit_end = pos + nbytes;
+    while (pos < unit_end) {
+      const std::uint32_t stream = get_u32(b.units.data() + pos);
+      const std::uint32_t len = get_u32(b.units.data() + pos + 4);
+      pos += 8;
+      put_u64(payload, epoch);
+      put_u32(payload, stream);
+      put_u32(payload, len);
+      put_u32(payload, crc32(b.units.data() + pos, len));
+      payload.insert(payload.end(), b.units.data() + pos,
+                     b.units.data() + pos + len);
+      pos += len;
+    }
+  }
+  if (frame_records > 0 && !emit_frame()) return;
+
+  // WalFsync gate: crash after the write, before the fsync — the batch sits
+  // in the page cache; relaxed acks may be lost, strict acks were never
+  // given (durable_epoch has not covered them).
+  if (chaos_crash(ChaosPoint::WalFsync)) ::_exit(kWalCrashExitCode);
+  if (const int e = injected_io_error(ChaosPoint::WalFsync)) {
+    fail("fsync", e, seg_path_);
+    return;
+  }
+  if (::fsync(fd_) != 0) {
+    fail("fsync", errno, seg_path_);
+    return;
+  }
+
+  n_fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  durable_epoch_.store(b.last_epoch, std::memory_order_release);
+  durable_ec_.notify_all();
+}
+
+bool Wal::rotate_segment() {
+  const std::uint32_t next = seg_index_ + 1;
+  const std::string final_path = opts_.dir + "/" + seg_name(next);
+  const std::string tmp_path = final_path + ".tmp";
+  const int nfd =
+      ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (nfd < 0) {
+    fail("open", errno, tmp_path);
+    return false;
+  }
+  std::vector<std::uint8_t> h;
+  seg_header_bytes(h, next);
+  if (!full_write(nfd, h.data(), h.size()) || ::fsync(nfd) != 0) {
+    fail("write", errno, tmp_path);
+    ::close(nfd);
+    return false;
+  }
+  // WalRotate gate: crash between creating the tmp segment and renaming it
+  // into place — recovery must discard the orphaned .tmp and keep reading
+  // the old tail segment.
+  if (chaos_crash(ChaosPoint::WalRotate)) ::_exit(kWalCrashExitCode);
+  if (const int e = injected_io_error(ChaosPoint::WalRotate)) {
+    fail("rename", e, tmp_path);
+    ::close(nfd);
+    return false;
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    fail("rename", errno, tmp_path);
+    ::close(nfd);
+    return false;
+  }
+  if (dir_fd_ >= 0) ::fsync(dir_fd_);
+  ::fsync(fd_);
+  ::close(fd_);
+  fd_ = nfd;
+  seg_index_ = next;
+  seg_path_ = final_path;
+  seg_bytes_ = h.size();
+  n_rotations_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+WalRecoveryInfo Wal::recover(
+    const std::string& dir,
+    const std::function<void(const WalRecordView&)>& handler) {
+  WalRecoveryInfo info;
+  std::error_code ec;
+  std::vector<std::pair<std::uint32_t, std::string>> segs;
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Half-finished rotation: the renamed form never existed, nothing in
+      // it was ever acked. Discard.
+      std::error_code rm_ec;
+      fs::remove(ent.path(), rm_ec);
+      ++info.skipped_tmp;
+      continue;
+    }
+    std::uint32_t idx;
+    if (parse_seg_name(name, idx)) segs.emplace_back(idx, ent.path().string());
+  }
+  if (ec) return info;  // missing/unreadable directory == empty log
+  std::sort(segs.begin(), segs.end());
+
+  std::uint64_t expected = 1;  // epochs are dense from 1
+  std::vector<std::uint8_t> buf;
+  std::vector<WalRecordView> views;
+  for (const auto& [idx, path] : segs) {
+    if (info.torn_tail) break;  // nothing after a torn point is trustworthy
+    if (!read_file(path, buf)) {
+      info.torn_tail = true;
+      break;
+    }
+    const auto torn_at = [&](std::size_t off) {
+      info.torn_tail = true;
+      info.truncated_bytes += buf.size() - off;
+      (void)::truncate(path.c_str(), static_cast<off_t>(off));
+    };
+    if (buf.size() < kSegHeaderSize || get_u64(buf.data()) != kSegMagic ||
+        get_u32(buf.data() + 8) != kSegVersion ||
+        get_u32(buf.data() + 16) != crc32(buf.data(), 16)) {
+      torn_at(0);
+      break;
+    }
+    ++info.segments;
+    std::size_t pos = kSegHeaderSize;
+    while (pos < buf.size()) {
+      const std::size_t batch_start = pos;
+      if (buf.size() - pos < kBatchHeaderSize) {
+        torn_at(batch_start);
+        break;
+      }
+      const std::uint32_t magic = get_u32(buf.data() + pos);
+      const std::uint32_t n_records = get_u32(buf.data() + pos + 4);
+      const std::uint64_t payload_len = get_u64(buf.data() + pos + 8);
+      const std::uint64_t first_epoch = get_u64(buf.data() + pos + 16);
+      const std::uint64_t last_epoch = get_u64(buf.data() + pos + 24);
+      const std::uint32_t payload_crc = get_u32(buf.data() + pos + 32);
+      const std::uint32_t header_crc = get_u32(buf.data() + pos + 36);
+      if (magic != kBatchMagic || header_crc != crc32(buf.data() + pos, 36) ||
+          payload_len > buf.size() - pos - kBatchHeaderSize) {
+        torn_at(batch_start);
+        break;
+      }
+      pos += kBatchHeaderSize;
+      if (payload_crc != crc32(buf.data() + pos, payload_len)) {
+        torn_at(batch_start);
+        break;
+      }
+      // Validate the sealed payload record by record before delivering any
+      // of it: bounds, per-record CRC, and epoch density (each record's
+      // epoch is the previous unit's or exactly one past it, anchored at
+      // the batch header's sealed first/last epochs).
+      views.clear();
+      const std::size_t payload_end = pos + payload_len;
+      std::uint64_t unit_epoch = expected;
+      bool valid = first_epoch == expected && last_epoch >= first_epoch;
+      std::size_t rp = pos;
+      while (valid && rp < payload_end) {
+        if (payload_end - rp < kRecHeaderSize) {
+          valid = false;
+          break;
+        }
+        const std::uint64_t epoch = get_u64(buf.data() + rp);
+        const std::uint32_t stream = get_u32(buf.data() + rp + 8);
+        const std::uint32_t len = get_u32(buf.data() + rp + 12);
+        const std::uint32_t rec_crc = get_u32(buf.data() + rp + 16);
+        rp += kRecHeaderSize;
+        if (len > payload_end - rp || rec_crc != crc32(buf.data() + rp, len) ||
+            (epoch != unit_epoch && epoch != unit_epoch + 1) ||
+            epoch > last_epoch) {
+          valid = false;
+          break;
+        }
+        unit_epoch = epoch;
+        views.push_back(WalRecordView{epoch, stream, buf.data() + rp, len});
+        rp += len;
+      }
+      if (!valid || unit_epoch != last_epoch) {
+        torn_at(batch_start);
+        break;
+      }
+      if (handler) {
+        for (const WalRecordView& v : views) handler(v);
+      }
+      info.records += views.size();
+      (void)n_records;
+      expected = last_epoch + 1;
+      pos = payload_end;
+    }
+  }
+  info.last_epoch = expected - 1;
+  return info;
+}
+
+}  // namespace proust::stm

@@ -1,0 +1,286 @@
+// Opt-in durability: a per-Stm write-ahead redo log with group commit
+// (DESIGN.md §14). The Wal hangs off `StmOptions::durability` exactly like
+// the chaos policy hangs off `StmOptions::chaos`: a non-owning pointer,
+// nullptr by default, and every hot-path touch is one predictable
+// never-taken branch — the paired A/B run in bench_wal pins the neutrality.
+//
+// Model. Transactions stage *logical redo records* while they run: wrapper
+// layers log one record per structure operation (put/remove — the same op
+// shape as the replay logs in core/replay_log.hpp), and raw `Var`s
+// registered with `register_var` are serialized automatically from the
+// write set at commit. Staged bytes live in the per-thread TxnArena and die
+// with an aborted attempt, so nothing an abort produced can ever reach the
+// log. At the commit point — inside the commit-fence bracket, while every
+// write lock is still held — the transaction publishes its staged buffer
+// and is assigned a monotone *epoch*; conflicting transactions hold
+// conflicting locks across publish, so epoch order refines conflict order
+// and replaying epochs in order reproduces the committed history.
+//
+// A background group committer drains published units, seals them into
+// checksummed batches (CRC32 per record payload, sealed-length + CRC32
+// header per batch), appends them to segment files and fsyncs once per
+// batch; `fsync_every_n` / `fsync_interval_us` bound how many records and
+// how much time one fsync may cover. `WalDurability::Relaxed` acks at
+// publish ("ack on append"); `Strict` blocks the committing thread on the
+// durable epoch ("ack on fsync") via a futex eventcount.
+//
+// Failure handling is fail-stop: a write/fsync/rename error (ENOSPC, EIO,
+// or one injected through `io_failure`) marks the log failed, surfaces a
+// WalError through `on_error` (stderr by default, same contract as
+// StmOptions::on_stall), wakes every strict waiter (they throw
+// WalUnavailable), and makes every later logging commit refuse up front —
+// the Stm degrades to a read-only-durability mode instead of silently
+// dropping acked data. Recovery (`Wal::recover`) scans the segment files
+// in order, verifies every checksum, truncates the torn tail a crash mid-
+// append leaves behind, and streams the surviving records in epoch order.
+//
+// The crash-matrix suite (tests/wal_crash_test.cpp) drives the four WAL
+// chaos gates (ChaosPoint::WalAppend/WalSeal/WalFsync/WalRotate) to _exit
+// the process at each of them and proves recovery always yields a prefix
+// of the committed history with no acked-strict commit lost and no aborted
+// transaction resurrected.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "stm/fwd.hpp"
+#include "sync/eventcount.hpp"
+
+namespace proust::stm {
+
+/// When `atomically` acks a logging transaction to its caller.
+enum class WalDurability : std::uint8_t {
+  Relaxed,  // ack once the redo records are published to the group committer
+  Strict,   // ack only once the records' batch has been fsync'd
+};
+
+constexpr const char* to_string(WalDurability d) noexcept {
+  switch (d) {
+    case WalDurability::Relaxed: return "relaxed";
+    case WalDurability::Strict: return "strict";
+  }
+  return "?";
+}
+
+/// One I/O failure, delivered to WalOptions::on_error from the committer
+/// thread (or from the failing strict waiter). After the first of these the
+/// log is failed for good: `Wal::failed()` stays true and logging commits
+/// throw WalUnavailable.
+struct WalError {
+  const char* op;    // "write", "fsync", "rename", "open"
+  int err;           // errno at the failure
+  std::string path;  // segment (or directory) involved
+};
+
+/// Thrown by logging commits once the log is failed, and by strict waiters
+/// whose batch can no longer become durable.
+struct WalUnavailable : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Exit code of a chaos-injected WAL crash (ChaosAction::Crash at a WAL
+/// gate): the crash-matrix parent uses it to tell an injected kill from an
+/// ordinary child failure.
+inline constexpr int kWalCrashExitCode = 86;
+
+struct WalOptions {
+  /// Segment directory; created (one level) if missing.
+  std::string dir;
+  /// Rotate to a fresh segment once the current one exceeds this.
+  std::size_t segment_bytes = std::size_t{4} << 20;
+  /// Group-commit batching: seal + fsync once this many records are
+  /// pending, or once the oldest pending record is `fsync_interval_us` old,
+  /// whichever comes first.
+  unsigned fsync_every_n = 32;
+  std::chrono::microseconds fsync_interval_us{200};
+  WalDurability durability = WalDurability::Relaxed;
+  /// Failure sink (committer thread). Null = report to stderr.
+  std::function<void(const WalError&)> on_error;
+  /// Fault injection at the WAL gates (crash/delay); non-owning, may be the
+  /// same policy the Stm uses. The committer thread draws from its own
+  /// registry slot's stream, so decisions stay deterministic per seed.
+  ChaosPolicy* chaos = nullptr;
+  /// Deterministic I/O-failure injection for the fail-stop tests: called
+  /// before each write/fsync/rename with the matching gate; a nonzero
+  /// return is treated as that errno failing the operation.
+  std::function<int(ChaosPoint)> io_failure;
+};
+
+struct WalStats {
+  std::uint64_t records = 0;     // redo records written to segments
+  std::uint64_t bytes = 0;       // payload bytes written
+  std::uint64_t batches = 0;     // sealed batches appended
+  std::uint64_t fsyncs = 0;      // successful fsyncs
+  std::uint64_t rotations = 0;   // segment rotations
+  std::uint64_t errors = 0;      // I/O failures observed (fail-stop after 1)
+  std::uint64_t published_epoch = 0;  // newest epoch handed out
+  std::uint64_t durable_epoch = 0;    // newest fsync-covered epoch
+};
+
+/// One recovered redo record, streamed to the recovery handler in epoch
+/// order. `data` borrows from the recovery scan buffer — copy to keep.
+struct WalRecordView {
+  std::uint64_t epoch;
+  std::uint32_t stream;
+  const std::uint8_t* data;
+  std::uint32_t size;
+};
+
+struct WalRecoveryInfo {
+  std::uint64_t records = 0;
+  std::uint64_t last_epoch = 0;   // 0 = empty log
+  std::uint32_t segments = 0;     // valid segments scanned
+  bool torn_tail = false;         // a checksum/bounds miss truncated the log
+  std::uint64_t truncated_bytes = 0;
+  std::uint32_t skipped_tmp = 0;  // half-rotated .tmp segments discarded
+};
+
+class Wal {
+ public:
+  /// Stream id reserved for auto-serialized Var writes (register_var).
+  /// Wrapper layers must pick ids below this.
+  static constexpr std::uint32_t kVarStream = 0xFFFFFFFFu;
+
+  /// Opens (resuming after any existing valid segments — the torn tail, if
+  /// any, is truncated first) and starts the group committer thread.
+  explicit Wal(WalOptions opts);
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  /// Drains and fsyncs everything published, then joins the committer.
+  ~Wal();
+
+  const WalOptions& options() const noexcept { return opts_; }
+
+  /// Append one staged record to a transaction's staging buffer
+  /// ([stream u32][len u32][payload]). Pure byte bookkeeping — no lock, no
+  /// epoch; Txn::wal_log calls this into the arena buffer.
+  static void stage_record(std::vector<std::uint8_t>& buf, std::uint32_t stream,
+                           const void* data, std::size_t n);
+  /// As above for an auto-serialized Var write: payload is [var id u64]
+  /// followed by the value bytes, under stream kVarStream.
+  static void stage_var_record(std::vector<std::uint8_t>& buf,
+                               std::uint64_t var_id, const void* value,
+                               std::size_t n);
+  /// Decode a kVarStream record produced by stage_var_record. Returns false
+  /// (and touches nothing) for records of any other stream or a short
+  /// payload.
+  static bool decode_var_record(const WalRecordView& r, std::uint64_t& var_id,
+                                const std::uint8_t*& value,
+                                std::uint32_t& size) noexcept;
+
+  /// Publish one committed transaction's staged records (the arena buffer
+  /// built by stage_record) and assign its epoch. Called by Txn at the
+  /// commit point with every write lock held — that lock order is what
+  /// makes epoch order a linearization of conflicting commits. Never
+  /// blocks on I/O.
+  std::uint64_t publish(const std::uint8_t* staged, std::size_t bytes,
+                        std::uint32_t records);
+
+  /// Block until `epoch` is fsync-covered (strict durability ack). Throws
+  /// WalUnavailable if the log failed before covering it.
+  void wait_durable(std::uint64_t epoch);
+
+  /// Publish-side barrier: wait until everything published so far is
+  /// durable. Throws WalUnavailable on a failed log.
+  void flush();
+
+  bool failed() const noexcept {
+    return failed_.load(std::memory_order_acquire);
+  }
+  std::uint64_t durable_epoch() const noexcept {
+    return durable_epoch_.load(std::memory_order_acquire);
+  }
+  std::uint64_t published_epoch() const noexcept {
+    return published_epoch_.load(std::memory_order_acquire);
+  }
+
+  WalStats stats() const noexcept;
+
+  // --- Raw-var redo logging ----------------------------------------------
+  /// Register a Var for automatic redo logging: every committing write to
+  /// it is serialized (under kVarStream, keyed by `id`) with no wrapper
+  /// code. Ids must be unique per Wal and stable across restarts — they are
+  /// how recovery finds the var again. Register during setup, before
+  /// transactions run; the directory is read locklessly on the commit path.
+  void register_var(std::uint64_t id, const VarBase& var);
+  bool has_vars() const noexcept { return !var_ids_.empty(); }
+  /// Commit-path lookup: the registered id of `var`, or false.
+  bool var_id(const VarBase* var, std::uint64_t& id) const noexcept;
+
+  /// Scan `dir`'s segments in order, validate every batch and record
+  /// checksum, truncate the torn tail (and drop half-rotated .tmp files),
+  /// and stream the surviving records to `handler` in epoch order. Safe on
+  /// an empty or missing directory (returns an empty info). Static — runs
+  /// against a directory no live Wal owns.
+  static WalRecoveryInfo recover(
+      const std::string& dir,
+      const std::function<void(const WalRecordView&)>& handler);
+
+ private:
+  struct Batch {
+    std::vector<std::uint8_t> units;  // staged units drained from pending_
+    std::uint32_t records = 0;
+    std::uint64_t first_epoch = 0;
+    std::uint64_t last_epoch = 0;
+  };
+
+  void committer_main();
+  void write_batch(Batch& b);
+  void open_fresh_segment();           // ctor path (no chaos, throws)
+  bool rotate_segment();               // committer path (fail-stop on error)
+  void fail(const char* op, int err, const std::string& path);
+  /// Draw at a WAL gate: Crash returns true (caller performs the kill so
+  /// WalAppend can tear the write first), Delay/Abort/Timeout coerce to an
+  /// injected delay, None is free.
+  bool chaos_crash(ChaosPoint p) noexcept;
+  int injected_io_error(ChaosPoint p) noexcept {
+    return opts_.io_failure ? opts_.io_failure(p) : 0;
+  }
+
+  WalOptions opts_;
+  int fd_ = -1;       // current segment
+  int dir_fd_ = -1;   // directory handle, fsync'd after create/rename
+  std::uint32_t seg_index_ = 0;
+  std::size_t seg_bytes_ = 0;  // bytes appended to the current segment
+  std::string seg_path_;
+
+  std::mutex mu_;  // guards pending_* and epoch handout
+  std::vector<std::uint8_t> pending_;
+  std::uint32_t pending_records_ = 0;
+  std::uint64_t pending_first_epoch_ = 0;
+  std::uint64_t pending_last_epoch_ = 0;
+  std::chrono::steady_clock::time_point first_pending_tp_{};
+  std::uint64_t next_epoch_ = 1;
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> published_epoch_{0};
+  std::atomic<std::uint64_t> durable_epoch_{0};
+  std::atomic<bool> failed_{false};
+  sync::EventCount work_ec_;     // producer -> committer
+  sync::EventCount durable_ec_;  // committer -> strict waiters
+
+  // Committer-side counters; single writer, racy-read tolerant (stats()).
+  std::atomic<std::uint64_t> n_records_{0};
+  std::atomic<std::uint64_t> n_bytes_{0};
+  std::atomic<std::uint64_t> n_batches_{0};
+  std::atomic<std::uint64_t> n_fsyncs_{0};
+  std::atomic<std::uint64_t> n_rotations_{0};
+  std::atomic<std::uint64_t> n_errors_{0};
+
+  /// Registered raw vars (setup-time writes only; lock-free commit reads).
+  std::unordered_map<const VarBase*, std::uint64_t> var_ids_;
+
+  std::thread committer_;
+};
+
+}  // namespace proust::stm

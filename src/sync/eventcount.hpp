@@ -1,0 +1,47 @@
+// A minimal eventcount over the futex primitive (sync/futex.hpp): waiters
+// snapshot a generation word, re-check their predicate, and park until the
+// word moves; notifiers bump the word and wake everyone. The
+// prepare/recheck/park shape is what makes the protocol lossless — a notify
+// that lands between the snapshot and the park changes the word, so the
+// futex call returns immediately instead of sleeping through the event.
+//
+// The WAL's group committer parks on one of these between batches (with a
+// deadline, so fsync_interval_us is honored even when no producer ever
+// notifies), and strict-durability committers park on another until the
+// durable epoch covers them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "sync/futex.hpp"
+
+namespace proust::sync {
+
+class EventCount {
+ public:
+  /// Snapshot the generation. Call BEFORE re-checking the predicate; pass
+  /// the ticket to wait_until.
+  std::uint32_t prepare() const noexcept {
+    return gen_.load(std::memory_order_acquire);
+  }
+
+  /// Park until notified past `ticket`, the deadline, or a spurious wakeup.
+  /// Callers loop on their predicate.
+  void wait_until(std::uint32_t ticket,
+                  std::chrono::steady_clock::time_point deadline) noexcept {
+    futex_wait_until(gen_, ticket, deadline);
+  }
+
+  /// Publish an event: bump the generation and wake every parked waiter.
+  void notify_all() noexcept {
+    gen_.fetch_add(1, std::memory_order_acq_rel);
+    futex_wake_all(gen_);
+  }
+
+ private:
+  mutable std::atomic<std::uint32_t> gen_{0};
+};
+
+}  // namespace proust::sync

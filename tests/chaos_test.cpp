@@ -319,3 +319,57 @@ TEST(ChaosDeterminismTest, SingleThreadedWorkloadReplaysBitExact) {
   EXPECT_EQ(inj1, inj2);
   EXPECT_GT(st1.total_injected(), 0u);
 }
+
+TEST(ChaosDeterminismTest, FullMatrixReplaysInjectionsAndAbortReasons) {
+  // The replay contract across the whole design-space matrix: two runs with
+  // the same seed must produce, for every map config, identical per-point
+  // injection counters AND an identical per-call abort-reason stream (the
+  // delta of the per-reason abort counters after each operation) — the two
+  // artifacts a PROUST_CHAOS_SEED replay of a failure report relies on.
+  const std::uint64_t seed = base_seed() + 17;
+  constexpr std::size_t kReasons =
+      static_cast<std::size_t>(stm::AbortReason::kCount);
+  using AbortArray = std::array<std::uint64_t, kReasons>;
+  struct RunTrace {
+    std::array<std::uint64_t, stm::kNumChaosPoints> injected{};
+    std::vector<AbortArray> abort_stream;
+    std::map<long, long> state;
+  };
+  auto run = [&](const MapConfig& cfg, RunTrace& out) {
+    stm::ChaosPolicy policy(stm::ChaosConfig::aggressive(seed));
+    stm::StmOptions opts;
+    opts.chaos = &policy;
+    auto map = cfg.make_with(opts);
+    proust::Xoshiro256 rng(seed ^ 0x9E3779B97F4A7C15ULL);
+    AbortArray prev{};
+    for (int i = 0; i < 160; ++i) {
+      const long k = static_cast<long>(rng.below(16));
+      const long v = static_cast<long>(rng.below(1000));
+      switch (rng.below(3)) {
+        case 0: map->put1(k, v); break;
+        case 1: map->remove1(k); break;
+        default: map->get1(k); break;
+      }
+      const stm::StatsSnapshot s = map->stats();
+      AbortArray delta{};
+      for (std::size_t r = 0; r < kReasons; ++r) delta[r] = s.aborts[r] - prev[r];
+      prev = s.aborts;
+      out.abort_stream.push_back(delta);
+    }
+    for (long k = 0; k < 16; ++k) {
+      if (auto val = map->get1(k)) out.state[k] = *val;
+    }
+    out.injected = policy.injected_totals();
+    EXPECT_EQ(policy.leaks(), 0u);
+  };
+
+  for (const MapConfig& cfg : all_map_configs()) {
+    SCOPED_TRACE(cfg.name);
+    RunTrace a, b;
+    run(cfg, a);
+    run(cfg, b);
+    EXPECT_EQ(a.injected, b.injected) << "injection counters diverged";
+    EXPECT_EQ(a.abort_stream, b.abort_stream) << "abort-reason stream diverged";
+    EXPECT_EQ(a.state, b.state);
+  }
+}

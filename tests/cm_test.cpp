@@ -443,6 +443,53 @@ TEST(WatchdogTest, ReportsGateBudgetOverrunWhileInFlight) {
                                    .count()));
 }
 
+TEST(WatchdogTest, LifecycleRestartsCleanlyAndStaysSilentAfterStop) {
+  // The sentinel's lifecycle contract: construction starts it, stop() joins
+  // it and is idempotent, and once stop() returns no report is delivered —
+  // across repeated start/stop cycles and across Stm instances.
+  std::atomic<int> reports{0};
+  std::atomic<bool> after_stop{false};
+  std::atomic<int> late_reports{0};
+  StmOptions o;
+  o.cm_policy = CmPolicy::TimestampAging;  // tracking: slots are visible
+  o.on_stall = [&](const StallReport&) {
+    reports.fetch_add(1);
+    if (after_stop.load()) late_reports.fetch_add(1);
+  };
+
+  for (int gen = 0; gen < 3; ++gen) {
+    Stm stm(Mode::Lazy, o);
+    Var<long> v(0);
+    Watchdog::Config cfg;
+    cfg.poll = std::chrono::milliseconds(1);
+    cfg.stall_after = std::chrono::milliseconds(5);
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      after_stop.store(false);
+      Watchdog dog(stm, cfg);
+      const int before = reports.load();
+      stm.atomically([&](Txn& tx) {
+        tx.write(v, gen * 10 + cycle);
+        // Long enough past stall_after that this generation must observe
+        // its own stall — proving the restarted sentinel actually runs.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      });
+      dog.stop();
+      after_stop.store(true);
+      dog.stop();  // idempotent: a second stop is a harmless no-op
+      EXPECT_GT(reports.load(), before)
+          << "restarted watchdog missed its stall (gen " << gen << " cycle "
+          << cycle << ")";
+      // A stall-length body with the sentinel joined must stay silent.
+      stm.atomically([&](Txn& tx) {
+        tx.write(v, -1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      });
+    }
+  }
+  EXPECT_EQ(late_reports.load(), 0)
+      << "stall report delivered after stop() returned";
+}
+
 // --- The starvation regression -----------------------------------------------
 
 namespace {
