@@ -47,13 +47,21 @@ echo "== topology: detection, pin plans, placement plumbing =="
 # sandboxes that refuse affinity syscalls), replicated ReadSeqTable banks.
 ctest --test-dir build --output-on-failure -L topology
 
-echo "== durability: WAL roundtrip + crash-point recovery matrix =="
+echo "== durability: WAL + checkpoint crash/fault recovery matrices =="
 # Live-process WAL paths (epoch-ordered roundtrip, segment rotation,
 # torn-tail truncation, strict/relaxed acks, fail-stop on injected I/O
-# errors) plus the fork-based crash matrix: a child process is killed at
-# every injected WAL crash gate and recovery must replay exactly a prefix
-# of the committed-oracle history. Failures print the seed; replay with
-# PROUST_CHAOS_SEED=<seed> as with the chaos label.
+# errors), the common::Fs storage-fault seam (scripted/probabilistic
+# EIO/ENOSPC/short writes, retry policies, fsync-always-fatal, fail
+# modes), the checkpoint/compaction layer (consistent cuts, bounded
+# recovery cost, corrupt-checkpoint fallback, fail-degrade), and the two
+# fork-based crash matrices: a child is killed at every WAL *and*
+# checkpoint chaos gate under injected storage errors, and recovery must
+# replay exactly a prefix of the committed-oracle history. Failures print
+# the seed (replay with PROUST_CHAOS_SEED=<seed>) and a
+# scripts/wal_inspect.py invocation for the kept directory. The CI
+# crash-matrix job additionally re-runs this label under ASan+UBSan.
+python3 scripts/wal_inspect.py --selftest > /dev/null \
+  && echo "wal_inspect selftest ok"
 ctest --test-dir build --output-on-failure -L durability
 
 echo "== matrix: scenario-matrix smoke + CSV post-process =="

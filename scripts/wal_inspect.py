@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Dump WAL segment and checkpoint headers with their epoch ranges.
+
+Mirrors the on-disk layout in src/stm/wal_format.hpp (host byte order,
+little-endian assumed — these are crash artifacts of one machine). The
+crash-matrix tests print an invocation of this script when a recovery
+contract fails, so a broken directory can be read without gdb:
+
+    python3 scripts/wal_inspect.py <wal-dir> [--verbose]
+
+Exit code 0 even for corrupt files: corruption is the *expected* input
+here; every anomaly is printed, never thrown. `--selftest` builds a tiny
+valid segment + checkpoint in a temp dir, inspects them, and checks the
+summary — the CI smoke for format drift between C++ and this mirror.
+"""
+
+import argparse
+import binascii
+import os
+import re
+import struct
+import sys
+
+SEG_MAGIC = 0x50524F5553575331  # "PROUSWS1"
+BATCH_MAGIC = 0x50424154        # "PBAT"
+CKPT_MAGIC = 0x50524F5553434B31  # "PROUSCK1"
+SEG_HEADER = 20
+BATCH_HEADER = 40
+REC_HEADER = 20
+CKPT_HEADER = 48
+
+SEG_RE = re.compile(r"^seg-(\d{6})\.wal$")
+CKPT_RE = re.compile(r"^ckpt-([0-9a-f]{16})\.ckpt$")
+
+
+def crc32(data):
+    return binascii.crc32(data) & 0xFFFFFFFF
+
+
+def inspect_segment(path, verbose):
+    """Returns (first_epoch, last_epoch, n_records, anomalies)."""
+    with open(path, "rb") as f:
+        buf = f.read()
+    name = os.path.basename(path)
+    anomalies = []
+    if len(buf) < SEG_HEADER:
+        print(f"{name}: {len(buf)} bytes — no segment header")
+        return (0, 0, 0, ["short-header"])
+    magic, version, index, crc = struct.unpack_from("<QIII", buf, 0)
+    ok_crc = crc == crc32(buf[:16])
+    print(f"{name}: index={index} version={version} "
+          f"magic={'ok' if magic == SEG_MAGIC else hex(magic)} "
+          f"header_crc={'ok' if ok_crc else 'BAD'} size={len(buf)}")
+    if magic != SEG_MAGIC or not ok_crc:
+        return (0, 0, 0, ["bad-seg-header"])
+
+    pos = SEG_HEADER
+    first, last, nrecs, nbatch = 0, 0, 0, 0
+    while pos < len(buf):
+        if len(buf) - pos < BATCH_HEADER:
+            anomalies.append(f"torn@{pos}:short-batch-header")
+            break
+        (bmagic, n_records, payload_len, b_first, b_last,
+         payload_crc, header_crc) = struct.unpack_from("<IIQQQII", buf, pos)
+        if bmagic != BATCH_MAGIC or header_crc != crc32(buf[pos:pos + 36]):
+            anomalies.append(f"torn@{pos}:bad-batch-header")
+            break
+        body = buf[pos + BATCH_HEADER:pos + BATCH_HEADER + payload_len]
+        if len(body) < payload_len:
+            anomalies.append(f"torn@{pos}:body-truncated-mid-frame "
+                             f"(promised {payload_len}, have {len(body)})")
+            break
+        crc_state = "ok" if payload_crc == crc32(body) else "BAD"
+        if verbose:
+            print(f"  batch@{pos}: records={n_records} "
+                  f"epochs=[{b_first},{b_last}] payload={payload_len} "
+                  f"payload_crc={crc_state}")
+        if crc_state == "BAD":
+            anomalies.append(f"torn@{pos}:payload-crc")
+            break
+        if verbose:
+            rp = 0
+            while rp + REC_HEADER <= len(body):
+                epoch, stream, rlen, rcrc = struct.unpack_from(
+                    "<QIII", body, rp)
+                rec_ok = rcrc == crc32(body[rp + REC_HEADER:
+                                            rp + REC_HEADER + rlen])
+                print(f"    rec epoch={epoch} stream={stream} len={rlen} "
+                      f"crc={'ok' if rec_ok else 'BAD'}")
+                rp += REC_HEADER + rlen
+        if first == 0:
+            first = b_first
+        last = b_last
+        nrecs += n_records
+        nbatch += 1
+        pos += BATCH_HEADER + payload_len
+    print(f"  -> batches={nbatch} records={nrecs} epochs=[{first},{last}]"
+          + (f" anomalies={anomalies}" if anomalies else ""))
+    return (first, last, nrecs, anomalies)
+
+
+def inspect_checkpoint(path, verbose):
+    """Returns (covering_epoch, n_records, anomalies)."""
+    with open(path, "rb") as f:
+        buf = f.read()
+    name = os.path.basename(path)
+    if len(buf) < CKPT_HEADER:
+        print(f"{name}: {len(buf)} bytes — no checkpoint header")
+        return (0, 0, ["short-header"])
+    (magic, version, _reserved, epoch, n_records, payload_len,
+     payload_crc, header_crc) = struct.unpack_from("<QIIQQQII", buf, 0)
+    anomalies = []
+    if magic != CKPT_MAGIC:
+        anomalies.append("bad-magic")
+    if header_crc != crc32(buf[:44]):
+        anomalies.append("bad-header-crc")
+    payload = buf[CKPT_HEADER:]
+    if len(payload) != payload_len:
+        anomalies.append(f"payload-size (promised {payload_len}, "
+                         f"have {len(payload)})")
+    elif payload_crc != crc32(payload):
+        anomalies.append("bad-payload-crc")
+    print(f"{name}: covering_epoch={epoch} version={version} "
+          f"records={n_records} payload={payload_len} "
+          + ("ok" if not anomalies else f"anomalies={anomalies}"))
+    if verbose and not anomalies:
+        pos = 0
+        while pos + 8 <= len(payload):
+            stream, rlen = struct.unpack_from("<II", payload, pos)
+            print(f"    rec stream={stream} len={rlen}")
+            pos += 8 + rlen
+    return (epoch, n_records, anomalies)
+
+
+def inspect_dir(wal_dir, verbose):
+    segs, ckpts, tmps = [], [], []
+    try:
+        names = sorted(os.listdir(wal_dir))
+    except OSError as e:
+        print(f"{wal_dir}: {e}")
+        return 0
+    for n in names:
+        if SEG_RE.match(n):
+            segs.append(n)
+        elif CKPT_RE.match(n):
+            ckpts.append(n)
+        elif n.endswith(".tmp"):
+            tmps.append(n)
+    print(f"== {wal_dir}: {len(segs)} segment(s), {len(ckpts)} "
+          f"checkpoint(s), {len(tmps)} orphan .tmp ==")
+    for n in tmps:
+        size = os.path.getsize(os.path.join(wal_dir, n))
+        print(f"{n}: {size} bytes (never renamed — recovery discards it)")
+    newest_ckpt = 0
+    for n in ckpts:
+        epoch, _, anomalies = inspect_checkpoint(
+            os.path.join(wal_dir, n), verbose)
+        if not anomalies:
+            newest_ckpt = max(newest_ckpt, epoch)
+    total = 0
+    for n in segs:
+        first, last, nrecs, _ = inspect_segment(
+            os.path.join(wal_dir, n), verbose)
+        total += nrecs
+        if last and newest_ckpt and last <= newest_ckpt:
+            print(f"  (fully subsumed by checkpoint epoch {newest_ckpt} — "
+                  f"retirement candidate)")
+    print(f"== total segment records={total}, newest valid checkpoint "
+          f"epoch={newest_ckpt} ==")
+    return total
+
+
+def selftest():
+    import tempfile
+    with tempfile.TemporaryDirectory() as d:
+        # One segment: header + two single-record batches (epochs 1, 2).
+        seg = struct.pack("<QII", SEG_MAGIC, 1, 0)
+        seg += struct.pack("<I", crc32(seg))
+        for epoch in (1, 2):
+            payload = struct.pack("<QIII", epoch, 1, 4,
+                                  crc32(struct.pack("<I", epoch)))
+            payload += struct.pack("<I", epoch)
+            hdr = struct.pack("<IIQQQ", BATCH_MAGIC, 1, len(payload),
+                              epoch, epoch)
+            hdr += struct.pack("<I", crc32(payload))
+            hdr += struct.pack("<I", crc32(hdr))
+            seg += hdr + payload
+        with open(os.path.join(d, "seg-000000.wal"), "wb") as f:
+            f.write(seg)
+        # One checkpoint covering epoch 2, a single staged record.
+        payload = struct.pack("<II", 1, 4) + struct.pack("<I", 7)
+        hdr = struct.pack("<QIIQQQ", CKPT_MAGIC, 1, 0, 2, 1, len(payload))
+        hdr += struct.pack("<I", crc32(payload))
+        hdr += struct.pack("<I", crc32(hdr))
+        with open(os.path.join(d, "ckpt-%016x.ckpt" % 2), "wb") as f:
+            f.write(hdr + payload)
+        total = inspect_dir(d, verbose=True)
+        assert total == 2, f"selftest: expected 2 segment records, {total}"
+        print("selftest ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("dir", nargs="?", help="WAL directory to inspect")
+    ap.add_argument("--verbose", "-v", action="store_true",
+                    help="dump per-batch and per-record detail")
+    ap.add_argument("--selftest", action="store_true",
+                    help="round-trip a synthetic segment + checkpoint")
+    args = ap.parse_args()
+    if args.selftest:
+        return selftest()
+    if not args.dir:
+        ap.error("a WAL directory is required (or --selftest)")
+    inspect_dir(args.dir, args.verbose)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+#include "common/chaos_fs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace proust::common {
+
+namespace {
+
+class RealFs final : public Fs {
+ public:
+  int open(const char* path, int flags, unsigned mode) noexcept override {
+    return ::open(path, flags, static_cast<mode_t>(mode));
+  }
+  long write(int fd, const void* buf, std::size_t n) noexcept override {
+    return static_cast<long>(::write(fd, buf, n));
+  }
+  int fsync(int fd) noexcept override { return ::fsync(fd); }
+  int rename(const char* from, const char* to) noexcept override {
+    return ::rename(from, to);
+  }
+  int close(int fd) noexcept override { return ::close(fd); }
+  int unlink(const char* path) noexcept override { return ::unlink(path); }
+};
+
+std::uint64_t splitmix64(std::uint64_t& s) noexcept {
+  std::uint64_t z = (s += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& s) noexcept {
+  return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Fs& Fs::real() noexcept {
+  static RealFs fs;
+  return fs;
+}
+
+ChaosFs::ChaosFs(ChaosFsConfig cfg, Fs* inner)
+    : cfg_(cfg), inner_(inner != nullptr ? inner : &Fs::real()), rng_(cfg.seed) {
+  for (auto& e : cfg_.err) {
+    if (e == 0) e = EIO;
+  }
+}
+
+void ChaosFs::inject_once(FsFault f) {
+  std::lock_guard<std::mutex> lk(mu_);
+  script_.push_back(f);
+}
+
+ChaosFs::Counters ChaosFs::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+std::optional<FsFault> ChaosFs::draw(FsOp op) noexcept {
+  const auto i = static_cast<std::size_t>(op);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counters_.calls[i];
+  for (auto it = script_.begin(); it != script_.end(); ++it) {
+    if (it->op != op) continue;
+    const FsFault f = *it;
+    script_.erase(it);
+    if (f.short_write) {
+      ++counters_.short_writes;
+    } else {
+      ++counters_.injected[i];
+    }
+    return f;
+  }
+  if (op == FsOp::Write && cfg_.short_write_prob > 0 &&
+      uniform01(rng_) < cfg_.short_write_prob) {
+    ++counters_.short_writes;
+    return FsFault{op, 0, true};
+  }
+  if (cfg_.err_prob[i] > 0 && uniform01(rng_) < cfg_.err_prob[i]) {
+    ++counters_.injected[i];
+    return FsFault{op, cfg_.err[i], false};
+  }
+  return std::nullopt;
+}
+
+int ChaosFs::open(const char* path, int flags, unsigned mode) noexcept {
+  if (const auto f = draw(FsOp::Open)) {
+    errno = f->err;
+    return -1;
+  }
+  return inner_->open(path, flags, mode);
+}
+
+long ChaosFs::write(int fd, const void* buf, std::size_t n) noexcept {
+  if (const auto f = draw(FsOp::Write)) {
+    if (f->short_write && n > 1) {
+      // Deliver a strict prefix through the inner fs: the bytes are real,
+      // only the count is short — exactly what a full disk stripe or a
+      // signal-interrupted write produces.
+      return inner_->write(fd, buf, n / 2);
+    }
+    if (!f->short_write) {
+      errno = f->err;
+      return -1;
+    }
+  }
+  return inner_->write(fd, buf, n);
+}
+
+int ChaosFs::fsync(int fd) noexcept {
+  if (const auto f = draw(FsOp::Fsync)) {
+    errno = f->err;
+    return -1;
+  }
+  return inner_->fsync(fd);
+}
+
+int ChaosFs::rename(const char* from, const char* to) noexcept {
+  if (const auto f = draw(FsOp::Rename)) {
+    errno = f->err;
+    return -1;
+  }
+  return inner_->rename(from, to);
+}
+
+int ChaosFs::close(int fd) noexcept {
+  if (const auto f = draw(FsOp::Close)) {
+    // Still close the real descriptor — a reported-failed close(2) has
+    // released the fd; leaking it would turn an injected error into a
+    // descriptor exhaustion bug in long matrix runs.
+    (void)inner_->close(fd);
+    errno = f->err;
+    return -1;
+  }
+  return inner_->close(fd);
+}
+
+int ChaosFs::unlink(const char* path) noexcept {
+  if (const auto f = draw(FsOp::Unlink)) {
+    errno = f->err;
+    return -1;
+  }
+  return inner_->unlink(path);
+}
+
+}  // namespace proust::common

@@ -1,0 +1,115 @@
+// Injectable filesystem seam for the durability layer (DESIGN.md §15).
+//
+// `Fs` is the minimal syscall surface the WAL and checkpointer write
+// through: open/write/fsync/rename/close/unlink. Production code uses
+// `Fs::real()` (plain syscalls, zero indirection cost off the log path);
+// tests interpose a `ChaosFs` between the storage code and the kernel to
+// inject EIO, ENOSPC, short writes, and transient errors *at the syscall
+// gate* — the same place a dying disk would — so the per-error policies in
+// WalOptions (fail-stop, bounded retry, fsync-always-fatal) are exercised
+// against exactly the failure shapes they were written for.
+//
+// Injection is deterministic two ways:
+//   - probabilistic: a seeded splitmix64 stream draws per-op failures with
+//     configured probabilities (reproducible given the seed), and
+//   - scripted: `inject_once` queues one-shot faults consumed FIFO by the
+//     next matching call (exact-site unit tests).
+// Torn files (power-cut shapes) are not produced here — a short write plus
+// a crash gate in the caller tears real bytes; see the crash-matrix tests.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace proust::common {
+
+class Fs {
+ public:
+  virtual ~Fs() = default;
+  /// open(2); returns fd or -1 with errno set.
+  virtual int open(const char* path, int flags, unsigned mode) noexcept = 0;
+  /// write(2); returns bytes written (possibly short) or -1 with errno set.
+  virtual long write(int fd, const void* buf, std::size_t n) noexcept = 0;
+  virtual int fsync(int fd) noexcept = 0;
+  virtual int rename(const char* from, const char* to) noexcept = 0;
+  virtual int close(int fd) noexcept = 0;
+  virtual int unlink(const char* path) noexcept = 0;
+
+  /// Process-wide pass-through instance (real syscalls).
+  static Fs& real() noexcept;
+};
+
+enum class FsOp : std::uint8_t { Open, Write, Fsync, Rename, Close, Unlink };
+inline constexpr std::size_t kNumFsOps = 6;
+
+constexpr const char* to_string(FsOp op) noexcept {
+  switch (op) {
+    case FsOp::Open: return "open";
+    case FsOp::Write: return "write";
+    case FsOp::Fsync: return "fsync";
+    case FsOp::Rename: return "rename";
+    case FsOp::Close: return "close";
+    case FsOp::Unlink: return "unlink";
+  }
+  return "?";
+}
+
+/// One scripted injection, consumed by the next call of the matching op.
+struct FsFault {
+  FsOp op;
+  int err = 0;              // errno to inject; ignored for short writes
+  bool short_write = false;  // Write only: deliver a strict prefix instead
+};
+
+struct ChaosFsConfig {
+  std::uint64_t seed = 1;
+  /// Per-op probability of failing with the matching `err` (indexed by
+  /// FsOp). Drawn from the seeded stream, so a run replays exactly.
+  std::array<double, kNumFsOps> err_prob{};
+  /// errno injected when the draw hits; 0 entries default to EIO.
+  std::array<int, kNumFsOps> err{};
+  /// Probability a write delivers only a prefix (>=1 byte, < n). The
+  /// caller's full-write loop must absorb these without corruption.
+  double short_write_prob = 0;
+};
+
+class ChaosFs final : public Fs {
+ public:
+  /// Wraps `inner` (null = Fs::real()).
+  explicit ChaosFs(ChaosFsConfig cfg = {}, Fs* inner = nullptr);
+
+  /// Queue a one-shot fault, consumed FIFO by the next matching call.
+  /// Scripted faults take precedence over probabilistic draws.
+  void inject_once(FsFault f);
+
+  struct Counters {
+    std::array<std::uint64_t, kNumFsOps> calls{};
+    std::array<std::uint64_t, kNumFsOps> injected{};  // errno injections
+    std::uint64_t short_writes = 0;
+  };
+  Counters counters() const;
+
+  int open(const char* path, int flags, unsigned mode) noexcept override;
+  long write(int fd, const void* buf, std::size_t n) noexcept override;
+  int fsync(int fd) noexcept override;
+  int rename(const char* from, const char* to) noexcept override;
+  int close(int fd) noexcept override;
+  int unlink(const char* path) noexcept override;
+
+ private:
+  /// Draw the fault (if any) for one call of `op`. Thread-safe.
+  std::optional<FsFault> draw(FsOp op) noexcept;
+
+  ChaosFsConfig cfg_;
+  Fs* inner_;
+  mutable std::mutex mu_;  // guards rng state, script queue, counters
+  std::uint64_t rng_;
+  std::deque<FsFault> script_;
+  Counters counters_;
+};
+
+}  // namespace proust::common

@@ -1,0 +1,44 @@
+// RAII POSIX file descriptor. The durability layer (stm/wal.cpp,
+// stm/checkpoint.cpp) juggles segment, directory, and tmp-file descriptors
+// across error paths that throw or early-return; UniqueFd makes every one of
+// those paths leak-free by construction instead of by audit.
+#pragma once
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace proust::common {
+
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  UniqueFd(UniqueFd&& o) noexcept : fd_(o.release()) {}
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) reset(o.release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const noexcept { return fd_; }
+  bool ok() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Give up ownership without closing.
+  int release() noexcept { return std::exchange(fd_, -1); }
+
+  /// Close the held descriptor (if any) and adopt `fd`. Close errors are
+  /// ignored — callers that must observe them (fsyncgate) fsync first.
+  void reset(int fd = -1) noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace proust::common

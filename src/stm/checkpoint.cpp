@@ -1,0 +1,312 @@
+#include "stm/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "stm/chaos.hpp"
+#include "stm/var.hpp"
+#include "stm/wal_format.hpp"
+
+namespace proust::stm {
+
+namespace {
+namespace fs = std::filesystem;
+using namespace walfmt;
+
+/// Raw writes for the CkptWrite crash gate's torn tmp file (the bytes must
+/// land whatever the injected-fault config says).
+void torn_write_raw(int fd, const std::vector<std::uint8_t>& header,
+                    const std::vector<std::uint8_t>& payload) noexcept {
+  (void)!::write(fd, header.data(), header.size());
+  (void)!::write(fd, payload.data(), payload.size() / 2);
+}
+
+}  // namespace
+
+Checkpointer::Checkpointer(Wal& wal, CheckpointOptions opts)
+    : wal_(wal), opts_(std::move(opts)) {
+  fs_ = opts_.fs != nullptr ? opts_.fs : &wal_.fs();
+  if (opts_.retain_checkpoints == 0) opts_.retain_checkpoints = 1;
+  dir_fd_.reset(fs_->open(wal_.options().dir.c_str(),
+                          O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0));
+  // Adopt the durable checkpoints already on disk: they anchor the skip
+  // test (never re-checkpoint a covered epoch) and the retention count.
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(wal_.options().dir, ec)) {
+    std::uint64_t epoch;
+    if (parse_ckpt_name(ent.path().filename().string(), epoch)) {
+      retained_.push_back(epoch);
+    }
+  }
+  std::sort(retained_.begin(), retained_.end());
+  if (!retained_.empty()) {
+    last_epoch_ = retained_.back();
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.last_epoch = last_epoch_;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+Checkpointer::~Checkpointer() {
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Checkpointer::register_stream(std::uint32_t stream, StreamSnapshotFn fn) {
+  std::lock_guard<std::mutex> lk(op_mu_);
+  streams_.emplace_back(stream, std::move(fn));
+  covered_streams_ |= Wal::stream_bit(stream);
+}
+
+CheckpointStats Checkpointer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+void Checkpointer::run() {
+  last_attempt_tp_ = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lk(run_mu_);
+  for (;;) {
+    // Poll cadence: fast enough to catch the records trigger promptly,
+    // idle-cheap when no trigger is configured (the pr10 A/B attaches an
+    // idle checkpointer and demands it free).
+    auto wait = std::chrono::milliseconds(500);
+    if (opts_.every_records > 0) wait = std::chrono::milliseconds(5);
+    if (opts_.interval.count() > 0) wait = std::min(wait, opts_.interval);
+    cv_.wait_for(lk, wait, [this] { return stop_; });
+    if (stop_) return;
+    lk.unlock();
+    maybe_checkpoint();
+    lk.lock();
+  }
+}
+
+void Checkpointer::maybe_checkpoint() {
+  bool want = false;
+  if (opts_.every_records > 0 &&
+      wal_.stats().records -
+              records_at_last_.load(std::memory_order_relaxed) >=
+          opts_.every_records) {
+    want = true;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (!want && opts_.interval.count() > 0 &&
+      now - last_attempt_tp_ >= opts_.interval) {
+    want = true;
+  }
+  if (!want) return;
+  last_attempt_tp_ = now;
+  (void)do_checkpoint();
+}
+
+bool Checkpointer::chaos_crash(ChaosPoint p) noexcept {
+  if (opts_.chaos == nullptr) [[likely]] return false;
+  const ChaosAction a = opts_.chaos->decide(p);
+  if (a == ChaosAction::None) return false;
+  if (a == ChaosAction::Crash) return true;
+  opts_.chaos->inject_delay();
+  return false;
+}
+
+void Checkpointer::report(const char* op, int err, const std::string& path) {
+  const WalError e{op, err, path};
+  if (opts_.on_error) {
+    opts_.on_error(e);
+  } else {
+    std::fprintf(stderr, "[checkpoint] failed: %s on %s: %s\n", op,
+                 path.c_str(), std::strerror(err));
+  }
+}
+
+bool Checkpointer::step_failed(const char* op, int err,
+                               const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.failures;
+  }
+  if (++consecutive_failures_ >= opts_.max_failures) {
+    degraded_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.degraded = true;
+  }
+  report(op, err, path);
+  return false;
+}
+
+bool Checkpointer::write_full(int fd, const std::uint8_t* data,
+                              std::size_t n) noexcept {
+  while (n > 0) {
+    const long w = fs_->write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool Checkpointer::take_cut(std::uint64_t& epoch, std::uint64_t& records,
+                            std::vector<std::uint8_t>& payload) {
+  CommitFence& fence = wal_.checkpoint_fence();
+  std::vector<std::uint8_t> value;
+  // Bounded spin: every restart means a logging commit (or an in-flight
+  // eager writer) overlapped the cut, so retries ride on writer progress;
+  // the bound only guards against a pathological commit storm — a failed
+  // cut is retried at the next trigger, nothing is lost.
+  for (int attempt = 0; attempt < 200000; ++attempt) {
+    const std::uint64_t w0 = fence.word();
+    if (!CommitFence::quiescent(w0)) {
+      std::this_thread::yield();
+      continue;
+    }
+    epoch = wal_.published_epoch();
+    payload.clear();
+    records = 0;
+    bool ok = true;
+    for (const auto& [var, id] : wal_.registered_vars()) {
+      value.resize(var->unsafe_size());
+      if (!var->checkpoint_copy(value.data())) {
+        ok = false;  // locked or raced — restart the whole cut
+        break;
+      }
+      Wal::stage_var_record(payload, id, value.data(), value.size());
+      ++records;
+    }
+    if (ok) {
+      for (const auto& [stream, fn] : streams_) {
+        fn([&](const void* data, std::size_t n) {
+          Wal::stage_record(payload, stream, data, n);
+          ++records;
+        });
+      }
+    }
+    if (!ok || fence.word() != w0) continue;
+    return true;
+  }
+  return false;
+}
+
+bool Checkpointer::do_checkpoint() {
+  std::lock_guard<std::mutex> lk(op_mu_);
+  if (degraded()) return false;
+
+  // Coverage: refuse to subsume wrapper streams no snapshotter re-creates —
+  // retiring their history (or skipping their tail records at recovery)
+  // would silently lose operations.
+  const std::uint64_t uncovered =
+      wal_.observed_stream_mask() & ~covered_streams_;
+  if (uncovered != 0) {
+    {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++stats_.refused;
+    }
+    if (!refusal_reported_) {
+      refusal_reported_ = true;
+      report("checkpoint", EINVAL, wal_.options().dir +
+                                       " (wrapper stream without a "
+                                       "registered snapshotter)");
+    }
+    return false;
+  }
+
+  if (chaos_crash(ChaosPoint::CkptBegin)) ::_exit(kWalCrashExitCode);
+
+  std::uint64_t epoch = 0;
+  std::uint64_t records = 0;
+  std::vector<std::uint8_t> payload;
+  if (!take_cut(epoch, records, payload)) {
+    return step_failed("checkpoint", EAGAIN, wal_.options().dir);
+  }
+  if (epoch == 0 || epoch <= last_epoch_) {
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    ++stats_.skipped;
+    return true;
+  }
+
+  std::vector<std::uint8_t> header;
+  ckpt_header_bytes(header, epoch, records, payload);
+  const std::string final_path =
+      wal_.options().dir + "/" + ckpt_name(epoch);
+  const std::string tmp_path = final_path + ".tmp";
+
+  common::UniqueFd fd(fs_->open(
+      tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644));
+  if (!fd) return step_failed("open", errno, tmp_path);
+  // CkptWrite gate: a crash draw tears the tmp file — a prefix lands, the
+  // process dies, and recovery must discard the .tmp untouched.
+  if (chaos_crash(ChaosPoint::CkptWrite)) {
+    torn_write_raw(fd.get(), header, payload);
+    ::_exit(kWalCrashExitCode);
+  }
+  if (!write_full(fd.get(), header.data(), header.size()) ||
+      !write_full(fd.get(), payload.data(), payload.size())) {
+    const int err = errno;
+    fd.reset();
+    fs_->unlink(tmp_path.c_str());
+    return step_failed("write", err, tmp_path);
+  }
+  // CkptFsync gate: written but not durable — a crash leaves a complete-
+  // looking .tmp that recovery still discards (never renamed).
+  if (chaos_crash(ChaosPoint::CkptFsync)) ::_exit(kWalCrashExitCode);
+  if (fs_->fsync(fd.get()) != 0) {  // fsync is fatal for this attempt
+    const int err = errno;
+    fd.reset();
+    fs_->unlink(tmp_path.c_str());
+    return step_failed("fsync", err, tmp_path);
+  }
+  fs_->close(fd.release());
+  // CkptRename gate: durable tmp, not yet visible under its final name.
+  if (chaos_crash(ChaosPoint::CkptRename)) ::_exit(kWalCrashExitCode);
+  if (fs_->rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const int err = errno;
+    fs_->unlink(tmp_path.c_str());
+    return step_failed("rename", err, tmp_path);
+  }
+  if (dir_fd_) fs_->fsync(dir_fd_.get());
+
+  consecutive_failures_ = 0;
+  last_epoch_ = epoch;
+  records_at_last_.store(wal_.stats().records, std::memory_order_relaxed);
+  retained_.push_back(epoch);
+  {
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    ++stats_.checkpoints;
+    stats_.records += records;
+    stats_.bytes += header.size() + payload.size();
+    stats_.last_epoch = epoch;
+  }
+
+  // CkptRetire gate: checkpoint durable and visible, nothing retired yet —
+  // a crash here leaves checkpoint and segments overlapping, the exact
+  // case recovery's epoch-skip rule exists for.
+  if (chaos_crash(ChaosPoint::CkptRetire)) ::_exit(kWalCrashExitCode);
+  std::uint64_t ckpts_gone = 0;
+  while (retained_.size() > opts_.retain_checkpoints) {
+    const std::string old =
+        wal_.options().dir + "/" + ckpt_name(retained_.front());
+    retained_.erase(retained_.begin());
+    if (fs_->unlink(old.c_str()) == 0) ++ckpts_gone;
+  }
+  std::uint32_t segs_gone = 0;
+  if (opts_.retire) segs_gone = wal_.retire_segments(epoch);
+  {
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    stats_.checkpoints_retired += ckpts_gone;
+    stats_.segments_retired += segs_gone;
+  }
+  return true;
+}
+
+}  // namespace proust::stm

@@ -1,0 +1,166 @@
+// Checkpoint/compaction layer for the WAL axis (DESIGN.md §15): a
+// background checkpointer that bounds recovery cost by *live state size*
+// instead of history length.
+//
+// Protocol. A checkpoint is a consistent cut of the log's registered vars
+// (plus any registered wrapper-stream snapshots) paired with the covering
+// epoch E = the newest published epoch at the cut:
+//
+//   1. Observe the Wal's checkpoint fence quiescent (no logging commit is
+//      between wv generation and write-back completion).
+//   2. Read E = published_epoch(), then copy every registered var with an
+//      orec-validated seqlock copy (a locked or version-changed var — an
+//      in-flight eager writer — restarts the cut), and run the stream
+//      snapshotters.
+//   3. Re-check the fence word: unchanged means no commit bracket
+//      overlapped the cut, so the values are exactly the state at E.
+//
+//   The cut is then written tmp -> write -> fsync -> rename -> dir-fsync
+//   (a torn checkpoint can only exist as an un-renamed .tmp, which
+//   recovery discards; a renamed file is all-or-nothing up to bit rot,
+//   which its two CRCs catch, failing over to the previous retained
+//   checkpoint), and finally WAL segments whose epochs E subsumes are
+//   retired (oldest first) along with checkpoints beyond the retention
+//   count.
+//
+// Epoch-subsumption rule: a sealed segment is retired iff its last epoch
+// <= E; recovery then anchors the segment chain at E (first surviving
+// batch must start at most at E+1) and skips tail records with epoch <= E,
+// so a crash *anywhere* in the protocol — including between rename and
+// retirement, when checkpoint and segments overlap — recovers to a prefix
+// with nothing lost and nothing double-applied. The extended crash matrix
+// (tests/wal_checkpoint_crash_test.cpp) kills a child at every one of
+// these gates under injected storage errors to prove it.
+//
+// Checkpoint I/O failures are non-fatal to the Wal (the log keeps its
+// history; recovery just replays more): each failure is reported through
+// on_error, and `max_failures` consecutive ones degrade the checkpointer
+// (it stops trying) without touching the log. A checkpoint is *refused*
+// (never attempted) while the log carries wrapper streams no snapshotter
+// covers — subsuming history we cannot re-create would lose it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "stm/wal.hpp"
+
+namespace proust::stm {
+
+struct CheckpointOptions {
+  /// Take a checkpoint once this many records were written since the last
+  /// one (0 = no record trigger).
+  std::uint64_t every_records = 0;
+  /// Take a checkpoint at least this often (0 = no time trigger). With
+  /// both triggers 0 the thread idles; only checkpoint_now() checkpoints.
+  std::chrono::milliseconds interval{0};
+  /// Durable checkpoints kept on disk (newest N); older ones unlink after
+  /// each success. Minimum 1; 2 keeps a fallback against bit rot.
+  std::uint32_t retain_checkpoints = 2;
+  /// Retire subsumed WAL segments after each durable checkpoint.
+  bool retire = true;
+  /// Consecutive failures before the checkpointer degrades (stops trying;
+  /// the Wal itself is untouched).
+  unsigned max_failures = 3;
+  /// Failure sink; null = stderr. op is "checkpoint" for cut/coverage
+  /// problems, else the failing syscall name.
+  std::function<void(const WalError&)> on_error;
+  /// Crash/delay injection at the Ckpt* gates; drawn on the checkpointer
+  /// thread's own registry slot.
+  ChaosPolicy* chaos = nullptr;
+  /// Checkpoint-file filesystem; null = the Wal's.
+  common::Fs* fs = nullptr;
+};
+
+struct CheckpointStats {
+  std::uint64_t checkpoints = 0;          // durable checkpoints written
+  std::uint64_t skipped = 0;              // triggers with nothing new
+  std::uint64_t refused = 0;              // uncovered wrapper stream
+  std::uint64_t failures = 0;             // failed attempts (I/O or cut)
+  std::uint64_t records = 0;              // records across written ckpts
+  std::uint64_t bytes = 0;                // file bytes across written ckpts
+  std::uint64_t segments_retired = 0;     // WAL segments unlinked
+  std::uint64_t checkpoints_retired = 0;  // old checkpoints unlinked
+  std::uint64_t last_epoch = 0;           // covering epoch of newest ckpt
+  bool degraded = false;
+};
+
+class Checkpointer {
+ public:
+  /// Appends one checkpoint record for the snapshotter's stream.
+  using StreamEmit = std::function<void(const void* data, std::size_t n)>;
+  /// Serializes one wrapper stream's live state at the cut. Runs with the
+  /// commit fence quiescent, so for *lazy* wrappers (base mutated only
+  /// inside commit-locked hooks, which the fence brackets) a plain read of
+  /// the base is a consistent snapshot. That is the contract: register
+  /// snapshotters only for streams whose structure is mutated inside the
+  /// fence bracket. Recovery hands the emitted records back with
+  /// from_checkpoint=true — they are absolute state, not deltas.
+  using StreamSnapshotFn = std::function<void(const StreamEmit&)>;
+
+  /// Starts the background thread. Destroy the Checkpointer BEFORE the Wal.
+  Checkpointer(Wal& wal, CheckpointOptions opts);
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+  ~Checkpointer();
+
+  /// Cover one wrapper stream (setup time, like Wal::register_var).
+  /// Checkpoints are refused while the log carries streams not covered
+  /// here — see the header comment.
+  void register_stream(std::uint32_t stream, StreamSnapshotFn fn);
+
+  /// Synchronous checkpoint attempt on the caller's thread. True on a
+  /// durable checkpoint or a no-op skip (nothing new); false on refusal,
+  /// failure, or a degraded checkpointer.
+  bool checkpoint_now() { return do_checkpoint(); }
+
+  bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_acquire);
+  }
+  CheckpointStats stats() const;
+
+ private:
+  void run();
+  void maybe_checkpoint();
+  bool do_checkpoint();
+  bool take_cut(std::uint64_t& epoch, std::uint64_t& records,
+                std::vector<std::uint8_t>& payload);
+  bool step_failed(const char* op, int err, const std::string& path);
+  void report(const char* op, int err, const std::string& path);
+  bool chaos_crash(ChaosPoint p) noexcept;
+  bool write_full(int fd, const std::uint8_t* data, std::size_t n) noexcept;
+
+  Wal& wal_;
+  CheckpointOptions opts_;
+  common::Fs* fs_ = nullptr;
+  common::UniqueFd dir_fd_;
+
+  std::mutex op_mu_;  // serializes do_checkpoint + stream registration
+  std::vector<std::pair<std::uint32_t, StreamSnapshotFn>> streams_;
+  std::uint64_t covered_streams_ = 0;
+  std::uint64_t last_epoch_ = 0;  // newest durable covering epoch
+  std::vector<std::uint64_t> retained_;  // durable ckpt epochs, oldest first
+  unsigned consecutive_failures_ = 0;
+  bool refusal_reported_ = false;
+
+  std::atomic<std::uint64_t> records_at_last_{0};
+  std::atomic<bool> degraded_{false};
+
+  mutable std::mutex stats_mu_;
+  CheckpointStats stats_;
+
+  std::mutex run_mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::chrono::steady_clock::time_point last_attempt_tp_;  // run thread only
+  std::thread thread_;
+};
+
+}  // namespace proust::stm

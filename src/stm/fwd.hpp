@@ -25,6 +25,13 @@ class MvccState;
 struct StallReport;
 class Wal;
 
+/// StmOptions::wal_fail_mode — what a permanently-failed log refuses (see
+/// options.hpp for the full contract).
+enum class WalFailMode : std::uint8_t {
+  ReadOnlyDurability,  // refuse only commits that would log redo records
+  FailStop,            // refuse every mutating commit once the log failed
+};
+
 /// How the STM detects conflicts — the right-hand table of the paper's
 /// Figure 1. The mode is a property of the `Stm` runtime instance.
 enum class Mode {
@@ -108,6 +115,15 @@ enum class ChaosPoint : std::uint8_t {
   WalSeal,         // after the batch is drained, before its header is written
   WalFsync,        // after write, before fsync — acked-relaxed data at risk
   WalRotate,       // between tmp-segment creation and its rename
+  // Checkpoint gates (stm/checkpoint.hpp). These run on the checkpointer
+  // thread; a Crash draw _exit()s there, so the extended crash matrix can
+  // kill the process at every step of the write-tmp/fsync/rename/retire
+  // protocol and prove recovery still yields a committed prefix.
+  CkptBegin,       // before the consistent cut is taken
+  CkptWrite,       // checkpoint tmp write(2) — a crash here tears the tmp
+  CkptFsync,       // after the tmp is written, before its fsync
+  CkptRename,      // between the tmp fsync and the rename into place
+  CkptRetire,      // checkpoint durable, before subsumed segments retire
   kCount,
 };
 
@@ -128,6 +144,11 @@ constexpr const char* to_string(ChaosPoint p) noexcept {
     case ChaosPoint::WalSeal: return "wal-seal";
     case ChaosPoint::WalFsync: return "wal-fsync";
     case ChaosPoint::WalRotate: return "wal-rotate";
+    case ChaosPoint::CkptBegin: return "ckpt-begin";
+    case ChaosPoint::CkptWrite: return "ckpt-write";
+    case ChaosPoint::CkptFsync: return "ckpt-fsync";
+    case ChaosPoint::CkptRename: return "ckpt-rename";
+    case ChaosPoint::CkptRetire: return "ckpt-retire";
     default: return "?";
   }
 }

@@ -246,6 +246,15 @@ struct StmOptions {
   /// then pay one predictable never-taken branch and Txn::wal_log is a
   /// no-op (bench_wal's paired A/B pins the neutrality).
   Wal* durability = nullptr;
+
+  /// What a *failed* log refuses (wal.hpp: a fatal storage error fails the
+  /// log permanently). ReadOnlyDurability (default) refuses only commits
+  /// that would produce redo records — undeclared-stream mutators keep
+  /// running, merely non-durable. FailStop refuses every mutating commit
+  /// (writes, replay hooks, or staged records) once the log has failed, so
+  /// acked in-memory state can never outrun the durable prefix; read-only
+  /// transactions still commit under both policies.
+  WalFailMode wal_fail_mode = WalFailMode::ReadOnlyDurability;
 };
 
 }  // namespace proust::stm

@@ -77,10 +77,10 @@ std::string StatsSnapshot::to_string() const {
     os << " fastpath{hits=" << fastpath_hits
        << " fallbacks=" << fastpath_fallbacks << "}";
   }
-  if (wal_publishes > 0) {
+  if (wal_publishes + wal_refused > 0) {
     os << " wal{publishes=" << wal_publishes << " records=" << wal_records
        << " bytes=" << wal_bytes << " strict_waits=" << wal_strict_waits
-       << " wait=" << wal_wait_ns << "ns}";
+       << " wait=" << wal_wait_ns << "ns refused=" << wal_refused << "}";
   }
   if (total_aborts() > 0) {
     os << " [";
@@ -150,6 +150,7 @@ StatsSnapshot Stats::snapshot() const {
     s.wal_bytes += ld(c.wal_bytes);
     s.wal_strict_waits += ld(c.wal_strict_waits);
     s.wal_wait_ns += ld(c.wal_wait_ns);
+    s.wal_refused += ld(c.wal_refused);
   }
   return s;
 }
@@ -185,6 +186,7 @@ void Stats::reset() {
     st(c.wal_bytes, 0);
     st(c.wal_strict_waits, 0);
     st(c.wal_wait_ns, 0);
+    st(c.wal_refused, 0);
   }
 }
 

@@ -86,6 +86,9 @@ struct StatsSnapshot {
   std::uint64_t wal_bytes = 0;
   std::uint64_t wal_strict_waits = 0;
   std::uint64_t wal_wait_ns = 0;
+  /// Commits refused because the log had failed (WalUnavailable thrown
+  /// before any lock was taken — StmOptions::wal_fail_mode).
+  std::uint64_t wal_refused = 0;
 
   std::uint64_t total_aborts() const noexcept;
   std::uint64_t total_injected() const noexcept;
@@ -128,6 +131,7 @@ class Stats {
     std::uint64_t wal_bytes = 0;
     std::uint64_t wal_strict_waits = 0;
     std::uint64_t wal_wait_ns = 0;
+    std::uint64_t wal_refused = 0;
   };
 
   // Each cell has exactly one writer (its owning slot's thread), but the
@@ -207,6 +211,8 @@ class Stats {
       bump(c_->wal_strict_waits);
       bump(c_->wal_wait_ns, ns);
     }
+    /// One commit refused because the log had failed (wal_fail_mode).
+    void count_wal_refused() noexcept { bump(c_->wal_refused); }
 
    private:
     friend class Stats;

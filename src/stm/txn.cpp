@@ -798,6 +798,16 @@ void Txn::commit() {
   // a fresh transaction's rv covers this commit, and a snapshot shadow copy
   // taken before the replay lands would silently miss it (commit_fence.hpp).
   enter_commit_fences();
+  // Logging commits additionally bracket the Wal's checkpoint fence: the
+  // checkpointer's consistent cut pairs published_epoch() with var values,
+  // which is only exact when no commit sits between wv generation (epoch
+  // assignment happens in wal_publish, under this bracket) and write-back
+  // completion. Same contract as registered commit fences, just owned by
+  // the log instead of a wrapper (stm/checkpoint.hpp).
+  const bool wal_fenced =
+      wal_ != nullptr && (!arena_.wal_buf.empty() ||
+                          (wal_->has_vars() && !arena_.writes.empty()));
+  if (wal_fenced) [[unlikely]] wal_->checkpoint_fence().enter();
   Version wv;
   try {
     wv = stm_.generate_wv(lock_floor);
@@ -827,6 +837,7 @@ void Txn::commit() {
       }
     }
   } catch (...) {
+    if (wal_fenced) [[unlikely]] wal_->checkpoint_fence().exit();
     exit_commit_fences();
     throw;
   }
@@ -855,6 +866,10 @@ void Txn::commit() {
     }
   }
   release_locks(wv);
+  // The checkpoint-fence bracket ends only after write-back *and* lock
+  // release: a cut that observed the fence quiescent must never see a
+  // half-written (still-locked) var paired with this commit's epoch.
+  if (wal_fenced) [[unlikely]] wal_->checkpoint_fence().exit();
   // MVCC: make this commit visible to the *next* snapshot reader. Under
   // LazyBump the clock is normally caught up lazily by readers that trip
   // over a too-new version and retry — but snapshot readers never retry, so
@@ -908,8 +923,17 @@ void Txn::wal_check_available() {
   // counts, even to an unregistered var): refusing a commit that would not
   // have logged is safe; the converse would let acked state outrun the
   // durable prefix.
-  if (!arena_.wal_buf.empty() ||
-      (wal_->has_vars() && !arena_.writes.empty())) {
+  const bool logging = !arena_.wal_buf.empty() ||
+                       (wal_->has_vars() && !arena_.writes.empty());
+  // FailStop widens the refusal to *every* mutating commit — writes,
+  // replay hooks, or staged records — so in-memory state freezes at the
+  // failure point; read-only transactions still commit under both modes.
+  const bool mutating = !arena_.writes.empty() ||
+                        !arena_.commit_locked_hooks.empty() ||
+                        !arena_.wal_buf.empty();
+  if (logging ||
+      (stm_.options().wal_fail_mode == WalFailMode::FailStop && mutating)) {
+    stats_.count_wal_refused();
     throw WalUnavailable("stm wal failed (" + wal_->options().dir +
                          "): durable commits are refused");
   }

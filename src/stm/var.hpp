@@ -53,6 +53,33 @@ class alignas(kCacheLine) VarBase {
     return n;
   }
 
+  std::uint32_t unsafe_size() const noexcept { return size_; }
+
+  /// Orec-validated racy copy for the checkpointer (stm/checkpoint.hpp):
+  /// succeeds only when the var is unlocked and its version is unchanged
+  /// across the copy, so the bytes are one committed value (an encounter-
+  /// time eager writer holds the orec lock until commit or abort-undo, so
+  /// its uncommitted bytes can never validate). `out` must hold
+  /// unsafe_size() bytes. May run concurrently with transactions.
+  bool checkpoint_copy(void* out) const noexcept {
+    const std::uintptr_t w0 = orec_.load();  // acquire
+    if (Orec::is_locked(w0)) return false;
+    std::memcpy(out, data_, size_);
+    // Seqlock read side: the copy's loads must complete before the
+    // version re-check.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return orec_.load() == w0;
+  }
+
+  /// Non-transactional restore for recovery/warm restart (quiescent only —
+  /// no concurrent transactions): overwrite the value bytes when `n`
+  /// matches the var's size; false (and untouched) otherwise.
+  bool unsafe_restore(const void* p, std::size_t n) noexcept {
+    if (n != size_) return false;
+    std::memcpy(data_, p, n);
+    return true;
+  }
+
  protected:
   VarBase(void* data, std::size_t size) noexcept
       : data_(data), size_(static_cast<std::uint32_t>(size)) {}

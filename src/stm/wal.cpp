@@ -14,60 +14,20 @@
 
 #include "common/crc32.hpp"
 #include "stm/chaos.hpp"
+#include "stm/var.hpp"
+#include "stm/wal_format.hpp"
 
 namespace proust::stm {
 
 namespace {
 
 namespace fs = std::filesystem;
+using namespace walfmt;
 
-// On-disk layout (host byte order — segments are a crash-recovery artifact
-// of one machine, not an interchange format):
-//
-//   segment  := seg_header batch*
-//   seg_header := magic u64 | version u32 | seg_index u32 | crc u32
-//                 (crc covers the 16 bytes before it)           = 20 bytes
-//   batch    := batch_header record*
-//   batch_header := magic u32 | n_records u32 | payload_len u64 |
-//                   first_epoch u64 | last_epoch u64 |
-//                   payload_crc u32 | header_crc u32             = 40 bytes
-//   record   := epoch u64 | stream u32 | len u32 | crc u32 | payload
-//                 (crc covers the payload)               = 20 bytes + len
-//
-// The sealed `payload_len` plus the two batch CRCs detect a torn append at
-// any byte; the per-record CRC additionally localizes single-record rot.
-inline constexpr std::uint64_t kSegMagic = 0x50524F5553575331ULL;  // PROUSWS1
-inline constexpr std::uint32_t kSegVersion = 1;
-inline constexpr std::uint32_t kBatchMagic = 0x50424154u;  // PBAT
-inline constexpr std::size_t kSegHeaderSize = 20;
-inline constexpr std::size_t kBatchHeaderSize = 40;
-inline constexpr std::size_t kRecHeaderSize = 20;
-
-void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
-  std::uint8_t t[4];
-  std::memcpy(t, &v, 4);
-  b.insert(b.end(), t, t + 4);
-}
-
-void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
-  std::uint8_t t[8];
-  std::memcpy(t, &v, 8);
-  b.insert(b.end(), t, t + 8);
-}
-
-std::uint32_t get_u32(const std::uint8_t* p) noexcept {
-  std::uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
-}
-
-std::uint64_t get_u64(const std::uint8_t* p) noexcept {
-  std::uint64_t v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
-
-bool full_write(int fd, const void* data, std::size_t n) noexcept {
+/// Raw full write, no policy: used only to manufacture deterministic torn
+/// appends at the WalAppend/CkptWrite crash gates (the bytes must reach the
+/// file before the _exit, whatever the injected-fault config says).
+bool full_write_raw(int fd, const void* data, std::size_t n) noexcept {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (n > 0) {
     const ssize_t w = ::write(fd, p, n);
@@ -81,51 +41,63 @@ bool full_write(int fd, const void* data, std::size_t n) noexcept {
   return true;
 }
 
-void seg_header_bytes(std::vector<std::uint8_t>& out, std::uint32_t index) {
-  put_u64(out, kSegMagic);
-  put_u32(out, kSegVersion);
-  put_u32(out, index);
-  put_u32(out, crc32(out.data(), 16));
-}
-
-std::string seg_name(std::uint32_t index) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "seg-%06u.wal", index);
-  return buf;
-}
-
-/// Parse "seg-NNNNNN.wal" -> index; false for anything else.
-bool parse_seg_name(const std::string& name, std::uint32_t& index) {
-  if (name.size() != 14 || name.rfind("seg-", 0) != 0 ||
-      name.compare(10, 4, ".wal") != 0) {
-    return false;
-  }
-  std::uint32_t v = 0;
-  for (int i = 4; i < 10; ++i) {
-    const char c = name[static_cast<std::size_t>(i)];
-    if (c < '0' || c > '9') return false;
-    v = v * 10 + static_cast<std::uint32_t>(c - '0');
-  }
-  index = v;
-  return true;
-}
-
 bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return false;
+  const common::UniqueFd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd) return false;
   out.clear();
   std::uint8_t buf[1 << 16];
   for (;;) {
-    const ssize_t r = ::read(fd, buf, sizeof buf);
+    const ssize_t r = ::read(fd.get(), buf, sizeof buf);
     if (r < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
       return false;
     }
     if (r == 0) break;
     out.insert(out.end(), buf, buf + r);
   }
-  ::close(fd);
+  return true;
+}
+
+/// A checkpoint file loaded and fully validated (both CRCs, the name/header
+/// epoch agreement, and the record framing) before any record is delivered.
+struct CkptLoaded {
+  std::uint64_t epoch = 0;
+  std::uint64_t n_records = 0;
+  std::vector<std::uint8_t> buf;
+};
+
+bool load_checkpoint(const std::string& path, std::uint64_t name_epoch,
+                     CkptLoaded& out) {
+  if (!read_file(path, out.buf)) return false;
+  const auto& b = out.buf;
+  if (b.size() < kCkptHeaderSize || get_u64(b.data()) != kCkptMagic ||
+      get_u32(b.data() + 8) != kCkptVersion) {
+    return false;
+  }
+  const std::uint64_t epoch = get_u64(b.data() + 16);
+  const std::uint64_t n_records = get_u64(b.data() + 24);
+  const std::uint64_t payload_len = get_u64(b.data() + 32);
+  const std::uint32_t payload_crc = get_u32(b.data() + 40);
+  const std::uint32_t header_crc = get_u32(b.data() + 44);
+  if (epoch != name_epoch || epoch == 0 ||
+      header_crc != crc32(b.data(), 44) ||
+      payload_len != b.size() - kCkptHeaderSize ||
+      payload_crc != crc32(b.data() + kCkptHeaderSize, payload_len)) {
+    return false;
+  }
+  std::size_t pos = kCkptHeaderSize;
+  std::uint64_t n = 0;
+  while (pos < b.size()) {
+    if (b.size() - pos < 8) return false;
+    const std::uint32_t len = get_u32(b.data() + pos + 4);
+    pos += 8;
+    if (len > b.size() - pos) return false;
+    pos += len;
+    ++n;
+  }
+  if (n != n_records) return false;
+  out.epoch = epoch;
+  out.n_records = n_records;
   return true;
 }
 
@@ -165,20 +137,26 @@ bool Wal::decode_var_record(const WalRecordView& r, std::uint64_t& var_id,
 // Construction / teardown
 
 Wal::Wal(WalOptions opts) : opts_(std::move(opts)) {
+  fs_ = opts_.fs != nullptr ? opts_.fs : &common::Fs::real();
   if (opts_.dir.empty()) {
     throw std::invalid_argument("WalOptions::dir must be set");
   }
   if (::mkdir(opts_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
     throw std::runtime_error("wal: cannot create directory " + opts_.dir);
   }
-  dir_fd_ = ::open(opts_.dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  dir_fd_.reset(
+      fs_->open(opts_.dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0));
 
   // Resume after whatever valid history is on disk: the scan truncates any
-  // torn tail and tells us the newest surviving epoch; appending continues
-  // in a *fresh* segment so this instance never writes into a file an
-  // earlier instance half-finished.
+  // torn tail and tells us the newest surviving epoch (checkpoint-covered or
+  // in a segment); appending continues in a *fresh* segment so this instance
+  // never writes into a file an earlier instance half-finished. The scanned
+  // per-segment epoch ranges seed the retirement bookkeeping, and the
+  // streams seen in history seed the snapshotter-coverage mask.
   const WalRecoveryInfo info = recover(opts_.dir, {});
   next_epoch_ = info.last_epoch + 1;
+  stream_mask_.store(info.stream_mask, std::memory_order_relaxed);
+  sealed_ = info.segment_details;
 
   std::uint32_t max_index = 0;
   bool any = false;
@@ -203,27 +181,43 @@ Wal::~Wal() {
   }
   work_ec_.notify_all();
   if (committer_.joinable()) committer_.join();
-  if (fd_ >= 0) {
-    ::fsync(fd_);
-    ::close(fd_);
+  if (fd_) {
+    fs_->fsync(fd_.get());
+    fd_.reset();
   }
-  if (dir_fd_ >= 0) ::close(dir_fd_);
+  dir_fd_.reset();
 }
 
 void Wal::open_fresh_segment() {
   seg_path_ = opts_.dir + "/" + seg_name(seg_index_);
-  fd_ = ::open(seg_path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
-               0644);
-  if (fd_ < 0) {
+  fd_.reset(fs_->open(seg_path_.c_str(),
+                      O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644));
+  if (!fd_) {
     throw std::runtime_error("wal: cannot create segment " + seg_path_);
   }
   std::vector<std::uint8_t> h;
   seg_header_bytes(h, seg_index_);
-  if (!full_write(fd_, h.data(), h.size()) || ::fsync(fd_) != 0) {
+  // Ctor path: EINTR/short-write absorbing loop, any other error throws
+  // (the UniqueFd members unwind the descriptors — the pre-RAII code leaked
+  // fd_ and dir_fd_ here because ~Wal never ran after a throwing ctor).
+  const std::uint8_t* p = h.data();
+  std::size_t n = h.size();
+  while (n > 0) {
+    const long w = fs_->write(fd_.get(), p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("wal: cannot initialize segment " + seg_path_);
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  if (fs_->fsync(fd_.get()) != 0) {
     throw std::runtime_error("wal: cannot initialize segment " + seg_path_);
   }
-  if (dir_fd_ >= 0) ::fsync(dir_fd_);
+  if (dir_fd_) fs_->fsync(dir_fd_.get());
   seg_bytes_ = h.size();
+  seg_first_epoch_ = 0;
+  seg_last_epoch_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -283,6 +277,8 @@ WalStats Wal::stats() const noexcept {
   s.fsyncs = n_fsyncs_.load(std::memory_order_relaxed);
   s.rotations = n_rotations_.load(std::memory_order_relaxed);
   s.errors = n_errors_.load(std::memory_order_relaxed);
+  s.retries = n_retries_.load(std::memory_order_relaxed);
+  s.segments_retired = n_segments_retired_.load(std::memory_order_relaxed);
   s.published_epoch = published_epoch_.load(std::memory_order_relaxed);
   s.durable_epoch = durable_epoch_.load(std::memory_order_relaxed);
   return s;
@@ -327,6 +323,48 @@ void Wal::fail(const char* op, int err, const std::string& path) {
                  "[wal] FAILED: %s on %s: %s — durability is now read-only\n",
                  op, path.c_str(), std::strerror(err));
   }
+}
+
+WalErrorPolicy Wal::classify(int err) const noexcept {
+  if (opts_.error_policy) return opts_.error_policy(err);
+  switch (err) {
+    case EAGAIN:
+    case ENOBUFS:
+    case ENOMEM:
+      return WalErrorPolicy::Retry;
+    default:
+      return WalErrorPolicy::Fatal;
+  }
+}
+
+void Wal::retry_backoff_sleep(unsigned attempt) noexcept {
+  const auto d = opts_.retry_backoff * (1u << std::min(attempt, 6u));
+  if (d.count() > 0) std::this_thread::sleep_for(d);
+}
+
+bool Wal::write_all(int fd, const void* data, std::size_t n,
+                    const std::string& path) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  unsigned attempts = 0;
+  while (n > 0) {
+    const long w = fs_->write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      if (classify(err) == WalErrorPolicy::Retry &&
+          attempts < opts_.retry_limit) {
+        n_retries_.fetch_add(1, std::memory_order_relaxed);
+        retry_backoff_sleep(attempts++);
+        continue;
+      }
+      fail("write", err, path);
+      return false;
+    }
+    attempts = 0;  // progress resets the transient-retry budget
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
 }
 
 void Wal::committer_main() {
@@ -387,6 +425,7 @@ void Wal::write_batch(Batch& b) {
   std::uint64_t frame_first = 0;
   std::uint64_t frame_last = 0;
   std::uint32_t frame_records = 0;
+  std::uint64_t seen_streams = 0;
 
   const auto emit_frame = [&]() -> bool {
     header.clear();
@@ -409,20 +448,21 @@ void Wal::write_batch(Batch& b) {
     // frame reaches the file before the kill, which is exactly the torn
     // tail the recovery checksums must detect and truncate.
     if (chaos_crash(ChaosPoint::WalAppend)) {
-      (void)full_write(fd_, header.data(), header.size());
-      (void)full_write(fd_, payload.data(), payload.size() / 2);
+      (void)full_write_raw(fd_.get(), header.data(), header.size());
+      (void)full_write_raw(fd_.get(), payload.data(), payload.size() / 2);
       ::_exit(kWalCrashExitCode);
     }
     if (const int e = injected_io_error(ChaosPoint::WalAppend)) {
       fail("write", e, seg_path_);
       return false;
     }
-    if (!full_write(fd_, header.data(), header.size()) ||
-        !full_write(fd_, payload.data(), payload.size())) {
-      fail("write", errno, seg_path_);
+    if (!write_all(fd_.get(), header.data(), header.size(), seg_path_) ||
+        !write_all(fd_.get(), payload.data(), payload.size(), seg_path_)) {
       return false;
     }
     seg_bytes_ += header.size() + payload.size();
+    if (seg_first_epoch_ == 0) seg_first_epoch_ = frame_first;
+    seg_last_epoch_ = frame_last;
     n_records_.fetch_add(frame_records, std::memory_order_relaxed);
     n_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
     n_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -452,6 +492,7 @@ void Wal::write_batch(Batch& b) {
       const std::uint32_t stream = get_u32(b.units.data() + pos);
       const std::uint32_t len = get_u32(b.units.data() + pos + 4);
       pos += 8;
+      if (stream != kVarStream) seen_streams |= stream_bit(stream);
       put_u64(payload, epoch);
       put_u32(payload, stream);
       put_u32(payload, len);
@@ -460,6 +501,9 @@ void Wal::write_batch(Batch& b) {
                      b.units.data() + pos + len);
       pos += len;
     }
+  }
+  if (seen_streams != 0) {
+    stream_mask_.fetch_or(seen_streams, std::memory_order_relaxed);
   }
   if (frame_records > 0 && !emit_frame()) return;
 
@@ -471,7 +515,10 @@ void Wal::write_batch(Batch& b) {
     fail("fsync", e, seg_path_);
     return;
   }
-  if (::fsync(fd_) != 0) {
+  // fsync never consults the error policy: after a failed fsync the kernel
+  // may have discarded the dirty pages, so a retried fsync that "succeeds"
+  // would certify data that never reached the platter (fsyncgate).
+  if (fs_->fsync(fd_.get()) != 0) {
     fail("fsync", errno, seg_path_);
     return;
   }
@@ -485,17 +532,26 @@ bool Wal::rotate_segment() {
   const std::uint32_t next = seg_index_ + 1;
   const std::string final_path = opts_.dir + "/" + seg_name(next);
   const std::string tmp_path = final_path + ".tmp";
-  const int nfd =
-      ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
-  if (nfd < 0) {
-    fail("open", errno, tmp_path);
+  common::UniqueFd nfd;
+  for (unsigned attempts = 0;;) {
+    nfd.reset(fs_->open(tmp_path.c_str(),
+                        O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644));
+    if (nfd) break;
+    const int err = errno;
+    if (err == EINTR) continue;
+    if (classify(err) == WalErrorPolicy::Retry && attempts < opts_.retry_limit) {
+      n_retries_.fetch_add(1, std::memory_order_relaxed);
+      retry_backoff_sleep(attempts++);
+      continue;
+    }
+    fail("open", err, tmp_path);
     return false;
   }
   std::vector<std::uint8_t> h;
   seg_header_bytes(h, next);
-  if (!full_write(nfd, h.data(), h.size()) || ::fsync(nfd) != 0) {
-    fail("write", errno, tmp_path);
-    ::close(nfd);
+  if (!write_all(nfd.get(), h.data(), h.size(), tmp_path)) return false;
+  if (fs_->fsync(nfd.get()) != 0) {  // always fatal — see write_batch
+    fail("fsync", errno, tmp_path);
     return false;
   }
   // WalRotate gate: crash between creating the tmp segment and renaming it
@@ -504,23 +560,65 @@ bool Wal::rotate_segment() {
   if (chaos_crash(ChaosPoint::WalRotate)) ::_exit(kWalCrashExitCode);
   if (const int e = injected_io_error(ChaosPoint::WalRotate)) {
     fail("rename", e, tmp_path);
-    ::close(nfd);
     return false;
   }
-  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    fail("rename", errno, tmp_path);
-    ::close(nfd);
+  for (unsigned attempts = 0;;) {
+    if (fs_->rename(tmp_path.c_str(), final_path.c_str()) == 0) break;
+    const int err = errno;
+    if (classify(err) == WalErrorPolicy::Retry && attempts < opts_.retry_limit) {
+      n_retries_.fetch_add(1, std::memory_order_relaxed);
+      retry_backoff_sleep(attempts++);
+      continue;
+    }
+    fail("rename", err, tmp_path);
     return false;
   }
-  if (dir_fd_ >= 0) ::fsync(dir_fd_);
-  ::fsync(fd_);
-  ::close(fd_);
-  fd_ = nfd;
+  if (dir_fd_) fs_->fsync(dir_fd_.get());
+  // Seal the outgoing segment: make it durable (fsync — always fatal on
+  // error) and record its epoch range so checkpoint retirement knows
+  // exactly what the file holds.
+  if (fs_->fsync(fd_.get()) != 0) {
+    fail("fsync", errno, seg_path_);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lk(seg_mu_);
+    sealed_.push_back({seg_index_, seg_first_epoch_, seg_last_epoch_});
+  }
+  fd_ = std::move(nfd);
   seg_index_ = next;
   seg_path_ = final_path;
   seg_bytes_ = h.size();
+  seg_first_epoch_ = 0;
+  seg_last_epoch_ = 0;
   n_rotations_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+std::uint32_t Wal::retire_segments(std::uint64_t covered_epoch) {
+  std::vector<WalSegmentDetail> gone;
+  {
+    std::lock_guard<std::mutex> lk(seg_mu_);
+    std::vector<WalSegmentDetail> keep;
+    keep.reserve(sealed_.size());
+    for (const WalSegmentDetail& s : sealed_) {
+      // A sealed segment is subsumed once every epoch it holds is covered;
+      // empty sealed segments (an earlier run's fresh file) hold nothing
+      // and go with any checkpoint.
+      (s.last_epoch <= covered_epoch ? gone : keep).push_back(s);
+    }
+    if (gone.empty()) return 0;
+    sealed_.swap(keep);
+  }
+  // Oldest first: a crash mid-retirement leaves a removed *prefix*, so the
+  // survivors still chain densely from the checkpoint's covering epoch.
+  std::uint32_t n = 0;
+  for (const WalSegmentDetail& s : gone) {
+    const std::string path = opts_.dir + "/" + seg_name(s.index);
+    if (fs_->unlink(path.c_str()) == 0) ++n;
+  }
+  n_segments_retired_.fetch_add(n, std::memory_order_relaxed);
+  return n;
 }
 
 // ---------------------------------------------------------------------------
@@ -532,23 +630,57 @@ WalRecoveryInfo Wal::recover(
   WalRecoveryInfo info;
   std::error_code ec;
   std::vector<std::pair<std::uint32_t, std::string>> segs;
+  std::vector<std::pair<std::uint64_t, std::string>> ckpts;
   for (const auto& ent : fs::directory_iterator(dir, ec)) {
     const std::string name = ent.path().filename().string();
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
-      // Half-finished rotation: the renamed form never existed, nothing in
-      // it was ever acked. Discard.
+      // Half-finished rotation or checkpoint: the renamed form never
+      // existed, nothing in it was ever relied on. Discard.
       std::error_code rm_ec;
       fs::remove(ent.path(), rm_ec);
       ++info.skipped_tmp;
       continue;
     }
     std::uint32_t idx;
-    if (parse_seg_name(name, idx)) segs.emplace_back(idx, ent.path().string());
+    std::uint64_t cep;
+    if (parse_seg_name(name, idx)) {
+      segs.emplace_back(idx, ent.path().string());
+    } else if (parse_ckpt_name(name, cep)) {
+      ckpts.emplace_back(cep, ent.path().string());
+    }
   }
   if (ec) return info;  // missing/unreadable directory == empty log
   std::sort(segs.begin(), segs.end());
+  std::sort(ckpts.begin(), ckpts.end());
 
-  std::uint64_t expected = 1;  // epochs are dense from 1
+  // Newest CRC-valid checkpoint wins; corrupt ones (bit rot — the write
+  // protocol never renames a torn file into place) fall back to the next
+  // retained one. Its records are state *at* the covering epoch; the
+  // segment scan below anchors on that epoch and skips what it subsumes.
+  CkptLoaded ckpt;
+  for (auto it = ckpts.rbegin(); it != ckpts.rend(); ++it) {
+    if (load_checkpoint(it->second, it->first, ckpt)) break;
+    ckpt = CkptLoaded{};
+    ++info.corrupt_checkpoints;
+  }
+  const std::uint64_t cep = ckpt.epoch;
+  if (cep > 0) {
+    info.checkpoint_epoch = cep;
+    std::size_t pos = kCkptHeaderSize;
+    while (pos < ckpt.buf.size()) {
+      const std::uint32_t stream = get_u32(ckpt.buf.data() + pos);
+      const std::uint32_t len = get_u32(ckpt.buf.data() + pos + 4);
+      pos += 8;
+      if (stream != kVarStream) info.stream_mask |= stream_bit(stream);
+      if (handler) {
+        handler(WalRecordView{cep, stream, ckpt.buf.data() + pos, len, true});
+      }
+      ++info.checkpoint_records;
+      pos += len;
+    }
+  }
+
+  std::uint64_t expected = 0;  // 0 = not yet anchored in the segment chain
   std::vector<std::uint8_t> buf;
   std::vector<WalRecordView> views;
   for (const auto& [idx, path] : segs) {
@@ -569,6 +701,7 @@ WalRecoveryInfo Wal::recover(
       break;
     }
     ++info.segments;
+    WalSegmentDetail det{idx, 0, 0};
     std::size_t pos = kSegHeaderSize;
     while (pos < buf.size()) {
       const std::size_t batch_start = pos;
@@ -596,11 +729,16 @@ WalRecoveryInfo Wal::recover(
       // Validate the sealed payload record by record before delivering any
       // of it: bounds, per-record CRC, and epoch density (each record's
       // epoch is the previous unit's or exactly one past it, anchored at
-      // the batch header's sealed first/last epochs).
+      // the batch header's sealed first/last epochs). The *first* surviving
+      // batch anchors the chain: with no checkpoint it must start at epoch
+      // 1; with one, at most one past the covering epoch (retirement only
+      // removes a prefix, so a farther start means lost history — torn).
       views.clear();
       const std::size_t payload_end = pos + payload_len;
-      std::uint64_t unit_epoch = expected;
-      bool valid = first_epoch == expected && last_epoch >= first_epoch;
+      std::uint64_t unit_epoch = first_epoch;
+      bool valid = last_epoch >= first_epoch &&
+                   (expected != 0 ? first_epoch == expected
+                                  : first_epoch >= 1 && first_epoch <= cep + 1);
       std::size_t rp = pos;
       while (valid && rp < payload_end) {
         if (payload_end - rp < kRecHeaderSize) {
@@ -619,7 +757,16 @@ WalRecoveryInfo Wal::recover(
           break;
         }
         unit_epoch = epoch;
-        views.push_back(WalRecordView{epoch, stream, buf.data() + rp, len});
+        if (stream != kVarStream) info.stream_mask |= stream_bit(stream);
+        if (epoch > cep) {
+          views.push_back(WalRecordView{epoch, stream, buf.data() + rp, len});
+        } else {
+          // The checkpoint already carries this record's effect (state at
+          // cep); delivering it after the checkpoint records would replay
+          // an operation twice. Happens when a crash hit between the
+          // checkpoint rename and segment retirement.
+          ++info.skipped_records;
+        }
         rp += len;
       }
       if (!valid || unit_epoch != last_epoch) {
@@ -631,12 +778,37 @@ WalRecoveryInfo Wal::recover(
       }
       info.records += views.size();
       (void)n_records;
+      if (det.first_epoch == 0) det.first_epoch = first_epoch;
+      det.last_epoch = last_epoch;
       expected = last_epoch + 1;
       pos = payload_end;
     }
+    info.segment_details.push_back(det);
   }
-  info.last_epoch = expected - 1;
+  info.last_epoch = std::max(cep, expected == 0 ? 0 : expected - 1);
   return info;
+}
+
+WalRecoveryInfo Wal::replay_into(
+    const std::function<void(const WalRecordView&)>& handler) {
+  // Registration takes `const VarBase&` because the commit path only reads
+  // the directory; warm restart is a quiescent mutation by the owner, so
+  // the cast back is sound by the replay_into contract.
+  std::unordered_map<std::uint64_t, VarBase*> by_id;
+  by_id.reserve(var_ids_.size());
+  for (const auto& [var, id] : var_ids_) {
+    by_id.emplace(id, const_cast<VarBase*>(var));
+  }
+  return recover(opts_.dir, [&](const WalRecordView& v) {
+    std::uint64_t id;
+    const std::uint8_t* value;
+    std::uint32_t size;
+    if (decode_var_record(v, id, value, size)) {
+      const auto it = by_id.find(id);
+      if (it != by_id.end() && it->second->unsafe_restore(value, size)) return;
+    }
+    if (handler) handler(v);
+  });
 }
 
 }  // namespace proust::stm

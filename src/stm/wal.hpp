@@ -1,8 +1,9 @@
 // Opt-in durability: a per-Stm write-ahead redo log with group commit
-// (DESIGN.md §14). The Wal hangs off `StmOptions::durability` exactly like
-// the chaos policy hangs off `StmOptions::chaos`: a non-owning pointer,
-// nullptr by default, and every hot-path touch is one predictable
-// never-taken branch — the paired A/B run in bench_wal pins the neutrality.
+// (DESIGN.md §14) and checkpoint/compaction (DESIGN.md §15). The Wal hangs
+// off `StmOptions::durability` exactly like the chaos policy hangs off
+// `StmOptions::chaos`: a non-owning pointer, nullptr by default, and every
+// hot-path touch is one predictable never-taken branch — the paired A/B run
+// in bench_wal pins the neutrality.
 //
 // Model. Transactions stage *logical redo records* while they run: wrapper
 // layers log one record per structure operation (put/remove — the same op
@@ -24,21 +25,37 @@
 // publish ("ack on append"); `Strict` blocks the committing thread on the
 // durable epoch ("ack on fsync") via a futex eventcount.
 //
-// Failure handling is fail-stop: a write/fsync/rename error (ENOSPC, EIO,
-// or one injected through `io_failure`) marks the log failed, surfaces a
-// WalError through `on_error` (stderr by default, same contract as
-// StmOptions::on_stall), wakes every strict waiter (they throw
-// WalUnavailable), and makes every later logging commit refuse up front —
-// the Stm degrades to a read-only-durability mode instead of silently
-// dropping acked data. Recovery (`Wal::recover`) scans the segment files
-// in order, verifies every checksum, truncates the torn tail a crash mid-
-// append leaves behind, and streams the surviving records in epoch order.
+// Failure handling. Every storage syscall on the write path goes through an
+// injectable `common::Fs` (so the fault suites can feed it EIO, ENOSPC and
+// short writes at the syscall gate) and is classified by a per-errno
+// policy: transient errors (EAGAIN/ENOBUFS/ENOMEM by default, overridable
+// via `WalOptions::error_policy`) get a bounded retry with exponential
+// backoff; everything else — and *always* fsync, whatever the policy says —
+// is fatal for the log ("fsyncgate": after a failed fsync the kernel may
+// have dropped the dirty pages, so retrying the fsync can report durable
+// data that never reached the disk). A fatal error marks the log failed,
+// surfaces a WalError through `on_error` (stderr by default), wakes every
+// strict waiter (they throw WalUnavailable), and makes every later logging
+// commit refuse up front; `StmOptions::wal_fail_mode` chooses whether
+// non-logging writers keep running (read-only-durability degradation, the
+// default) or every mutating commit is refused too (fail-stop).
 //
-// The crash-matrix suite (tests/wal_crash_test.cpp) drives the four WAL
-// chaos gates (ChaosPoint::WalAppend/WalSeal/WalFsync/WalRotate) to _exit
-// the process at each of them and proves recovery always yields a prefix
-// of the committed history with no acked-strict commit lost and no aborted
-// transaction resurrected.
+// Recovery (`Wal::recover`) loads the newest CRC-valid checkpoint (written
+// by stm/checkpoint.hpp; older retained checkpoints are the fallback for a
+// bit-rotted one), streams its records (state *at* the covering epoch),
+// then scans the segment files in order, verifies every checksum, skips
+// records the checkpoint subsumes, truncates the torn tail a crash mid-
+// append leaves behind, and streams the surviving tail records in epoch
+// order — so recovery cost is bounded by live state size plus the
+// unretired tail, not history length. `replay_into` does the same against
+// *this* instance's registered vars for warm restarts.
+//
+// The crash-matrix suites (tests/wal_crash_test.cpp and
+// tests/wal_checkpoint_crash_test.cpp) drive the WAL and checkpoint chaos
+// gates to _exit the process at each of them — under injected storage
+// errors too — and prove recovery always yields a prefix of the committed
+// history with no acked-strict commit lost and no aborted transaction
+// resurrected.
 #pragma once
 
 #include <atomic>
@@ -53,6 +70,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/chaos_fs.hpp"
+#include "common/fd.hpp"
+#include "stm/commit_fence.hpp"
 #include "stm/fwd.hpp"
 #include "sync/eventcount.hpp"
 
@@ -72,12 +92,20 @@ constexpr const char* to_string(WalDurability d) noexcept {
   return "?";
 }
 
+/// How one failed write/open/rename errno is handled. fsync never consults
+/// this — a failed fsync is always fatal for the segment (see header
+/// comment).
+enum class WalErrorPolicy : std::uint8_t {
+  Fatal,  // fail-stop the log immediately
+  Retry,  // bounded retry with exponential backoff, then fail-stop
+};
+
 /// One I/O failure, delivered to WalOptions::on_error from the committer
 /// thread (or from the failing strict waiter). After the first of these the
 /// log is failed for good: `Wal::failed()` stays true and logging commits
 /// throw WalUnavailable.
 struct WalError {
-  const char* op;    // "write", "fsync", "rename", "open"
+  const char* op;    // "write", "fsync", "rename", "open", "checkpoint"
   int err;           // errno at the failure
   std::string path;  // segment (or directory) involved
 };
@@ -88,9 +116,9 @@ struct WalUnavailable : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Exit code of a chaos-injected WAL crash (ChaosAction::Crash at a WAL
-/// gate): the crash-matrix parent uses it to tell an injected kill from an
-/// ordinary child failure.
+/// Exit code of a chaos-injected WAL/checkpoint crash (ChaosAction::Crash
+/// at a WAL gate): the crash-matrix parent uses it to tell an injected kill
+/// from an ordinary child failure.
 inline constexpr int kWalCrashExitCode = 86;
 
 struct WalOptions {
@@ -114,6 +142,18 @@ struct WalOptions {
   /// before each write/fsync/rename with the matching gate; a nonzero
   /// return is treated as that errno failing the operation.
   std::function<int(ChaosPoint)> io_failure;
+  /// Write-path filesystem; null = real syscalls. The fault suites plug a
+  /// common::ChaosFs here. (Recovery reads bypass this — a recovery scan
+  /// already treats every malformed byte as a torn tail.)
+  common::Fs* fs = nullptr;
+  /// Per-errno policy for failed write/open/rename calls. Null = default
+  /// table: EAGAIN/ENOBUFS/ENOMEM retry, everything else (EIO, ENOSPC, …)
+  /// fatal. fsync failures NEVER consult this (always fatal).
+  std::function<WalErrorPolicy(int)> error_policy;
+  /// Bounded retry for WalErrorPolicy::Retry: at most `retry_limit`
+  /// retries per operation, sleeping retry_backoff * 2^attempt between.
+  unsigned retry_limit = 4;
+  std::chrono::microseconds retry_backoff{100};
 };
 
 struct WalStats {
@@ -123,26 +163,50 @@ struct WalStats {
   std::uint64_t fsyncs = 0;      // successful fsyncs
   std::uint64_t rotations = 0;   // segment rotations
   std::uint64_t errors = 0;      // I/O failures observed (fail-stop after 1)
-  std::uint64_t published_epoch = 0;  // newest epoch handed out
-  std::uint64_t durable_epoch = 0;    // newest fsync-covered epoch
+  std::uint64_t retries = 0;     // transient-error retries that were taken
+  std::uint64_t segments_retired = 0;  // segments removed by checkpointing
+  std::uint64_t published_epoch = 0;   // newest epoch handed out
+  std::uint64_t durable_epoch = 0;     // newest fsync-covered epoch
 };
 
 /// One recovered redo record, streamed to the recovery handler in epoch
 /// order. `data` borrows from the recovery scan buffer — copy to keep.
+/// Checkpoint records (`from_checkpoint`) carry the covering epoch and hold
+/// *state at* that epoch (absolute values), not an operation to re-apply —
+/// handlers replaying delta streams must load them, not fold them.
 struct WalRecordView {
   std::uint64_t epoch;
   std::uint32_t stream;
   const std::uint8_t* data;
   std::uint32_t size;
+  bool from_checkpoint = false;
+};
+
+/// Per-segment summary from a recovery scan (epochs 0/0 for a segment with
+/// no complete batch). Feeds the retirement bookkeeping and wal_inspect.
+struct WalSegmentDetail {
+  std::uint32_t index = 0;
+  std::uint64_t first_epoch = 0;
+  std::uint64_t last_epoch = 0;
 };
 
 struct WalRecoveryInfo {
-  std::uint64_t records = 0;
+  std::uint64_t records = 0;      // tail records delivered (epoch > ckpt)
   std::uint64_t last_epoch = 0;   // 0 = empty log
   std::uint32_t segments = 0;     // valid segments scanned
   bool torn_tail = false;         // a checksum/bounds miss truncated the log
   std::uint64_t truncated_bytes = 0;
-  std::uint32_t skipped_tmp = 0;  // half-rotated .tmp segments discarded
+  std::uint32_t skipped_tmp = 0;  // half-rotated .tmp files discarded
+  // Checkpoint-anchored recovery (DESIGN.md §15):
+  std::uint64_t checkpoint_epoch = 0;    // covering epoch loaded (0 = none)
+  std::uint64_t checkpoint_records = 0;  // records streamed from it
+  std::uint64_t skipped_records = 0;     // valid tail records it subsumed
+  std::uint32_t corrupt_checkpoints = 0;  // CRC-invalid ones skipped over
+  /// Streams seen across checkpoint + validated tail (bit min(stream, 63);
+  /// kVarStream excluded). The checkpointer refuses to subsume streams it
+  /// has no snapshotter for.
+  std::uint64_t stream_mask = 0;
+  std::vector<WalSegmentDetail> segment_details;
 };
 
 class Wal {
@@ -160,6 +224,7 @@ class Wal {
   ~Wal();
 
   const WalOptions& options() const noexcept { return opts_; }
+  common::Fs& fs() const noexcept { return *fs_; }
 
   /// Append one staged record to a transaction's staging buffer
   /// ([stream u32][len u32][payload]). Pure byte bookkeeping — no lock, no
@@ -216,15 +281,54 @@ class Wal {
   bool has_vars() const noexcept { return !var_ids_.empty(); }
   /// Commit-path lookup: the registered id of `var`, or false.
   bool var_id(const VarBase* var, std::uint64_t& id) const noexcept;
+  /// Setup-time directory of registered vars (the checkpointer iterates it
+  /// to snapshot live state).
+  const std::unordered_map<const VarBase*, std::uint64_t>& registered_vars()
+      const noexcept {
+    return var_ids_;
+  }
 
-  /// Scan `dir`'s segments in order, validate every batch and record
-  /// checksum, truncate the torn tail (and drop half-rotated .tmp files),
-  /// and stream the surviving records to `handler` in epoch order. Safe on
-  /// an empty or missing directory (returns an empty info). Static — runs
-  /// against a directory no live Wal owns.
+  // --- Checkpoint support (stm/checkpoint.hpp) ---------------------------
+  /// Fence bracketing every commit that may publish to this log, across
+  /// [wv generation .. write-back complete]. The checkpointer's consistent
+  /// cut requires it quiescent before and unchanged after the snapshot, so
+  /// a quiescent observation pairs the snapshot values with
+  /// published_epoch() exactly.
+  CommitFence& checkpoint_fence() noexcept { return ckpt_fence_; }
+  /// Mask bit for one wrapper stream id (streams >= 63 share bit 63, so
+  /// checkpoint coverage bookkeeping needs wrapper streams below 63).
+  static constexpr std::uint64_t stream_bit(std::uint32_t stream) noexcept {
+    return 1ull << (stream < 63 ? stream : 63);
+  }
+  /// Non-kVarStream streams this log has ever carried (stream_bit each),
+  /// merged across on-disk history and this run's published records.
+  std::uint64_t observed_stream_mask() const noexcept {
+    return stream_mask_.load(std::memory_order_relaxed);
+  }
+  /// Remove sealed segments wholly subsumed by a durable checkpoint at
+  /// `covered_epoch` (segment last_epoch <= covered_epoch; the live segment
+  /// is never touched). Returns the number unlinked. Called by the
+  /// checkpointer after its rename+dir-fsync.
+  std::uint32_t retire_segments(std::uint64_t covered_epoch);
+
+  /// Scan `dir`: load the newest CRC-valid checkpoint (falling back over
+  /// corrupt ones), stream its records (from_checkpoint=true), then
+  /// validate every segment batch/record checksum, truncate the torn tail
+  /// (and drop half-rotated .tmp files), skip tail records the checkpoint
+  /// subsumes, and stream the surviving records to `handler` in epoch
+  /// order. Safe on an empty or missing directory (returns an empty info).
+  /// Static — runs against a directory no live Wal owns.
   static WalRecoveryInfo recover(
       const std::string& dir,
       const std::function<void(const WalRecordView&)>& handler);
+
+  /// Warm restart: recover this instance's directory *into its live
+  /// registered vars* — kVarStream records whose id is registered here are
+  /// applied via VarBase::unsafe_restore; everything else streams to
+  /// `handler` (wrapper streams). Quiescent only: call after construction
+  /// and registration, before transactions run.
+  WalRecoveryInfo replay_into(
+      const std::function<void(const WalRecordView&)>& handler = {});
 
  private:
   struct Batch {
@@ -239,6 +343,13 @@ class Wal {
   void open_fresh_segment();           // ctor path (no chaos, throws)
   bool rotate_segment();               // committer path (fail-stop on error)
   void fail(const char* op, int err, const std::string& path);
+  /// Write all of [data, data+n) through fs_, absorbing EINTR and short
+  /// writes, retrying transient errnos per the policy (bounded), and
+  /// fail-stopping on anything else. False once the log failed.
+  bool write_all(int fd, const void* data, std::size_t n,
+                 const std::string& path);
+  WalErrorPolicy classify(int err) const noexcept;
+  void retry_backoff_sleep(unsigned attempt) noexcept;
   /// Draw at a WAL gate: Crash returns true (caller performs the kill so
   /// WalAppend can tear the write first), Delay/Abort/Timeout coerce to an
   /// injected delay, None is free.
@@ -248,11 +359,16 @@ class Wal {
   }
 
   WalOptions opts_;
-  int fd_ = -1;       // current segment
-  int dir_fd_ = -1;   // directory handle, fsync'd after create/rename
+  common::Fs* fs_ = nullptr;
+  common::UniqueFd fd_;      // current segment
+  common::UniqueFd dir_fd_;  // directory handle, fsync'd after create/rename
   std::uint32_t seg_index_ = 0;
   std::size_t seg_bytes_ = 0;  // bytes appended to the current segment
   std::string seg_path_;
+  // Current segment's epoch coverage (committer thread only); snapshotted
+  // into sealed_ at rotation so retirement knows what each file holds.
+  std::uint64_t seg_first_epoch_ = 0;
+  std::uint64_t seg_last_epoch_ = 0;
 
   std::mutex mu_;  // guards pending_* and epoch handout
   std::vector<std::uint8_t> pending_;
@@ -276,9 +392,17 @@ class Wal {
   std::atomic<std::uint64_t> n_fsyncs_{0};
   std::atomic<std::uint64_t> n_rotations_{0};
   std::atomic<std::uint64_t> n_errors_{0};
+  std::atomic<std::uint64_t> n_retries_{0};
+  std::atomic<std::uint64_t> n_segments_retired_{0};
 
   /// Registered raw vars (setup-time writes only; lock-free commit reads).
   std::unordered_map<const VarBase*, std::uint64_t> var_ids_;
+
+  CommitFence ckpt_fence_;
+  std::atomic<std::uint64_t> stream_mask_{0};
+  /// Sealed (never-again-written) segments on disk, oldest first.
+  std::mutex seg_mu_;
+  std::vector<WalSegmentDetail> sealed_;
 
   std::thread committer_;
 };

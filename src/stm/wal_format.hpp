@@ -1,0 +1,155 @@
+// On-disk layout of the durability artifacts (host byte order — segments
+// and checkpoints are crash-recovery artifacts of one machine, not an
+// interchange format). Shared by the WAL writer/recovery (stm/wal.cpp), the
+// checkpointer (stm/checkpoint.cpp), and the format-edge tests that craft
+// corrupt files byte by byte; scripts/wal_inspect.py mirrors it in Python.
+//
+//   segment  := seg_header batch*
+//   seg_header := magic u64 | version u32 | seg_index u32 | crc u32
+//                 (crc covers the 16 bytes before it)           = 20 bytes
+//   batch    := batch_header record*
+//   batch_header := magic u32 | n_records u32 | payload_len u64 |
+//                   first_epoch u64 | last_epoch u64 |
+//                   payload_crc u32 | header_crc u32             = 40 bytes
+//   record   := epoch u64 | stream u32 | len u32 | crc u32 | payload
+//                 (crc covers the payload)               = 20 bytes + len
+//
+//   checkpoint := ckpt_header payload
+//   ckpt_header := magic u64 | version u32 | reserved u32 |
+//                  covering_epoch u64 | n_records u64 | payload_len u64 |
+//                  payload_crc u32 | header_crc u32              = 48 bytes
+//                  (header_crc covers the 44 bytes before it)
+//   payload  := ([stream u32][len u32][bytes])*  — the staged-record format
+//               (Wal::stage_record / stage_var_record), NOT the segment
+//               record format: checkpoint records carry no epoch of their
+//               own, they are all state *at* covering_epoch.
+//
+// The sealed `payload_len` plus the two batch CRCs detect a torn append at
+// any byte; the per-record CRC additionally localizes single-record rot.
+// Checkpoints are written tmp+rename, so a torn checkpoint only exists as
+// bit rot on a renamed file — which the two checkpoint CRCs catch, failing
+// recovery over to the previous retained checkpoint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/crc32.hpp"
+
+namespace proust::stm::walfmt {
+
+inline constexpr std::uint64_t kSegMagic = 0x50524F5553575331ULL;  // PROUSWS1
+inline constexpr std::uint32_t kSegVersion = 1;
+inline constexpr std::uint32_t kBatchMagic = 0x50424154u;  // PBAT
+inline constexpr std::size_t kSegHeaderSize = 20;
+inline constexpr std::size_t kBatchHeaderSize = 40;
+inline constexpr std::size_t kRecHeaderSize = 20;
+
+inline constexpr std::uint64_t kCkptMagic = 0x50524F5553434B31ULL;  // PROUSCK1
+inline constexpr std::uint32_t kCkptVersion = 1;
+inline constexpr std::size_t kCkptHeaderSize = 48;
+
+inline void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  std::uint8_t t[4];
+  std::memcpy(t, &v, 4);
+  b.insert(b.end(), t, t + 4);
+}
+
+inline void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  std::uint8_t t[8];
+  std::memcpy(t, &v, 8);
+  b.insert(b.end(), t, t + 8);
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void seg_header_bytes(std::vector<std::uint8_t>& out,
+                             std::uint32_t index) {
+  put_u64(out, kSegMagic);
+  put_u32(out, kSegVersion);
+  put_u32(out, index);
+  put_u32(out, crc32(out.data(), 16));
+}
+
+inline std::string seg_name(std::uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%06u.wal", index);
+  return buf;
+}
+
+/// Parse "seg-NNNNNN.wal" -> index; false for anything else.
+inline bool parse_seg_name(const std::string& name, std::uint32_t& index) {
+  if (name.size() != 14 || name.rfind("seg-", 0) != 0 ||
+      name.compare(10, 4, ".wal") != 0) {
+    return false;
+  }
+  std::uint32_t v = 0;
+  for (int i = 4; i < 10; ++i) {
+    const char c = name[static_cast<std::size_t>(i)];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  index = v;
+  return true;
+}
+
+/// Checkpoint file names sort by covering epoch: "ckpt-%016llx.ckpt".
+inline std::string ckpt_name(std::uint64_t epoch) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "ckpt-%016llx.ckpt",
+                static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
+/// Parse "ckpt-XXXXXXXXXXXXXXXX.ckpt" -> covering epoch.
+inline bool parse_ckpt_name(const std::string& name, std::uint64_t& epoch) {
+  if (name.size() != 26 || name.rfind("ckpt-", 0) != 0 ||
+      name.compare(21, 5, ".ckpt") != 0) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (int i = 5; i < 21; ++i) {
+    const char c = name[static_cast<std::size_t>(i)];
+    std::uint64_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  epoch = v;
+  return true;
+}
+
+inline void ckpt_header_bytes(std::vector<std::uint8_t>& out,
+                              std::uint64_t covering_epoch,
+                              std::uint64_t n_records,
+                              const std::vector<std::uint8_t>& payload) {
+  put_u64(out, kCkptMagic);
+  put_u32(out, kCkptVersion);
+  put_u32(out, 0);  // reserved
+  put_u64(out, covering_epoch);
+  put_u64(out, n_records);
+  put_u64(out, payload.size());
+  put_u32(out, crc32(payload.data(), payload.size()));
+  put_u32(out, crc32(out.data(), 44));
+}
+
+}  // namespace proust::stm::walfmt

@@ -1,0 +1,467 @@
+// Checkpoint/compaction layer (stm/checkpoint.hpp, ctest label
+// "durability"): consistent-cut correctness under concurrent committers,
+// checkpoint-anchored recovery and warm restart, the bounded-recovery-cost
+// contract (replay cost tracks live state + unretired tail, not history
+// length), wrapper-stream snapshotters and the coverage refusal, corrupt-
+// checkpoint fallback, and fail-degrade on persistent checkpoint I/O
+// errors. Crash-gate interleavings live in
+// tests/wal_checkpoint_crash_test.cpp.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/chaos_fs.hpp"
+#include "stm/checkpoint.hpp"
+#include "stm/stm.hpp"
+#include "stm/wal.hpp"
+#include "stm/wal_format.hpp"
+
+namespace stm = proust::stm;
+namespace common = proust::common;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const char* tag) {
+    path = std::string("checkpoint_test_") + tag + "_" +
+           std::to_string(static_cast<unsigned long long>(::getpid()));
+    fs::remove_all(path);
+    fs::create_directory(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// CheckpointOptions with the background triggers off: every checkpoint in
+/// these tests is an explicit checkpoint_now(), so runs are deterministic.
+stm::CheckpointOptions manual_opts() {
+  stm::CheckpointOptions copts;
+  copts.every_records = 0;
+  copts.interval = std::chrono::milliseconds(0);
+  return copts;
+}
+
+}  // namespace
+
+TEST(CheckpointTest, CheckpointSubsumesHistoryAndRecoveryLoadsIt) {
+  TempDir dir("roundtrip");
+  stm::Var<long> a(0), b(0);
+  long fa = 0, fb = 0;
+  {
+    stm::WalOptions wopts;
+    wopts.dir = dir.path;
+    wopts.fsync_every_n = 4;
+    stm::Wal wal(wopts);
+    wal.register_var(1, a);
+    wal.register_var(2, b);
+    stm::StmOptions opts;
+    opts.durability = &wal;
+    stm::Stm s(stm::Mode::Lazy, opts);
+    stm::Checkpointer ckpt(wal, manual_opts());
+
+    for (long i = 1; i <= 40; ++i) {
+      s.atomically([&](stm::Txn& tx) {
+        a.write(tx, i);
+        b.write(tx, a.read(tx) * 3);
+      });
+    }
+    wal.flush();
+    ASSERT_TRUE(ckpt.checkpoint_now());
+    EXPECT_EQ(ckpt.stats().checkpoints, 1u);
+    EXPECT_EQ(ckpt.stats().last_epoch, wal.published_epoch());
+
+    // Re-triggering with nothing new is a skip, not a new file.
+    ASSERT_TRUE(ckpt.checkpoint_now());
+    EXPECT_EQ(ckpt.stats().checkpoints, 1u);
+    EXPECT_GE(ckpt.stats().skipped, 1u);
+
+    // Post-checkpoint tail.
+    for (long i = 1; i <= 10; ++i) {
+      s.atomically([&](stm::Txn& tx) { a.write(tx, a.read(tx) + 1); });
+    }
+    fa = a.unsafe_ref();
+    fb = b.unsafe_ref();
+  }
+
+  // Cold recovery: checkpoint records stream first (absolute state at the
+  // covering epoch), then only the unsubsumed tail.
+  long ra = 0, rb = 0;
+  stm::WalRecoveryInfo info =
+      stm::Wal::recover(dir.path, [&](const stm::WalRecordView& r) {
+        std::uint64_t id;
+        const std::uint8_t* value;
+        std::uint32_t size;
+        ASSERT_TRUE(stm::Wal::decode_var_record(r, id, value, size));
+        ASSERT_EQ(size, sizeof(long));
+        long v;
+        std::memcpy(&v, value, sizeof v);
+        (id == 1 ? ra : rb) = v;
+      });
+  EXPECT_EQ(info.checkpoint_epoch, 40u);
+  EXPECT_EQ(info.checkpoint_records, 2u);
+  EXPECT_EQ(info.records, 10u) << "only the tail replays";
+  EXPECT_EQ(info.last_epoch, 50u);
+  EXPECT_FALSE(info.torn_tail);
+  EXPECT_EQ(ra, fa);
+  EXPECT_EQ(rb, fb);
+}
+
+TEST(CheckpointTest, WarmRestartReplaysIntoLiveVars) {
+  TempDir dir("warm");
+  {
+    stm::Var<long> a(0);
+    stm::WalOptions wopts;
+    wopts.dir = dir.path;
+    stm::Wal wal(wopts);
+    wal.register_var(1, a);
+    stm::StmOptions opts;
+    opts.durability = &wal;
+    stm::Stm s(stm::Mode::Lazy, opts);
+    stm::Checkpointer ckpt(wal, manual_opts());
+    for (long i = 1; i <= 25; ++i) {
+      s.atomically([&](stm::Txn& tx) { a.write(tx, i * 2); });
+    }
+    wal.flush();
+    ASSERT_TRUE(ckpt.checkpoint_now());
+    for (long i = 0; i < 5; ++i) {
+      s.atomically([&](stm::Txn& tx) { a.write(tx, a.read(tx) + 1); });
+    }
+  }
+  // Warm restart: a fresh process constructs its vars, re-registers them,
+  // and replay_into restores checkpoint + tail directly into them.
+  stm::Var<long> a2(0);
+  stm::WalOptions wopts;
+  wopts.dir = dir.path;
+  stm::Wal wal(wopts);
+  wal.register_var(1, a2);
+  const stm::WalRecoveryInfo info = wal.replay_into();
+  EXPECT_EQ(a2.unsafe_ref(), 55);
+  EXPECT_GT(info.checkpoint_epoch, 0u);
+
+  // And the log keeps going: epochs resume after the recovered history.
+  stm::StmOptions opts;
+  opts.durability = &wal;
+  stm::Stm s(stm::Mode::Lazy, opts);
+  s.atomically([&](stm::Txn& tx) { a2.write(tx, a2.read(tx) + 1); });
+  EXPECT_EQ(wal.published_epoch(), info.last_epoch + 1);
+  EXPECT_EQ(a2.unsafe_ref(), 56);
+}
+
+TEST(CheckpointTest, RecoveryCostIsBoundedByLiveStateNotHistory) {
+  TempDir dir("bounded");
+  constexpr int kVars = 16;
+  constexpr int kUpdates = 50 * kVars;  // 50x state size of history
+  constexpr std::uint64_t kTrigger = 64;
+  {
+    std::vector<stm::Var<long>> vars(kVars);
+    stm::WalOptions wopts;
+    wopts.dir = dir.path;
+    wopts.segment_bytes = 2048;  // many small segments
+    wopts.fsync_every_n = 8;
+    stm::Wal wal(wopts);
+    for (int i = 0; i < kVars; ++i) {
+      wal.register_var(static_cast<std::uint64_t>(i + 1), vars[i]);
+    }
+    stm::StmOptions opts;
+    opts.durability = &wal;
+    stm::Stm s(stm::Mode::Lazy, opts);
+    stm::Checkpointer ckpt(wal, manual_opts());
+    for (int i = 0; i < kUpdates; ++i) {
+      s.atomically([&](stm::Txn& tx) {
+        vars[i % kVars].write(tx, static_cast<long>(i));
+      });
+      if ((i + 1) % kTrigger == 0) {
+        wal.flush();
+        ASSERT_TRUE(ckpt.checkpoint_now());
+      }
+    }
+    wal.flush();
+    EXPECT_GT(ckpt.stats().segments_retired, 0u)
+        << "subsumed segments must actually be unlinked";
+    EXPECT_GT(wal.stats().rotations, 5u) << "history must span many segments";
+  }
+  std::uint64_t tail_records = 0;
+  const stm::WalRecoveryInfo info = stm::Wal::recover(
+      dir.path, [&](const stm::WalRecordView& r) {
+        if (!r.from_checkpoint) ++tail_records;
+      });
+  // The recovery-cost bound: after 50x state-size of updates, replay
+  // touches at most the configured segment budget (the live segment plus
+  // what the last checkpoint could not yet subsume), and the streamed tail
+  // is bounded by the checkpoint trigger — not by the 800-update history.
+  EXPECT_LE(info.segments, 3u);
+  EXPECT_LE(tail_records, 2 * kTrigger);
+  EXPECT_EQ(info.checkpoint_records, static_cast<std::uint64_t>(kVars));
+  EXPECT_EQ(info.last_epoch, static_cast<std::uint64_t>(kUpdates));
+}
+
+namespace {
+
+/// Shared body for the concurrent-invariant test: bank transfers between
+/// registered vars while a background checkpointer runs; the recovered
+/// state must preserve the total.
+void run_transfer_invariant(stm::Mode mode) {
+  TempDir dir(mode == stm::Mode::Lazy ? "xfer_lazy" : "xfer_eager");
+  constexpr int kAccounts = 8;
+  constexpr long kInitial = 1000;
+  constexpr int kThreads = 4;
+  constexpr int kTxns = 800;
+  {
+    // deque, not vector: Var is pinned in place (orec identity), so the
+    // element type is neither copyable nor movable.
+    std::deque<stm::Var<long>> acct;
+    for (int i = 0; i < kAccounts; ++i) acct.emplace_back(kInitial);
+    stm::WalOptions wopts;
+    wopts.dir = dir.path;
+    wopts.segment_bytes = 4096;
+    stm::Wal wal(wopts);
+    for (int i = 0; i < kAccounts; ++i) {
+      wal.register_var(static_cast<std::uint64_t>(i + 1), acct[i]);
+    }
+    stm::StmOptions opts;
+    opts.durability = &wal;
+    stm::Stm s(mode, opts);
+    stm::CheckpointOptions copts;
+    copts.every_records = 32;  // background cuts race the committers
+    stm::Checkpointer ckpt(wal, copts);
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kTxns; ++i) {
+          const int from = (t + i) % kAccounts;
+          const int to = (t + i * 7 + 1) % kAccounts;
+          if (from == to) continue;
+          s.atomically([&](stm::Txn& tx) {
+            const long amt = (i % 5) + 1;
+            acct[from].write(tx, acct[from].read(tx) - amt);
+            acct[to].write(tx, acct[to].read(tx) + amt);
+          });
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    wal.flush();
+    ASSERT_TRUE(ckpt.checkpoint_now());  // at least one cut, deterministically
+    EXPECT_GE(ckpt.stats().checkpoints, 1u);
+    EXPECT_FALSE(ckpt.degraded());
+  }
+  // Recover into fresh vars: every account restored, total preserved.
+  std::vector<stm::Var<long>> fresh(kAccounts);
+  stm::WalOptions wopts;
+  wopts.dir = dir.path;
+  stm::Wal wal(wopts);
+  for (int i = 0; i < kAccounts; ++i) {
+    wal.register_var(static_cast<std::uint64_t>(i + 1), fresh[i]);
+  }
+  const stm::WalRecoveryInfo info = wal.replay_into();
+  EXPECT_FALSE(info.torn_tail);
+  EXPECT_GT(info.checkpoint_epoch, 0u);
+  long total = 0;
+  for (int i = 0; i < kAccounts; ++i) total += fresh[i].unsafe_ref();
+  EXPECT_EQ(total, static_cast<long>(kAccounts) * kInitial)
+      << "a consistent cut must never capture a half-applied transfer";
+}
+
+}  // namespace
+
+TEST(CheckpointTest, ConcurrentTransfersRecoverConsistentlyLazy) {
+  run_transfer_invariant(stm::Mode::Lazy);
+}
+
+TEST(CheckpointTest, ConcurrentTransfersRecoverConsistentlyEager) {
+  run_transfer_invariant(stm::Mode::EagerWrite);
+}
+
+TEST(CheckpointTest, WrapperStreamsNeedASnapshotterAndRoundtrip) {
+  TempDir dir("streams");
+  constexpr std::uint32_t kCounterStream = 5;
+  std::uint64_t base = 0;  // wrapper base state, mutated in replay hooks
+  stm::CommitFence fence;
+  std::uint64_t final_base = 0;
+  {
+    stm::WalOptions wopts;
+    wopts.dir = dir.path;
+    stm::Wal wal(wopts);
+    stm::StmOptions opts;
+    opts.durability = &wal;
+    stm::Stm s(stm::Mode::Lazy, opts);
+    stm::Checkpointer ckpt(wal, manual_opts());
+
+    auto add = [&](std::uint64_t delta) {
+      s.atomically([&](stm::Txn& tx) {
+        tx.wal_log(kCounterStream, &delta, sizeof delta);
+        tx.on_commit_locked([&base, delta] { base += delta; }, fence);
+      });
+    };
+
+    for (std::uint64_t i = 1; i <= 20; ++i) add(i);
+    wal.flush();
+
+    // No snapshotter covers stream 5: subsuming its history would lose it,
+    // so the checkpoint is refused — and the log is untouched.
+    EXPECT_FALSE(ckpt.checkpoint_now());
+    EXPECT_GE(ckpt.stats().refused, 1u);
+    EXPECT_EQ(ckpt.stats().checkpoints, 0u);
+
+    // Register the snapshotter (emits *absolute* state, not a delta) and
+    // the same trigger now succeeds.
+    ckpt.register_stream(kCounterStream,
+                         [&](const stm::Checkpointer::StreamEmit& emit) {
+                           emit(&base, sizeof base);
+                         });
+    ASSERT_TRUE(ckpt.checkpoint_now());
+    EXPECT_EQ(ckpt.stats().checkpoints, 1u);
+
+    for (std::uint64_t i = 1; i <= 5; ++i) add(100 * i);
+    final_base = 210 + 1500;
+    wal.flush();
+  }
+  // Recovery folds: a from_checkpoint record *loads* the base, tail
+  // records are deltas to re-apply.
+  std::uint64_t recovered = 0;
+  std::uint64_t ckpt_records = 0, tail_records = 0;
+  const stm::WalRecoveryInfo info =
+      stm::Wal::recover(dir.path, [&](const stm::WalRecordView& r) {
+        ASSERT_EQ(r.stream, kCounterStream);
+        ASSERT_EQ(r.size, sizeof(std::uint64_t));
+        std::uint64_t v;
+        std::memcpy(&v, r.data, sizeof v);
+        if (r.from_checkpoint) {
+          recovered = v;
+          ++ckpt_records;
+        } else {
+          recovered += v;
+          ++tail_records;
+        }
+      });
+  EXPECT_EQ(ckpt_records, 1u);
+  EXPECT_EQ(tail_records, 5u);
+  EXPECT_EQ(recovered, final_base);
+  EXPECT_NE(info.stream_mask & stm::Wal::stream_bit(kCounterStream), 0u);
+}
+
+TEST(CheckpointTest, CorruptNewestCheckpointFallsBackToOlder) {
+  TempDir dir("fallback");
+  stm::Var<long> a(0);
+  {
+    stm::WalOptions wopts;
+    wopts.dir = dir.path;
+    stm::Wal wal(wopts);
+    wal.register_var(1, a);
+    stm::StmOptions opts;
+    opts.durability = &wal;
+    stm::Stm s(stm::Mode::Lazy, opts);
+    stm::CheckpointOptions copts = manual_opts();
+    copts.retire = false;  // keep full history: the fallback needs it
+    copts.retain_checkpoints = 2;
+    stm::Checkpointer ckpt(wal, copts);
+    for (long i = 1; i <= 10; ++i) {
+      s.atomically([&](stm::Txn& tx) { a.write(tx, i); });
+    }
+    wal.flush();
+    ASSERT_TRUE(ckpt.checkpoint_now());  // covers epoch 10
+    for (long i = 11; i <= 30; ++i) {
+      s.atomically([&](stm::Txn& tx) { a.write(tx, i); });
+    }
+    wal.flush();
+    ASSERT_TRUE(ckpt.checkpoint_now());  // covers epoch 30
+    EXPECT_EQ(ckpt.stats().checkpoints, 2u);
+  }
+  // Bit-rot the newest checkpoint's payload: both CRCs exist to catch this.
+  const std::string newest =
+      dir.path + "/" + stm::walfmt::ckpt_name(30);
+  ASSERT_TRUE(fs::exists(newest));
+  {
+    std::fstream f(newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(newest) - 1));
+    const char x = '\xFF';
+    f.write(&x, 1);
+  }
+  long recovered = -1;
+  const stm::WalRecoveryInfo info =
+      stm::Wal::recover(dir.path, [&](const stm::WalRecordView& r) {
+        std::uint64_t id;
+        const std::uint8_t* value;
+        std::uint32_t size;
+        ASSERT_TRUE(stm::Wal::decode_var_record(r, id, value, size));
+        long v;
+        std::memcpy(&v, value, sizeof v);
+        recovered = v;
+      });
+  EXPECT_EQ(info.corrupt_checkpoints, 1u);
+  EXPECT_EQ(info.checkpoint_epoch, 10u) << "must fall back to the older one";
+  // retire=false kept every segment, so the tail replay still reaches the
+  // exact final state.
+  EXPECT_EQ(info.last_epoch, 30u);
+  EXPECT_EQ(recovered, 30);
+  EXPECT_FALSE(info.torn_tail);
+}
+
+TEST(CheckpointTest, PersistentCheckpointIoFailuresDegradeNotTheLog) {
+  TempDir dir("degrade");
+  stm::Var<long> a(0);
+  stm::WalOptions wopts;
+  wopts.dir = dir.path;
+  stm::Wal wal(wopts);
+  wal.register_var(1, a);
+  stm::StmOptions opts;
+  opts.durability = &wal;
+  stm::Stm s(stm::Mode::Lazy, opts);
+
+  // Checkpoint writes go through a filesystem where every write fails with
+  // EIO; the Wal keeps its own (healthy) filesystem.
+  common::ChaosFsConfig cfg;
+  cfg.err_prob[static_cast<std::size_t>(common::FsOp::Write)] = 1.0;
+  common::ChaosFs bad_fs(cfg);
+  int reports = 0;
+  stm::CheckpointOptions copts = manual_opts();
+  copts.fs = &bad_fs;
+  copts.max_failures = 3;
+  copts.on_error = [&](const stm::WalError&) { ++reports; };
+  stm::Checkpointer ckpt(wal, copts);
+
+  for (long i = 1; i <= 10; ++i) {
+    s.atomically([&](stm::Txn& tx) { a.write(tx, i); });
+  }
+  wal.flush();
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(ckpt.checkpoint_now());
+  }
+  EXPECT_TRUE(ckpt.degraded());
+  EXPECT_EQ(ckpt.stats().failures, 3u);
+  EXPECT_GE(reports, 3);
+  // Degraded means "stops trying", cheaply.
+  EXPECT_FALSE(ckpt.checkpoint_now());
+  EXPECT_EQ(ckpt.stats().failures, 3u);
+
+  // The log itself is untouched: commits keep landing durably, and
+  // recovery (with no checkpoint) replays the full history.
+  EXPECT_FALSE(wal.failed());
+  s.atomically([&](stm::Txn& tx) { a.write(tx, 99); });
+  wal.flush();
+  std::uint64_t n = 0;
+  const stm::WalRecoveryInfo info = stm::Wal::recover(
+      dir.path, [&](const stm::WalRecordView&) { ++n; });
+  EXPECT_EQ(info.checkpoint_epoch, 0u);
+  EXPECT_EQ(n, 11u);
+  // No stray .tmp survives the failed attempts either: each one unlinked
+  // its partial tmp on the way out.
+  for (const auto& ent : fs::directory_iterator(dir.path)) {
+    EXPECT_EQ(ent.path().extension(), ".wal");
+  }
+}

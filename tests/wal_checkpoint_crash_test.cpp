@@ -1,0 +1,338 @@
+// Extended crash matrix for the checkpoint/compaction layer (ctest label
+// "durability"): every checkpoint chaos gate (CkptBegin / CkptWrite /
+// CkptFsync / CkptRename / CkptRetire) x injected storage error (none, EIO,
+// ENOSPC, short writes — fed through the common::Fs seam at the syscall
+// gate) x ack mode (Relaxed / Strict). A forked child runs a deterministic
+// stream of registered-var commits with a live background checkpointer that
+// retires subsumed segments; the chaos policy _exit()s the child at the
+// drawn gate, and the errno injections can additionally fail-stop the log
+// mid-run (the child exits 7 after catching WalUnavailable — an accepted
+// outcome: fail-stop IS the contract for a dying disk).
+//
+// The parent recovers whatever directory state the child left — any mix of
+// checkpoints (durable, torn .tmp, or renamed-but-unretired overlap) and
+// segments (live, sealed, or half-retired) — and asserts:
+//
+//   1. The recovered fold (checkpoint state + tail replay) equals the
+//      deterministic oracle folded over exactly the first K = last_epoch
+//      committed operations: a prefix, nothing lost inside it, nothing
+//      double-applied across the checkpoint/segment overlap.
+//   2. Strict mode: no acked operation lies beyond K.
+//   3. Across the matrix at least one cell recovered through a real
+//      checkpoint (checkpoint_epoch > 0) — the anchored path cannot
+//      silently go untested.
+//
+// On a contract failure the test prints a `scripts/wal_inspect.py` command
+// for the kept directory so the on-disk epoch ranges can be examined.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/chaos_fs.hpp"
+#include "stm/chaos.hpp"
+#include "stm/checkpoint.hpp"
+#include "stm/stm.hpp"
+#include "stm/wal.hpp"
+
+namespace stm = proust::stm;
+namespace common = proust::common;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kOps = 700;
+constexpr int kVars = 8;
+constexpr std::uint64_t kCkptEvery = 48;
+constexpr int kWalFailedExitCode = 7;  // child caught WalUnavailable
+
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("PROUST_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xC45EEDu;
+}
+
+enum class Fault { None, Eio, Enospc, Short };
+
+constexpr const char* to_string(Fault f) noexcept {
+  switch (f) {
+    case Fault::None: return "none";
+    case Fault::Eio: return "eio";
+    case Fault::Enospc: return "enospc";
+    case Fault::Short: return "short";
+  }
+  return "?";
+}
+
+void journal_line(int fd, int j) {
+  char buf[16];
+  const int n = std::snprintf(buf, sizeof buf, "%d\n", j);
+  (void)!::write(fd, buf, static_cast<std::size_t>(n));
+}
+
+std::vector<int> read_journal(const std::string& path) {
+  std::vector<int> out;
+  std::ifstream f(path);
+  int j;
+  while (f >> j) out.push_back(j);
+  return out;
+}
+
+/// The deterministic program: op j (1-based, == its epoch in the
+/// single-threaded child) writes value j to var (j % kVars). The oracle
+/// after K epochs is therefore computable by the parent alone.
+std::vector<long> oracle_after(std::uint64_t k) {
+  std::vector<long> state(kVars, 0);
+  for (std::uint64_t j = 1; j <= k; ++j) {
+    state[j % kVars] = static_cast<long>(j);
+  }
+  return state;
+}
+
+/// Child body: never returns. 0 = completed, kWalCrashExitCode = chaos
+/// crash at a gate, kWalFailedExitCode = injected storage error fail-
+/// stopped the log.
+[[noreturn]] void run_child(const std::string& dir, stm::ChaosPoint gate,
+                            double crash_prob, Fault fault,
+                            stm::WalDurability mode, std::uint64_t seed) {
+  const int acked_fd =
+      ::open((dir + "/acked.log").c_str(),
+             O_CREAT | O_TRUNC | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (acked_fd < 0) ::_exit(3);
+
+  stm::ChaosConfig ccfg;
+  ccfg.seed = seed;
+  ccfg.at(gate).crash = crash_prob;
+  stm::ChaosPolicy chaos(ccfg);
+
+  common::ChaosFsConfig fcfg;
+  fcfg.seed = seed + 1;
+  switch (fault) {
+    case Fault::None:
+      break;
+    case Fault::Eio:
+      fcfg.err_prob[static_cast<std::size_t>(common::FsOp::Write)] = 0.002;
+      fcfg.err[static_cast<std::size_t>(common::FsOp::Write)] = EIO;
+      break;
+    case Fault::Enospc:
+      fcfg.err_prob[static_cast<std::size_t>(common::FsOp::Write)] = 0.002;
+      fcfg.err[static_cast<std::size_t>(common::FsOp::Write)] = ENOSPC;
+      break;
+    case Fault::Short:
+      fcfg.short_write_prob = 0.25;  // healed by the write loops, not fatal
+      break;
+  }
+  common::ChaosFs cfs(fcfg);
+
+  try {
+    std::vector<stm::Var<long>> vars(kVars);
+    stm::WalOptions wopts;
+    wopts.dir = dir + "/wal";
+    wopts.segment_bytes = 4096;  // rotations + retirement happen often
+    wopts.fsync_every_n = 8;
+    wopts.fsync_interval_us = std::chrono::microseconds(100);
+    wopts.durability = mode;
+    wopts.chaos = &chaos;
+    wopts.fs = &cfs;
+    wopts.on_error = [](const stm::WalError&) {};  // quiet: injected
+    stm::Wal wal(wopts);
+    for (int i = 0; i < kVars; ++i) {
+      wal.register_var(static_cast<std::uint64_t>(i), vars[i]);
+    }
+
+    stm::StmOptions opts;
+    opts.durability = &wal;
+    stm::Stm s(stm::Mode::Lazy, opts);
+
+    stm::CheckpointOptions copts;
+    copts.every_records = kCkptEvery;
+    copts.chaos = &chaos;  // Ckpt* gates drawn on the checkpointer thread
+    copts.on_error = [](const stm::WalError&) {};
+    stm::Checkpointer ckpt(wal, copts);  // dies before the Wal
+
+    for (int j = 1; j <= kOps; ++j) {
+      s.atomically([&](stm::Txn& tx) {
+        vars[j % kVars].write(tx, static_cast<long>(j));
+      });
+      // The ack point: relaxed = publish returned, strict = fsync covered.
+      journal_line(acked_fd, j);
+    }
+    wal.flush();
+    // One deterministic cut on this thread after the run: a child that
+    // outraces the background poll (relaxed acks finish in under one 5ms
+    // tick) still exercises its checkpoint gate before exiting.
+    (void)ckpt.checkpoint_now();
+  } catch (const stm::WalUnavailable&) {
+    ::_exit(kWalFailedExitCode);
+  }
+  ::_exit(0);
+}
+
+struct CellResult {
+  int exit_code = -1;
+  std::vector<int> acked;
+  stm::WalRecoveryInfo info;
+  std::vector<long> recovered;  // per-var fold of the recovered stream
+  bool bad_record = false;
+};
+
+CellResult run_cell(const std::string& dir, stm::ChaosPoint gate,
+                    double crash_prob, Fault fault, stm::WalDurability mode,
+                    std::uint64_t seed) {
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    run_child(dir, gate, crash_prob, fault, mode, seed);  // never returns
+  }
+  CellResult r;
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "child must _exit, not be signalled";
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+
+  r.acked = read_journal(dir + "/acked.log");
+  r.recovered.assign(kVars, 0);
+  std::uint64_t prev_epoch = 0;
+  r.info = stm::Wal::recover(dir + "/wal", [&](const stm::WalRecordView& v) {
+    std::uint64_t id;
+    const std::uint8_t* value;
+    std::uint32_t size;
+    if (!stm::Wal::decode_var_record(v, id, value, size) ||
+        size != sizeof(long) || id >= kVars || v.epoch < prev_epoch) {
+      r.bad_record = true;
+      return;
+    }
+    prev_epoch = v.epoch;
+    long x;
+    std::memcpy(&x, value, sizeof x);
+    // Both record shapes fold the same way here: a checkpoint record is
+    // the var's absolute state at the covering epoch, a tail record the
+    // absolute value that epoch's write left behind.
+    r.recovered[id] = x;
+  });
+  return r;
+}
+
+void check_cell(const CellResult& r, stm::WalDurability mode,
+                const std::string& dir) {
+  const std::string hint =
+      "  inspect: python3 scripts/wal_inspect.py " + dir + "/wal";
+  ASSERT_TRUE(r.exit_code == 0 || r.exit_code == stm::kWalCrashExitCode ||
+              r.exit_code == kWalFailedExitCode)
+      << "unexpected child exit code " << r.exit_code << "\n" << hint;
+  ASSERT_FALSE(r.bad_record) << "malformed/regressing recovered record\n"
+                             << hint;
+
+  // (1) The fold over the recovered stream equals the oracle folded over
+  // exactly the first K committed ops — prefix semantics across any
+  // checkpoint/segment overlap the crash left behind.
+  const std::uint64_t k = r.info.last_epoch;
+  ASSERT_LE(k, static_cast<std::uint64_t>(kOps)) << hint;
+  const std::vector<long> want = oracle_after(k);
+  for (int i = 0; i < kVars; ++i) {
+    ASSERT_EQ(r.recovered[i], want[i])
+        << "var " << i << " diverged from the epoch-" << k << " oracle\n"
+        << hint;
+  }
+
+  // (2) Strict: an acked op is durable, so it must lie within the prefix.
+  if (mode == stm::WalDurability::Strict && !r.acked.empty()) {
+    ASSERT_LE(static_cast<std::uint64_t>(r.acked.back()), k)
+        << "a strict-acked commit was lost\n" << hint;
+  }
+
+  // A clean, fault-free completion must have drained everything.
+  if (r.exit_code == 0) {
+    ASSERT_GE(k, static_cast<std::uint64_t>(
+                     r.acked.empty() ? 0 : r.acked.back()))
+        << hint;
+  }
+}
+
+}  // namespace
+
+TEST(WalCheckpointCrashMatrixTest, PrefixRecoveryAtEveryGateErrorAckCell) {
+  const stm::ChaosPoint gates[] = {
+      stm::ChaosPoint::CkptBegin,  stm::ChaosPoint::CkptWrite,
+      stm::ChaosPoint::CkptFsync,  stm::ChaosPoint::CkptRename,
+      stm::ChaosPoint::CkptRetire,
+  };
+  const Fault faults[] = {Fault::None, Fault::Eio, Fault::Enospc,
+                          Fault::Short};
+  const std::uint64_t seed = base_seed();
+  std::fprintf(
+      stderr,
+      "[ckpt-crash] base seed %llu (override: PROUST_CHAOS_SEED)\n",
+      static_cast<unsigned long long>(seed));
+
+  const std::string root = "ckpt_crash_" + std::to_string(
+      static_cast<unsigned long long>(::getpid()));
+  int crashes = 0, failstops = 0, anchored = 0;
+  std::uint64_t cell = 0;
+  for (const stm::ChaosPoint gate : gates) {
+    for (const Fault fault : faults) {
+      for (const stm::WalDurability mode :
+           {stm::WalDurability::Relaxed, stm::WalDurability::Strict}) {
+        ++cell;
+        const std::string name = std::string(stm::to_string(gate)) + "_" +
+                                 to_string(fault) + "_" +
+                                 stm::to_string(mode);
+        SCOPED_TRACE(name + " seed=" + std::to_string(seed + cell));
+        const std::string dir = root + "/" + name;
+        // A checkpoint gate fires once per attempt (~kOps/kCkptEvery of
+        // them), so the per-draw probability is high to make the kill
+        // near-certain while still letting checkpoints land first.
+        const CellResult r =
+            run_cell(dir, gate, 0.35, fault, mode, seed + cell);
+        check_cell(r, mode, dir);
+        if (r.exit_code == stm::kWalCrashExitCode) ++crashes;
+        if (r.exit_code == kWalFailedExitCode) ++failstops;
+        if (r.info.checkpoint_epoch > 0) ++anchored;
+        if (HasFatalFailure()) return;  // keep the failing cell's dir
+      }
+    }
+  }
+  // The matrix must actually exercise its three regimes: injected crashes,
+  // injected fail-stops, and (3) checkpoint-anchored recoveries.
+  EXPECT_GE(crashes, 1) << "no chaos crash was ever drawn — gates dead?";
+  EXPECT_GE(failstops, 1) << "no injected errno ever fail-stopped the log";
+  EXPECT_GE(anchored, 1) << "no cell recovered through a checkpoint";
+  std::fprintf(stderr,
+               "[ckpt-crash] %llu cells: %d crashed, %d fail-stopped, "
+               "%d checkpoint-anchored\n",
+               static_cast<unsigned long long>(cell), crashes, failstops,
+               anchored);
+  std::error_code ec;
+  fs::remove_all(root, ec);
+}
+
+// Torn-checkpoint coverage: crash certain at the very first CkptWrite gate
+// leaves a half-written .tmp; recovery must discard it (never renamed) and
+// replay the intact segment history as if no checkpoint was ever tried.
+TEST(WalCheckpointCrashMatrixTest, TornTmpCheckpointIsDiscarded) {
+  const std::string dir =
+      "ckpt_crash_tear_" +
+      std::to_string(static_cast<unsigned long long>(::getpid()));
+  const CellResult r =
+      run_cell(dir, stm::ChaosPoint::CkptWrite, 1.0, Fault::None,
+               stm::WalDurability::Relaxed, base_seed() + 99);
+  EXPECT_EQ(r.exit_code, stm::kWalCrashExitCode);
+  EXPECT_EQ(r.info.checkpoint_epoch, 0u)
+      << "a torn .tmp checkpoint must never be loaded";
+  EXPECT_GE(r.info.skipped_tmp, 1u);
+  check_cell(r, stm::WalDurability::Relaxed, dir);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}

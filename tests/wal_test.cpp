@@ -19,6 +19,7 @@
 
 #include "stm/stm.hpp"
 #include "stm/wal.hpp"
+#include "stm/wal_format.hpp"
 
 namespace stm = proust::stm;
 namespace fs = std::filesystem;
@@ -457,6 +458,125 @@ TEST(WalTest, IoFailureFailsStopAndRefusesDurableCommits) {
   std::uint32_t got;
   std::memcpy(&got, recs[0].data.data(), sizeof got);
   EXPECT_EQ(got, 1u);
+}
+
+namespace {
+
+// --- Hand-crafted segment bytes (stm/wal_format.hpp) for the recovery
+// edge-input tests: each shape must yield a clean prefix — never a crash,
+// never a double-applied record.
+
+/// One single-record batch per epoch in [first, last]; payload = the epoch
+/// as u32, stream 1.
+void append_batches(std::vector<std::uint8_t>& seg, std::uint64_t first,
+                    std::uint64_t last) {
+  namespace wf = stm::walfmt;
+  for (std::uint64_t e = first; e <= last; ++e) {
+    std::vector<std::uint8_t> payload;
+    const std::uint32_t v = static_cast<std::uint32_t>(e);
+    wf::put_u64(payload, e);
+    wf::put_u32(payload, 1);  // stream
+    wf::put_u32(payload, sizeof v);
+    wf::put_u32(payload, proust::crc32(&v, sizeof v));
+    wf::put_u32(payload, v);
+    std::vector<std::uint8_t> hdr;
+    wf::put_u32(hdr, wf::kBatchMagic);
+    wf::put_u32(hdr, 1);  // n_records
+    wf::put_u64(hdr, payload.size());
+    wf::put_u64(hdr, e);  // first_epoch
+    wf::put_u64(hdr, e);  // last_epoch
+    wf::put_u32(hdr, proust::crc32(payload.data(), payload.size()));
+    wf::put_u32(hdr, proust::crc32(hdr.data(), 36));
+    seg.insert(seg.end(), hdr.begin(), hdr.end());
+    seg.insert(seg.end(), payload.begin(), payload.end());
+  }
+}
+
+std::vector<std::uint8_t> make_segment(std::uint32_t index,
+                                       std::uint64_t first,
+                                       std::uint64_t last) {
+  std::vector<std::uint8_t> seg;
+  stm::walfmt::seg_header_bytes(seg, index);
+  if (last >= first) append_batches(seg, first, last);
+  return seg;
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(WalTest, ZeroLengthSegmentStopsTheScanCleanly) {
+  TempDir dir("zerolen");
+  write_bytes(dir.path + "/" + stm::walfmt::seg_name(0),
+              make_segment(0, 1, 6));
+  write_bytes(dir.path + "/" + stm::walfmt::seg_name(1), {});  // 0 bytes
+
+  stm::WalRecoveryInfo info;
+  const std::vector<Rec> recs = recover_all(dir.path, &info);
+  ASSERT_EQ(recs.size(), 6u) << "the prefix before the empty file survives";
+  EXPECT_EQ(info.last_epoch, 6u);
+  EXPECT_TRUE(info.torn_tail) << "an empty segment is a torn rotation";
+
+  // A *lone* zero-length segment is an empty log, not a crash.
+  TempDir dir2("zerolen2");
+  write_bytes(dir2.path + "/" + stm::walfmt::seg_name(0), {});
+  const std::vector<Rec> none = recover_all(dir2.path, &info);
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_EQ(info.last_epoch, 0u);
+}
+
+TEST(WalTest, DuplicateEpochBatchIsTruncatedNeverDoubleApplied) {
+  TempDir dir("dupepoch");
+  // Epochs 1..4, then a rogue batch re-carrying epochs 3..4 (e.g. a
+  // misdirected write replayed by a confused disk): the chain expects 5
+  // next, so the duplicate must be cut — recovering it would apply epochs
+  // 3 and 4 twice.
+  std::vector<std::uint8_t> seg = make_segment(0, 1, 4);
+  append_batches(seg, 3, 4);
+  write_bytes(dir.path + "/" + stm::walfmt::seg_name(0), seg);
+
+  stm::WalRecoveryInfo info;
+  const std::vector<Rec> recs = recover_all(dir.path, &info);
+  ASSERT_EQ(recs.size(), 4u);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].epoch, i + 1) << "each epoch delivered exactly once";
+  }
+  EXPECT_TRUE(info.torn_tail);
+  EXPECT_GT(info.truncated_bytes, 0u);
+
+  // Idempotent: a second recovery sees the already-truncated clean log.
+  const std::vector<Rec> again = recover_all(dir.path, &info);
+  EXPECT_EQ(again.size(), 4u);
+  EXPECT_FALSE(info.torn_tail);
+}
+
+TEST(WalTest, ValidHeaderWithBodyTruncatedMidFrameRecoversPrefix) {
+  TempDir dir("midframe");
+  // Segment with epochs 1..5, then chop the file mid-way through the last
+  // batch's payload: its header (including CRCs over the *sealed* content)
+  // is intact on disk, but the bytes it promises are not all there.
+  std::vector<std::uint8_t> full = make_segment(0, 1, 5);
+  const std::vector<std::uint8_t> last_batch = make_segment(0, 5, 5);
+  const std::size_t last_len =
+      last_batch.size() - stm::walfmt::kSegHeaderSize;
+  std::vector<std::uint8_t> cut(full.begin(),
+                                full.end() - static_cast<long>(last_len) + 50);
+  write_bytes(dir.path + "/" + stm::walfmt::seg_name(0), cut);
+
+  stm::WalRecoveryInfo info;
+  const std::vector<Rec> recs = recover_all(dir.path, &info);
+  ASSERT_EQ(recs.size(), 4u) << "everything before the torn frame survives";
+  EXPECT_EQ(info.last_epoch, 4u);
+  EXPECT_TRUE(info.torn_tail);
+
+  const std::vector<Rec> again = recover_all(dir.path, &info);
+  EXPECT_EQ(again.size(), 4u);
+  EXPECT_FALSE(info.torn_tail) << "truncation must leave a clean log";
 }
 
 TEST(WalTest, DurabilityOffLeavesTransactionsUntouched) {
